@@ -1,0 +1,1 @@
+"""Benchmark suite: one end-to-end bench per paper table/figure."""

@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+The benchmarks regenerate every table and figure of the paper. The
+heavy shared substrate (39-month market, traces, baseline runs) is
+warmed once per session so each figure's bench measures its own
+driver, and `rounds=1` everywhere — these are end-to-end experiment
+replays, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def warm():
+    """Warm the shared experiment caches once."""
+    from repro.experiments.common import (
+        baseline_24day,
+        baseline_long,
+        default_dataset,
+        default_problem,
+        long_trace,
+        trace_24day,
+    )
+
+    default_dataset()
+    default_problem()
+    trace_24day()
+    baseline_24day()
+    long_trace()
+    baseline_long()
+    return True
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Ablation: the greedy allocator vs an oracle lower bound (DESIGN §4).
+
+The paper's optimizer is a greedy per-client assignment with iterative
+spill, not an LP. This bench bounds its optimality gap: the oracle
+relaxation routes every hit to the cheapest in-radius cluster with no
+capacity or 95/5 limits and with *today's* (undelayed) prices — a cost
+no feasible policy can beat.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.energy import FULLY_ELASTIC
+from repro.experiments.common import default_dataset, default_problem, trace_24day
+from repro.routing.price import PriceConsciousRouter
+from repro.sim.engine import SimulationOptions, simulate
+
+
+def compare():
+    problem = default_problem()
+    dataset = default_dataset()
+    trace = trace_24day()
+    router = PriceConsciousRouter(problem, distance_threshold_km=2500.0)
+    greedy = simulate(trace, dataset, problem, router)
+
+    clairvoyant = PriceConsciousRouter(
+        problem, distance_threshold_km=2500.0, price_threshold=0.0
+    )
+    oracle = simulate(
+        trace,
+        dataset,
+        problem,
+        clairvoyant,
+        SimulationOptions(reaction_delay_hours=0),
+    )
+    params = FULLY_ELASTIC
+    return greedy.total_cost(params), oracle.total_cost(params)
+
+
+def test_ablation_optimizer_gap(benchmark, warm):
+    greedy_cost, oracle_cost = run_once(benchmark, compare)
+    gap = greedy_cost / oracle_cost - 1.0
+    print(f"\n  greedy ${greedy_cost:,.0f} vs oracle ${oracle_cost:,.0f} (gap {gap:.1%})")
+    assert oracle_cost <= greedy_cost * 1.001
+    # The hour-lagged, $5-threshold policy stays within a modest
+    # factor of its clairvoyant twin: stale prices are the main tax.
+    assert gap < 0.40

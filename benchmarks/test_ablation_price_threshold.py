@@ -1,0 +1,52 @@
+"""Ablation: the optimizer's $5/MWh price threshold (§6.1).
+
+The threshold trades electricity savings against churn: with a huge
+threshold the router ignores most differentials and degenerates toward
+nearest-cluster routing; with zero threshold it chases noise.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.energy import OPTIMISTIC_FUTURE
+from repro.experiments.common import baseline_24day, default_dataset, default_problem, trace_24day
+from repro.routing.price import PriceConsciousRouter
+from repro.sim.engine import simulate
+
+
+def sweep():
+    problem = default_problem()
+    dataset = default_dataset()
+    trace = trace_24day()
+    base = baseline_24day()
+    rows = []
+    for price_threshold in (0.0, 5.0, 20.0, 60.0, 1000.0):
+        router = PriceConsciousRouter(
+            problem, distance_threshold_km=1500.0, price_threshold=price_threshold
+        )
+        result = simulate(trace, dataset, problem, router)
+        rows.append(
+            (
+                price_threshold,
+                result.savings_vs(base, OPTIMISTIC_FUTURE) * 100.0,
+                result.mean_distance_km,
+            )
+        )
+    return rows
+
+
+def test_ablation_price_threshold(benchmark, warm):
+    rows = run_once(benchmark, sweep)
+    print()
+    for threshold, savings, dist in rows:
+        print(f"  price threshold {threshold:7.1f} $/MWh -> savings {savings:5.1f}%, mean dist {dist:5.0f} km")
+    savings = [r[1] for r in rows]
+    # The paper's $5 threshold costs almost nothing vs threshold 0.
+    assert savings[1] == pytest.approx(savings[0], abs=3.0)
+    # A huge threshold destroys the savings (router goes price-blind).
+    assert savings[-1] < savings[1] * 0.5
+    # Savings decrease monotonically in the threshold (weakly).
+    assert all(a >= b - 0.5 for a, b in zip(savings, savings[1:]))
+    # And distance falls back toward proximity routing.
+    assert rows[-1][2] < rows[1][2]

@@ -1,0 +1,45 @@
+"""Extension bench (§7): routing savings under real billing structures.
+
+"Most current contractual arrangements would reduce the potential
+savings below what our analysis indicates" — quantified: the same pair
+of routing runs billed under four contract types.
+
+A subtlety the comparison surfaces: even under a fixed price the
+price-aware run bills slightly less, because concentrating load into
+fewer clusters reduces total *energy* under the concave §5.1 curve
+(consolidation value, not price-chasing value). The provisioned-
+capacity plan — blind to consumption entirely — is the true zero.
+"""
+
+from benchmarks.conftest import run_once
+from repro.energy import OPTIMISTIC_FUTURE
+from repro.experiments.common import baseline_24day, price_run_24day
+from repro.ext.contracts import compare_plans
+
+
+def compare():
+    baseline = baseline_24day()
+    priced = price_run_24day(1500.0, follow_95_5=False)
+    return compare_plans(baseline, priced, OPTIMISTIC_FUTURE)
+
+
+def test_contract_pass_through(benchmark, warm):
+    rows = run_once(benchmark, compare)
+    print()
+    by_plan = {}
+    for row in rows:
+        by_plan[row["plan"]] = row["savings_fraction"]
+        print(f"  {row['plan']:22s} savings {row['savings_fraction']:6.1%}")
+    # Strictly decreasing pass-through as the hedge deepens:
+    # indexed > blended > fixed > provisioned (= exactly zero).
+    assert by_plan["wholesale-indexed"] > 0.15
+    assert (
+        by_plan["wholesale-indexed"]
+        > by_plan["blended (70% hedged)"]
+        > by_plan["fixed-price"]
+        > by_plan["provisioned capacity"]
+    )
+    assert abs(by_plan["provisioned capacity"]) < 1e-9
+    # The fixed-price residual is consolidation-driven energy savings,
+    # well below the price-chasing value.
+    assert by_plan["fixed-price"] < 0.6 * by_plan["wholesale-indexed"]

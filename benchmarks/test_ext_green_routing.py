@@ -1,0 +1,80 @@
+"""Extension bench (§8): carbon-aware vs price-aware routing.
+
+The paper's future-work section proposes swapping the dollar cost
+function for an environmental one. This bench quantifies the trade on
+the 24-day trace: the carbon-aware router should cut CO2 below both
+the baseline and the dollar optimizer, while the dollar optimizer
+keeps the lowest bill.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.energy import OPTIMISTIC_FUTURE
+from repro.ext.carbon import CarbonConsciousRouter, carbon_intensity_matrix
+from repro.experiments.common import (
+    baseline_24day,
+    default_dataset,
+    default_problem,
+    trace_24day,
+)
+from repro.routing.price import PriceConsciousRouter
+from repro.sim.engine import _hour_indices, simulate
+
+
+class _SignalRouter:
+    """Run a price-style router against a substitute hourly signal."""
+
+    def __init__(self, inner, signal_matrix, hours):
+        self._inner = inner
+        self._signal = signal_matrix
+        self._hours = hours
+        self._t = 0
+
+    def allocate(self, demand, prices, limits):
+        row = self._signal[self._hours[self._t]]
+        self._t += 1
+        return self._inner.allocate(demand, row, limits)
+
+
+def compare():
+    problem = default_problem()
+    dataset = default_dataset()
+    trace = trace_24day()
+    base = baseline_24day()
+
+    carbon = carbon_intensity_matrix(dataset)
+    hub_cols = [dataset.hub_column(c) for c in problem.deployment.hub_codes]
+    carbon_cols = carbon[:, hub_cols]
+    hours = _hour_indices(trace, dataset)
+
+    dollars = simulate(
+        trace, dataset, problem, PriceConsciousRouter(problem, 1500.0)
+    )
+    green = simulate(
+        trace,
+        dataset,
+        problem,
+        _SignalRouter(CarbonConsciousRouter(problem, 1500.0), carbon_cols, hours),
+    )
+
+    params = OPTIMISTIC_FUTURE
+    rows = {}
+    for name, result in (("baseline", base), ("dollars", dollars), ("carbon", green)):
+        energy = result.energy_mwh(params)
+        tonnes = float(np.sum(energy * carbon_cols[hours]) / 1000.0)
+        rows[name] = (result.total_cost(params), tonnes)
+    return rows
+
+
+def test_green_routing_tradeoff(benchmark, warm):
+    rows = run_once(benchmark, compare)
+    print()
+    for name, (cost, tonnes) in rows.items():
+        print(f"  {name:9s} cost ${cost:12,.0f}   CO2 {tonnes:10,.0f} t")
+    # Carbon-aware routing produces the least CO2.
+    assert rows["carbon"][1] < rows["baseline"][1]
+    assert rows["carbon"][1] <= rows["dollars"][1]
+    # Dollar-aware routing produces the lowest bill.
+    assert rows["dollars"][0] < rows["baseline"][0]
+    assert rows["dollars"][0] <= rows["carbon"][0]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 1 (fleet electricity cost table)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig01_fleet_costs
+
+
+def test_fig01_fleet_costs(benchmark):
+    result = run_once(benchmark, fig01_fleet_costs.run)
+    print("\n" + result.to_text())
+    costs = {row[0]: row[3] for row in result.rows}
+    # Paper's lower bounds: eBay ~$3.7M, Akamai ~$10M, Rackspace ~$12M,
+    # Microsoft >$36M, Google >$38M.
+    assert costs["eBay"] == pytest.approx(3.7, rel=0.25)
+    assert costs["Akamai"] == pytest.approx(10.0, rel=0.25)
+    assert costs["Rackspace"] == pytest.approx(12.0, rel=0.25)
+    assert costs["Microsoft"] > 36.0
+    assert costs["Google"] > 30.0

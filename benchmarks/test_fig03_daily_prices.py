@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 3 (daily average prices, 2006-2009)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig03_daily_prices
+
+
+def test_fig03_daily_prices(benchmark, warm):
+    result = run_once(benchmark, fig03_daily_prices.run)
+    print("\n" + result.to_text())
+    ratios = {row[0]: row[3] for row in result.rows}
+    # 2008 gas hump lifts gas-coupled hubs; the hydro Northwest stays flat.
+    for hub in ("DOM", "ERCOT-H", "NP15"):
+        assert ratios[hub] > 1.10, hub
+    assert abs(ratios["MID-C"] - 1.0) < 0.12
+    # Spring run-off dip: April well below the annual mean at MID-C.
+    april_note = result.notes[0]
+    april_ratio = float(april_note.split("=")[1].split("(")[0])
+    assert april_ratio < 0.85

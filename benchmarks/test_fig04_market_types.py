@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 4 (market-type comparison, NYC)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_market_types
+
+
+def test_fig04_market_types(benchmark, warm):
+    result = run_once(benchmark, fig04_market_types.run)
+    print("\n" + result.to_text())
+    for row in result.rows:
+        _, five_min_sigma, hourly_sigma, da_sigma = row
+        # RT 5-min most volatile, day-ahead least, within each window.
+        assert five_min_sigma >= hourly_sigma
+        assert hourly_sigma >= da_sigma * 0.7  # DA can approach RT in calm windows
+    # And across both windows, RT hourly is the more volatile market.
+    assert sum(r[2] for r in result.rows) > sum(r[3] for r in result.rows)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 5 (window-sigma table, NYC Q1 2009)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig05_window_sigma
+
+
+def test_fig05_window_sigma(benchmark, warm):
+    result = run_once(benchmark, fig05_window_sigma.run)
+    print("\n" + result.to_text())
+    rt = [row[1] for row in result.rows]
+    # RT sigma falls monotonically as the window grows (5min..24h).
+    assert rt == sorted(rt, reverse=True)
+    # Day-ahead is flatter than RT at the short windows.
+    hourly_row = result.rows[1]
+    assert hourly_row[1] > hourly_row[3]
+    # At 24 h the two markets are close (paper: 15.6 vs 16.0).
+    daily_row = result.rows[-1]
+    assert daily_row[1] <= daily_row[3] * 1.6

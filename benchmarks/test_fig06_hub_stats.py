@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 6 (per-hub trimmed statistics)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_hub_stats
+
+
+def test_fig06_hub_stats(benchmark, warm):
+    result = run_once(benchmark, fig06_hub_stats.run)
+    print("\n" + result.to_text())
+    for row in result.rows:
+        city, rto, mean_ours, mean_paper, std_ours, std_paper, kurt_ours, kurt_paper = row
+        assert mean_ours == pytest.approx(mean_paper, rel=0.15), city
+        assert std_ours == pytest.approx(std_paper, rel=0.40), city
+        assert kurt_ours > 3.5, city  # leptokurtic like the paper's
+    means = {row[0]: row[2] for row in result.rows}
+    assert means["New York, NY"] == max(means.values())
+    assert means["Chicago, IL"] == min(means.values())

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 7 (hour-to-hour change histograms)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig07_hourly_change
+
+
+def test_fig07_hourly_change(benchmark, warm):
+    result = run_once(benchmark, fig07_hourly_change.run)
+    print("\n" + result.to_text())
+    for row in result.rows:
+        hub, mean, sigma_ours, sigma_paper, kurt_ours, kurt_paper, within_ours, within_paper = row
+        assert abs(mean) < 0.5, hub
+        assert sigma_ours == pytest.approx(sigma_paper, rel=0.5), hub
+        assert kurt_ours > 10.0, hub  # "very long tails"
+        assert within_ours == pytest.approx(within_paper, abs=0.12), hub

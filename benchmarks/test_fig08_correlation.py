@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 8 (correlation vs distance and RTO)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig08_correlation
+
+
+def test_fig08_correlation(benchmark, warm):
+    result = run_once(benchmark, fig08_correlation.run)
+    print("\n" + result.to_text())
+    rows = dict((r[0], r[1]) for r in result.rows)
+    assert rows["total pairs"] == 406
+    assert rows["same-RTO above 0.6"] >= 0.9
+    assert rows["cross-RTO below 0.6"] == 1.0
+    assert rows["LA/PaloAlto coefficient"] > 0.8
+    assert rows["minimum coefficient"] > 0.0  # no negative pairs
+    # Distance decay within the cross-RTO cloud.
+    d = result.series["cross_rto_distance_km"]
+    c = result.series["cross_rto_coefficient"]
+    near = c[d < np.median(d)].mean()
+    far = c[d >= np.median(d)].mean()
+    assert near > far

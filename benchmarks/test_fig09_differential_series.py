@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 9 (differential time series, Aug 2008)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_differential_series
+
+
+def test_fig09_differential_series(benchmark, warm):
+    result = run_once(benchmark, fig09_differential_series.run)
+    print("\n" + result.to_text())
+    # Spikes extend far off the +/-100 scale over the full record.
+    full = result.rows[-1]
+    assert full[3] > 150.0 or full[2] < -150.0
+    # The fortnight windows show repeated sign flips (the dynamic
+    # opportunity): at least a handful per pair.
+    for row in result.rows[:-1]:
+        assert row[4] >= 4

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 10 (differential distributions, 5 pairs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_differential_hist
+
+
+def test_fig10_differential_hist(benchmark, warm):
+    result = run_once(benchmark, fig10_differential_hist.run)
+    print("\n" + result.to_text())
+    rows = {row[0]: row for row in result.rows}
+    # Zero-mean, high-variance, dynamically exploitable pairs.
+    for pair in ("NP15-DOM", "ERCOT-S-DOM"):
+        assert abs(rows[pair][1]) < 12.0
+        assert rows[pair][3] > 35.0
+    # Boston-NYC skewed toward Boston but NYC wins a meaningful share.
+    bos = rows["MA-BOS-NYC"]
+    assert bos[1] < -5.0
+    assert 0.2 < bos[6] < 0.5
+    # Chicago-Virginia one-sided.
+    assert rows["CHI-DOM"][1] < -10.0
+    # Market-boundary dispersion: CHI-IL near zero-mean with spread.
+    assert abs(rows["CHI-IL"][1]) < 10.0
+    assert rows["CHI-IL"][3] > 20.0

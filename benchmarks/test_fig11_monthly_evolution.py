@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 11 (monthly differential evolution)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_monthly_evolution
+
+
+def test_fig11_monthly_evolution(benchmark, warm):
+    result = run_once(benchmark, fig11_monthly_evolution.run)
+    print("\n" + result.to_text())
+    assert len(result.rows) == 39  # one row per month of the data set
+    medians = result.series["monthly_median"]
+    iqrs = result.series["monthly_iqr"]
+    # Sustained asymmetries exist and reverse: both signs appear among
+    # the monthly medians.
+    assert np.any(medians > 1.0) and np.any(medians < -1.0)
+    # The spread changes substantially month to month.
+    assert np.max(iqrs) / np.min(iqrs) > 2.0

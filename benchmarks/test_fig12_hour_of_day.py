@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 12 (hour-of-day differential profiles)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_hour_of_day
+
+
+def test_fig12_hour_of_day(benchmark, warm):
+    result = run_once(benchmark, fig12_hour_of_day.run)
+    print("\n" + result.to_text())
+    swings = {row[0]: row[5] for row in result.rows}
+    # Coast-to-coast pair swings hard with the hour (time-zone offset
+    # of demand peaks); the Chicago-Peoria pair barely moves.
+    assert swings["NP15-DOM"] > 10.0
+    assert swings["NP15-DOM"] > 1.5 * swings["CHI-IL"]
+    # PaloAlto-Richmond flips sign across the day (paper: Virginia has
+    # the edge before 5am ET, the West after 6am).
+    medians = result.series["NP15-minus-DOM/median"]
+    assert medians.min() < 0.0 < medians.max()

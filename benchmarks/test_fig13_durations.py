@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 13 (differential durations)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_durations
+
+
+def test_fig13_durations(benchmark, warm):
+    result = run_once(benchmark, fig13_durations.run)
+    print("\n" + result.to_text())
+    hist = result.series["duration_fraction"]
+    # Short differentials (<3 h) are more frequent than any other band;
+    # medium (<9 h) common; day-plus rare for this balanced pair.
+    assert hist[:3].sum() > hist[3:9].sum() * 0.5
+    assert hist[:9].sum() > hist[9:].sum()
+    assert hist[24:].sum() < 0.15

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 14 (the 24-day traffic trace)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_traffic
+
+
+def test_fig14_traffic(benchmark, warm):
+    result = run_once(benchmark, fig14_traffic.run)
+    print("\n" + result.to_text())
+    rows = dict((r[0], r[1]) for r in result.rows)
+    # Paper: >2M hits/s global peak, ~1.25M US.
+    assert rows["global peak (M hits/s)"] > 1.6
+    assert rows["US peak (M hits/s)"] == pytest.approx(1.25, rel=0.25)
+    assert rows["days covered"] >= 24.0
+    # The diurnal oscillation is strong and visible.
+    us = result.series["usa"]
+    assert us.max() / us.min() > 1.8

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 15 (savings vs energy elasticity, +/- 95/5).
+
+The paper's headline figure: savings hinge on energy elasticity, and
+95/5 constraints cut but do not eliminate them.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_elasticity_savings
+
+
+def test_fig15_elasticity_savings(benchmark, warm):
+    result = run_once(benchmark, fig15_elasticity_savings.run)
+    print("\n" + result.to_text())
+    relaxed = [row[1] for row in result.rows]
+    followed = [row[3] for row in result.rows]
+
+    # Savings decrease monotonically as elasticity worsens down the
+    # Fig. 15 x-axis.
+    assert relaxed == sorted(relaxed, reverse=True)
+    assert followed == sorted(followed, reverse=True)
+
+    # Fully elastic systems save tens of percent; disabled power
+    # management saves essentially nothing.
+    assert relaxed[0] > 20.0
+    assert relaxed[-1] < 5.0
+
+    # Following 95/5 cuts savings substantially but not to zero
+    # (paper: "down to about a third of their earlier values").
+    for rel, fol in zip(relaxed, followed):
+        if rel > 1.0:
+            assert 0.0 < fol < rel
+    assert followed[0] / relaxed[0] < 0.75
+
+    # Google-like elasticity (65% idle, 1.3 PUE): low-single-digit
+    # savings (paper: ~5% relaxed, ~2% followed).
+    google_row = next(r for r in result.rows if r[0] == "(65% idle, 1.3 PUE)")
+    assert 1.0 < google_row[1] < 12.0
+    assert 0.2 < google_row[3] < 6.0

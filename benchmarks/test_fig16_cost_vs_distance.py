@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 16 (24-day cost vs distance threshold)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16_cost_vs_distance
+
+
+def test_fig16_cost_vs_distance(benchmark, warm):
+    result = run_once(benchmark, fig16_cost_vs_distance.run)
+    print("\n" + result.to_text())
+    relaxed = result.series["relaxed"]
+    followed = result.series["followed"]
+
+    # Costs fall (weakly) as the threshold rises, in both modes
+    # (sub-0.2%-point wiggle allowed: tiny thresholds only shuffle the
+    # metro-fallback states).
+    assert np.all(np.diff(relaxed) <= 2e-3)
+    assert np.all(np.diff(followed) <= 2e-3)
+    # Everything beats the baseline (normalised cost < 1)...
+    assert relaxed.max() < 1.0
+    assert followed.max() < 1.0
+    # ...and the relaxed curve dominates the followed one.
+    assert np.all(relaxed <= followed + 1e-9)
+    # Large thresholds buy >20% under the (0% idle, 1.1 PUE) model.
+    assert relaxed.min() < 0.80

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 17 (client-server distance vs threshold)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig17_distance_profile
+
+
+def test_fig17_distance_profile(benchmark, warm):
+    result = run_once(benchmark, fig17_distance_profile.run)
+    print("\n" + result.to_text())
+    thresholds = result.series["thresholds_km"]
+    mean_relaxed = result.series["mean_relaxed"]
+    p99_relaxed = result.series["p99_relaxed"]
+
+    # Mean distance grows with the threshold (clients chase cheaper,
+    # further clusters) — compare the ends, allowing local wiggle.
+    assert mean_relaxed[-1] > mean_relaxed[0]
+    # p99 distance never exceeds threshold + the fallback scale: the
+    # distance constraint binds except for states with no in-radius
+    # cluster (Mountain West), whose metro fallback sets the floor.
+    fallback_p99 = p99_relaxed[0]
+    for threshold, p99 in zip(thresholds[1:], p99_relaxed[1:]):
+        assert p99 <= max(threshold, fallback_p99) + 100.0
+    # Documented deviation from the paper's "at most 800 km at 1100 km
+    # threshold": with exactly nine cluster cities, ~1-2% of demand
+    # (Mountain West states) must travel ~1700 km regardless, so our
+    # p99 at the same operating point sits at the fallback scale.
+    idx_1000 = int(np.argmin(np.abs(thresholds - 1000.0)))
+    assert p99_relaxed[idx_1000] <= fallback_p99 + 100.0

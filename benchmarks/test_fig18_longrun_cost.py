@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 18 (39-month cost; dynamic beats static)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig18_longrun_cost
+
+
+def test_fig18_longrun_cost(benchmark, warm):
+    result = run_once(benchmark, fig18_longrun_cost.run)
+    print("\n" + result.to_text())
+    relaxed = result.series["relaxed"]
+    followed = result.series["followed"]
+    static = float(result.series["static_cheapest_hub"][0])
+
+    # Monotone decreasing cost curves, relaxed dominating followed.
+    assert np.all(np.diff(relaxed) <= 2e-3)
+    assert np.all(np.diff(followed) <= 2e-3)
+    assert np.all(relaxed <= followed + 1e-9)
+
+    # The headline: the dynamic solution at large thresholds beats the
+    # best static placement (paper: ~0.55 vs ~0.65; ours ~0.64 vs
+    # ~0.67 — smaller margin, same ordering; see EXPERIMENTS.md).
+    assert relaxed.min() < static - 0.01
+    # And the static placement itself beats the baseline mix.
+    assert static < 1.0

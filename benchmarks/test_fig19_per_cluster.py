@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 19 (per-cluster cost change)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig19_per_cluster
+
+
+def test_fig19_per_cluster(benchmark, warm):
+    result = run_once(benchmark, fig19_per_cluster.run)
+    print("\n" + result.to_text())
+    labels = result.notes[0].split(": ")[1].split(", ")
+    ny = labels.index("NY")
+    for name, delta in result.series.items():
+        # Net system saving at every threshold.
+        assert delta.sum() < 0.0, name
+        # NYC (highest peak prices) among the biggest reductions.
+        assert delta[ny] <= np.partition(delta, 2)[2] + 1e-9, name
+    # Savings deepen with the threshold.
+    totals = [result.series[k].sum() for k in sorted(result.series)]
+    assert min(totals) < -0.01

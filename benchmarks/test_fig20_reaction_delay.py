@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 20 (cost of reacting late to prices)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig20_reaction_delay
+
+
+def test_fig20_reaction_delay(benchmark, warm):
+    result = run_once(benchmark, fig20_reaction_delay.run)
+    print("\n" + result.to_text())
+    delays = result.series["delays_hours"]
+    increase = result.series["increase_pct"]
+
+    # The initial jump: reacting an hour late already costs real money
+    # relative to immediate reaction.
+    one_hour = increase[np.flatnonzero(delays == 1)[0]]
+    assert one_hour > 0.2
+
+    # Cost increase grows from 0 through the first several hours.
+    first_six = increase[delays <= 6]
+    assert first_six[0] == 0.0
+    assert np.all(np.diff(first_six) > -0.1)
+
+    # The 24-hour local structure: reacting exactly a day late is no
+    # worse than the surrounding plateau (day-to-day correlation).
+    at_21 = increase[np.flatnonzero(delays == 21)[0]]
+    at_24 = increase[np.flatnonzero(delays == 24)[0]]
+    at_27 = increase[np.flatnonzero(delays == 27)[0]]
+    assert at_24 <= max(at_21, at_27) + 0.05

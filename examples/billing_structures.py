@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Billing structures: which contracts let routing savings through (§7).
+
+Runs baseline and price-aware routing once, then prices the identical
+consumption under four contract structures: wholesale-indexed (ComEd
+RTP style), a 70%-hedged blend, a fixed-price deal, and co-location
+provisioned-capacity billing. §7's point, in numbers: the savings the
+simulator projects only reach the operator whose bill actually indexes
+to hourly wholesale prices.
+
+Run:  python examples/billing_structures.py
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.analysis import render_table
+from repro.energy import OPTIMISTIC_FUTURE
+from repro.ext import compare_plans
+from repro.markets import MarketConfig, generate_market
+from repro.routing import BaselineProximityRouter, PriceConsciousRouter, RoutingProblem
+from repro.sim import simulate
+from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
+
+
+def main() -> None:
+    print("simulating baseline vs price-aware routing...")
+    dataset = generate_market(
+        MarketConfig(start=datetime(2008, 10, 1), months=4, seed=17)
+    )
+    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=17))
+    problem = RoutingProblem(akamai_like_deployment())
+    baseline = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
+    priced = simulate(
+        trace, dataset, problem, PriceConsciousRouter(problem, 1500.0)
+    )
+
+    rows = compare_plans(baseline, priced, OPTIMISTIC_FUTURE)
+    table = [
+        (
+            r["plan"],
+            round(r["baseline_bill"], 0),
+            round(r["priced_bill"], 0),
+            f"{r['savings_fraction']:.1%}",
+        )
+        for r in rows
+    ]
+    print()
+    print(render_table(
+        ("Billing plan", "Baseline bill ($)", "Price-aware bill ($)", "Savings"),
+        table, title="Routing savings under different contracts (24 days)"))
+    print()
+    print("wholesale-indexed plans pass the full opportunity through;")
+    print("hedged blends keep a fraction; fixed-price and provisioned-")
+    print("capacity contracts (today's co-location norm) keep none —")
+    print("which is why §7 expects contracts to evolve as energy costs rise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Market analysis: reproduce the paper's §3 empirical findings.
+
+Walks the generated 39-month price data set through the analyses
+behind Figs. 5-13: per-hub statistics, geographic correlation
+structure, differential distributions, hour-of-day effects, and
+sustained-differential durations.
+
+Run:  python examples/market_analysis.py            (full 39 months)
+      python examples/market_analysis.py --fast     (12 months)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    correlation_summary,
+    differential_durations,
+    differential_stats,
+    favourable_fractions,
+    hour_of_day_profile,
+    pairwise_correlations,
+    render_table,
+)
+from repro.markets import MarketConfig, generate_market
+
+
+def main() -> None:
+    months = 12 if "--fast" in sys.argv else 39
+    print(f"generating {months} months of hourly prices for 29 hubs...")
+    dataset = generate_market(MarketConfig(months=months, seed=2009))
+
+    # Fig. 6: robust per-hub statistics.
+    rows = []
+    for code in ("CHI", "CINERGY", "NP15", "DOM", "MA-BOS", "NYC"):
+        stats = dataset.real_time(code).stats()
+        rows.append((code, round(stats.mean, 1), round(stats.std, 1), round(stats.kurtosis, 1)))
+    print()
+    print(render_table(("Hub", "Mean", "StDev", "Kurtosis"), rows,
+                       title="Trimmed hourly price statistics (Fig. 6 analogue)"))
+
+    # Fig. 8: correlation structure.
+    pairs = pairwise_correlations(dataset)
+    summary = correlation_summary(pairs)
+    print()
+    print("correlation structure (Fig. 8 analogue):")
+    print(f"  {int(summary['n_pairs'])} pairs; same-RTO above 0.6: "
+          f"{summary['same_rto_above_line']:.0%}; cross-RTO below 0.6: "
+          f"{summary['cross_rto_below_line']:.0%}")
+    print(f"  medians: same-RTO {summary['same_rto_median']:.2f}, "
+          f"cross-RTO {summary['cross_rto_median']:.2f}")
+
+    # Fig. 10: differential taxonomy.
+    print()
+    rows = []
+    for a, b in (("NP15", "DOM"), ("MA-BOS", "NYC"), ("CHI", "DOM")):
+        diff = dataset.real_time(a) - dataset.real_time(b)
+        stats = differential_stats(diff)
+        frac = favourable_fractions(diff)
+        rows.append((f"{a}-{b}", round(stats.mean, 1), round(stats.std, 1),
+                     round(frac["b_cheaper"], 2), round(frac["b_saves_over_threshold"], 2)))
+    print(render_table(
+        ("Pair", "Mean", "StDev", "P(B cheaper)", "P(save > $10)"),
+        rows, title="Differential distributions (Fig. 10 analogue)"))
+
+    # Fig. 12: hour-of-day structure for the coast-to-coast pair.
+    diff = dataset.real_time("NP15") - dataset.real_time("DOM")
+    profile = hour_of_day_profile(diff)
+    medians = np.array([p["median"] for p in profile])
+    print()
+    print("NP15-DOM median differential by hour (EST):")
+    print("  " + " ".join(f"{m:+.0f}" for m in medians))
+    print(f"  swing: {medians.max() - medians.min():.0f} $/MWh "
+          "(time-zone offset of demand peaks)")
+
+    # Fig. 13: durations.
+    durations = differential_durations(diff, threshold=5.0)
+    arr = np.array(durations)
+    print()
+    print(f"sustained differentials (>|$5|): n={arr.size}, "
+          f"median {np.median(arr):.0f} h, "
+          f"share lasting <3 h: {np.mean(arr < 3):.0%}, "
+          f">24 h: {np.mean(arr > 24):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: price-aware routing end to end in under a minute.
+
+Generates a compact synthetic market (6 months, 29 hubs), a 24-day
+CDN trace, routes it with the price-blind baseline and the paper's
+price-conscious optimizer, and prints the electricity-cost comparison
+under two energy models.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.energy import GOOGLE_LIKE, OPTIMISTIC_FUTURE
+from repro.markets import MarketConfig, generate_market
+from repro.routing import BaselineProximityRouter, PriceConsciousRouter, RoutingProblem
+from repro.sim import SimulationOptions, simulate
+from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
+
+
+def main() -> None:
+    print("generating 6 months of wholesale prices for 29 hubs...")
+    dataset = generate_market(
+        MarketConfig(start=datetime(2008, 10, 1), months=6, seed=7)
+    )
+    print(f"  cheapest hub on average: {dataset.cheapest_hub()}")
+
+    print("generating a 24-day five-minute CDN trace...")
+    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=7))
+    print(f"  {trace.n_steps} samples, US peak {trace.peak_us / 1e6:.2f} M hits/s")
+
+    problem = RoutingProblem(akamai_like_deployment())
+    print("routing with the price-blind baseline...")
+    baseline = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
+
+    print("routing with the price-conscious optimizer (1500 km threshold)...")
+    router = PriceConsciousRouter(problem, distance_threshold_km=1500.0)
+    relaxed = simulate(trace, dataset, problem, router)
+    followed = simulate(
+        trace,
+        dataset,
+        problem,
+        router,
+        SimulationOptions(bandwidth_caps=baseline.percentiles_95()),
+    )
+
+    print()
+    print(f"{'energy model':28s} {'baseline $':>12s} {'priced $':>12s} "
+          f"{'savings':>8s} {'w/ 95-5':>8s}")
+    for name, params in (
+        ("future (0% idle, 1.1 PUE)", OPTIMISTIC_FUTURE),
+        ("google (65% idle, 1.3 PUE)", GOOGLE_LIKE),
+    ):
+        base_cost = baseline.total_cost(params)
+        priced_cost = relaxed.total_cost(params)
+        print(
+            f"{name:28s} {base_cost:12,.0f} {priced_cost:12,.0f} "
+            f"{relaxed.savings_vs(baseline, params):8.1%} "
+            f"{followed.savings_vs(baseline, params):8.1%}"
+        )
+    print()
+    print(
+        f"mean client-server distance: baseline {baseline.mean_distance_km:.0f} km, "
+        f"price-aware {relaxed.mean_distance_km:.0f} km "
+        f"(p99 {relaxed.distance_percentile_km(99):.0f} km)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the `wheel` package that
+PEP 660 editable installs require; `python setup.py develop` (and
+therefore `pip install -e . --no-build-isolation`) works without it.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — a reproduction of "Cutting the Electric Bill for
+Internet-Scale Systems" (Qureshi, Weber, Balakrishnan, Guttag, Maggs;
+SIGCOMM 2009).
+
+The library provides every system the paper's evaluation rests on:
+
+* :mod:`repro.geo` — US state geography and population-weighted
+  client-server distances,
+* :mod:`repro.markets` — the six-RTO / 29-hub wholesale electricity
+  market substrate with a calibrated stochastic price generator,
+* :mod:`repro.traffic` — a synthetic Akamai-like CDN workload and 95/5
+  bandwidth billing,
+* :mod:`repro.energy` — the §5.1 cluster power model and fleet-scale
+  cost estimation,
+* :mod:`repro.routing` — the price-conscious distance-constrained
+  request router (the paper's core contribution) plus its baselines,
+* :mod:`repro.sim` — the trace-driven discrete-time simulator,
+* :mod:`repro.analysis` — the §3 market analytics,
+* :mod:`repro.ext` — §7/§8 extensions (demand response, carbon- and
+  weather-aware routing),
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import quickstart
+    result = quickstart()          # small end-to-end run
+    print(result)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from repro.energy import EnergyModelParams, GOOGLE_LIKE, OPTIMISTIC_FUTURE
+from repro.markets import MarketConfig, generate_market
+from repro.routing import BaselineProximityRouter, PriceConsciousRouter, RoutingProblem
+from repro.sim import SimulationOptions, SimulationResult, simulate
+from repro.traffic import akamai_like_deployment, make_turn_of_year_trace
+
+__all__ = [
+    "__version__",
+    "EnergyModelParams",
+    "GOOGLE_LIKE",
+    "OPTIMISTIC_FUTURE",
+    "MarketConfig",
+    "generate_market",
+    "BaselineProximityRouter",
+    "PriceConsciousRouter",
+    "RoutingProblem",
+    "SimulationOptions",
+    "SimulationResult",
+    "simulate",
+    "akamai_like_deployment",
+    "make_turn_of_year_trace",
+    "quickstart",
+]
+
+
+def quickstart(
+    months: int = 6,
+    distance_threshold_km: float = 1500.0,
+    seed: int = 7,
+) -> dict[str, float]:
+    """Run a compact end-to-end comparison and return headline numbers.
+
+    Generates a ``months``-long market, a 24-day trace, routes it with
+    the baseline and the price-conscious optimizer, and reports savings
+    under two energy models. Intended as a two-minute smoke test of the
+    whole stack; see :mod:`repro.experiments` for the full paper
+    reproduction.
+    """
+    from datetime import datetime
+
+    from repro.traffic.synthetic import TraceConfig, make_trace
+
+    # The default trace runs 2008-12-16 .. 2009-01-09, so the market
+    # calendar starting October 2008 must span at least four months.
+    dataset = generate_market(
+        MarketConfig(start=datetime(2008, 10, 1), months=max(4, months), seed=seed)
+    )
+    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=seed))
+    problem = RoutingProblem(akamai_like_deployment())
+    baseline = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
+    router = PriceConsciousRouter(problem, distance_threshold_km=distance_threshold_km)
+    priced = simulate(trace, dataset, problem, router)
+    return {
+        "baseline_cost_future_model": baseline.total_cost(OPTIMISTIC_FUTURE),
+        "priced_cost_future_model": priced.total_cost(OPTIMISTIC_FUTURE),
+        "savings_future_model": priced.savings_vs(baseline, OPTIMISTIC_FUTURE),
+        "savings_google_model": priced.savings_vs(baseline, GOOGLE_LIKE),
+        "mean_distance_km": priced.mean_distance_km,
+        "baseline_mean_distance_km": baseline.mean_distance_km,
+    }

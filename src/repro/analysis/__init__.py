@@ -1,0 +1,46 @@
+"""Market analytics: robust stats, correlations, differentials, tables."""
+
+from repro.analysis.correlation import (
+    PairCorrelation,
+    correlation_summary,
+    pairwise_correlations,
+)
+from repro.analysis.differentials import (
+    DURATION_THRESHOLD,
+    DifferentialStats,
+    differential_durations,
+    differential_stats,
+    duration_histogram,
+    favourable_fractions,
+    hour_of_day_profile,
+    monthly_profile,
+)
+from repro.analysis.report import format_row, render_table
+from repro.analysis.stats import (
+    fraction_within,
+    histogram_fractions,
+    mutual_information,
+    pearson_kurtosis,
+    trimmed_values,
+)
+
+__all__ = [
+    "PairCorrelation",
+    "correlation_summary",
+    "pairwise_correlations",
+    "DURATION_THRESHOLD",
+    "DifferentialStats",
+    "differential_durations",
+    "differential_stats",
+    "duration_histogram",
+    "favourable_fractions",
+    "hour_of_day_profile",
+    "monthly_profile",
+    "format_row",
+    "render_table",
+    "fraction_within",
+    "histogram_fractions",
+    "mutual_information",
+    "pearson_kurtosis",
+    "trimmed_values",
+]

@@ -1,0 +1,82 @@
+"""Pairwise geographic correlation analysis (Fig. 8, §3.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import mutual_information
+from repro.markets.generator import MarketDataset
+from repro.markets.hubs import hub_distance_km
+
+__all__ = ["PairCorrelation", "pairwise_correlations", "correlation_summary"]
+
+
+@dataclass(frozen=True, slots=True)
+class PairCorrelation:
+    """One point of the Fig. 8 scatter."""
+
+    hub_a: str
+    hub_b: str
+    rto_a: str
+    rto_b: str
+    distance_km: float
+    coefficient: float
+    mutual_information: float | None = None
+
+    @property
+    def same_rto(self) -> bool:
+        return self.rto_a == self.rto_b
+
+
+def pairwise_correlations(
+    dataset: MarketDataset, with_mutual_information: bool = False
+) -> list[PairCorrelation]:
+    """All hub-pair correlations of hourly real-time prices.
+
+    29 hubs give the paper's 406 pairs. Set ``with_mutual_information``
+    to also compute the footnote-8 dependence measure (slower).
+    """
+    hubs = dataset.hubs
+    matrix = np.corrcoef(dataset.price_matrix.T)
+    pairs: list[PairCorrelation] = []
+    for i in range(len(hubs)):
+        for j in range(i + 1, len(hubs)):
+            mi = None
+            if with_mutual_information:
+                mi = mutual_information(
+                    dataset.price_matrix[:, i], dataset.price_matrix[:, j]
+                )
+            pairs.append(
+                PairCorrelation(
+                    hub_a=hubs[i].code,
+                    hub_b=hubs[j].code,
+                    rto_a=hubs[i].rto.value,
+                    rto_b=hubs[j].rto.value,
+                    distance_km=hub_distance_km(hubs[i], hubs[j]),
+                    coefficient=float(matrix[i, j]),
+                    mutual_information=mi,
+                )
+            )
+    return pairs
+
+
+def correlation_summary(pairs: list[PairCorrelation], line: float = 0.6) -> dict[str, float]:
+    """Fig. 8's headline facts as numbers.
+
+    Returns the fraction of same-RTO pairs above the dividing line,
+    the fraction of cross-RTO pairs below it, and the group medians.
+    """
+    same = np.array([p.coefficient for p in pairs if p.same_rto])
+    cross = np.array([p.coefficient for p in pairs if not p.same_rto])
+    return {
+        "n_pairs": float(len(pairs)),
+        "n_same_rto": float(same.size),
+        "n_cross_rto": float(cross.size),
+        "same_rto_above_line": float(np.mean(same > line)) if same.size else 0.0,
+        "cross_rto_below_line": float(np.mean(cross < line)) if cross.size else 0.0,
+        "same_rto_median": float(np.median(same)) if same.size else 0.0,
+        "cross_rto_median": float(np.median(cross)) if cross.size else 0.0,
+        "min_correlation": float(min(p.coefficient for p in pairs)),
+    }

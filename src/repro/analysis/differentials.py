@@ -1,0 +1,165 @@
+"""Price-differential analysis (§3.3, Figs. 9-13).
+
+Everything the dynamic approach exploits lives in the *differential*
+series ``P_a(t) - P_b(t)`` for a pair of hubs: its dispersion (Fig. 10),
+how often each side wins (Boston/NYC discussion), its hour-of-day
+structure (Fig. 12), its month-to-month drift (Fig. 11), and how long
+sustained one-sided periods last (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import pearson_kurtosis
+from repro.errors import ConfigurationError
+from repro.markets.series import PriceSeries
+from repro.units import HOURS_PER_DAY
+
+__all__ = [
+    "DifferentialStats",
+    "differential_stats",
+    "favourable_fractions",
+    "hour_of_day_profile",
+    "monthly_profile",
+    "differential_durations",
+    "duration_histogram",
+]
+
+#: The paper's sustained-differential threshold, $/MWh (§3.3 and the
+#: price optimizer's default price threshold).
+DURATION_THRESHOLD = 5.0
+
+
+@dataclass(frozen=True, slots=True)
+class DifferentialStats:
+    """Fig. 10's annotations for one pair."""
+
+    mean: float
+    std: float
+    kurtosis: float
+    n_samples: int
+
+
+def differential_stats(diff: PriceSeries) -> DifferentialStats:
+    """Moments of a differential series (raw, untrimmed, as Fig. 10)."""
+    values = diff.values
+    return DifferentialStats(
+        mean=float(values.mean()),
+        std=float(values.std()),
+        kurtosis=pearson_kurtosis(values),
+        n_samples=len(diff),
+    )
+
+
+def favourable_fractions(diff: PriceSeries, threshold: float = 10.0) -> dict[str, float]:
+    """How often each side of a pair is cheaper.
+
+    For ``diff = A - B``: ``b_cheaper`` is the fraction of hours B
+    beats A at all, and ``b_saves_over_threshold`` the fraction where
+    switching to B saves more than ``threshold`` $/MWh — the §3.3
+    Boston/NYC numbers (36% and 18%).
+    """
+    values = diff.values
+    return {
+        "a_cheaper": float(np.mean(values < 0)),
+        "b_cheaper": float(np.mean(values > 0)),
+        "a_saves_over_threshold": float(np.mean(values < -threshold)),
+        "b_saves_over_threshold": float(np.mean(values > threshold)),
+    }
+
+
+def _median_iqr(values: np.ndarray) -> tuple[float, float, float]:
+    q25, q50, q75 = np.percentile(values, [25.0, 50.0, 75.0])
+    return float(q50), float(q25), float(q75)
+
+
+def hour_of_day_profile(diff: PriceSeries, utc_offset_hours: int = -5) -> list[dict[str, float]]:
+    """Median and IQR of the differential for each hour of day (Fig. 12).
+
+    ``utc_offset_hours`` shifts to the display time zone (the paper
+    plots EST/EDT; -5 reproduces that axis).
+    """
+    if diff.step_seconds != 3600:
+        raise ConfigurationError("hour-of-day profile requires an hourly series")
+    start_hour = (diff.start.hour + utc_offset_hours) % HOURS_PER_DAY
+    hours = (start_hour + np.arange(len(diff))) % HOURS_PER_DAY
+    profile = []
+    for h in range(HOURS_PER_DAY):
+        values = diff.values[hours == h]
+        if values.size == 0:
+            raise ConfigurationError("series too short to cover every hour of day")
+        med, q25, q75 = _median_iqr(values)
+        profile.append({"hour": float(h), "median": med, "q25": q25, "q75": q75})
+    return profile
+
+
+def monthly_profile(diff: PriceSeries) -> list[dict[str, float]]:
+    """Median and IQR per calendar month (Fig. 11)."""
+    rows = []
+    for i, chunk in enumerate(diff.monthly_slices()):
+        med, q25, q75 = _median_iqr(chunk.values)
+        rows.append(
+            {
+                "month_index": float(i),
+                "year": float(chunk.start.year),
+                "month": float(chunk.start.month),
+                "median": med,
+                "q25": q25,
+                "q75": q75,
+            }
+        )
+    return rows
+
+
+def differential_durations(
+    diff: PriceSeries, threshold: float = DURATION_THRESHOLD
+) -> list[int]:
+    """Lengths (hours) of sustained one-sided differentials (§3.3).
+
+    A differential *starts* when one location is favoured by more than
+    ``threshold`` and *ends* as soon as the differential falls below
+    the threshold or reverses — the paper's definition verbatim.
+    """
+    values = diff.values
+    durations: list[int] = []
+    current_sign = 0
+    current_length = 0
+    for v in values:
+        sign = 1 if v > threshold else (-1 if v < -threshold else 0)
+        if sign == current_sign and sign != 0:
+            current_length += 1
+        else:
+            if current_sign != 0 and current_length > 0:
+                durations.append(current_length)
+            current_sign = sign
+            current_length = 1 if sign != 0 else 0
+    if current_sign != 0 and current_length > 0:
+        durations.append(current_length)
+    return durations
+
+
+def duration_histogram(
+    durations: list[int], max_hours: int = 36, total_hours: int | None = None
+) -> np.ndarray:
+    """Fraction of *time* spent in differentials of each duration (Fig. 13).
+
+    Entry ``d-1`` holds (hours spent inside differentials lasting
+    exactly ``d`` hours) / (total hours observed). Durations beyond
+    ``max_hours`` fold into the last bin.
+    """
+    if max_hours < 1:
+        raise ConfigurationError("max_hours must be positive")
+    out = np.zeros(max_hours)
+    for d in durations:
+        idx = min(d, max_hours) - 1
+        out[idx] += d
+    if total_hours is not None:
+        if total_hours <= 0:
+            raise ConfigurationError("total_hours must be positive")
+        out /= total_hours
+    elif durations:
+        out /= out.sum()
+    return out

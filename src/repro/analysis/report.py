@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment driver prints "the same rows/series the paper
+reports"; this module gives them one consistent, dependency-free
+renderer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_table", "format_row"]
+
+
+def format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    """One row with right-aligned numeric-ish columns."""
+    cells = []
+    for value, width in zip(values, widths):
+        if isinstance(value, float):
+            text = f"{value:.2f}"
+        else:
+            text = str(value)
+        cells.append(text.rjust(width) if _is_numeric(value) else text.ljust(width))
+    return "  ".join(cells).rstrip()
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Column widths adapt to content; floats print with two decimals.
+    """
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+
+    def cell_text(value: object) -> str:
+        return f"{value:.2f}" if isinstance(value, float) else str(value)
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(cell_text(value)))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

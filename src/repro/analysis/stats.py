@@ -1,0 +1,96 @@
+"""Robust statistics helpers for the §3 market analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "trimmed_values",
+    "pearson_kurtosis",
+    "histogram_fractions",
+    "fraction_within",
+    "mutual_information",
+]
+
+
+def trimmed_values(values: np.ndarray, fraction: float = 0.01) -> np.ndarray:
+    """Drop the top and bottom ``fraction`` quantiles of a sample."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("cannot trim an empty sample")
+    if not 0.0 <= fraction < 0.5:
+        raise ConfigurationError(f"trim fraction must be in [0, 0.5), got {fraction}")
+    if fraction == 0.0:
+        return arr
+    lo, hi = np.quantile(arr, [fraction, 1.0 - fraction])
+    kept = arr[(arr >= lo) & (arr <= hi)]
+    return kept if kept.size else arr
+
+
+def pearson_kurtosis(values: np.ndarray) -> float:
+    """Raw (Pearson) kurtosis: the fourth standardised moment.
+
+    A normal distribution scores 3.0. The paper's Figs. 6/7/10 report
+    this convention (their histograms annotate normal-like bulks with
+    kappa well above 3).
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size < 2:
+        raise ConfigurationError("kurtosis needs at least two samples")
+    mean = arr.mean()
+    std = arr.std()
+    if std == 0.0:
+        return 0.0
+    return float(np.mean(((arr - mean) / std) ** 4))
+
+
+def histogram_fractions(
+    values: np.ndarray, bin_edges: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram normalised to fractions of the total sample.
+
+    Returns ``(fractions, edges)``; out-of-range samples are excluded
+    from the bins but included in the denominator — matching how the
+    paper's Fig. 7/10 histograms annotate the percentage of samples
+    visible in the plotted range.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    counts, edges = np.histogram(arr, bins=np.asarray(bin_edges, dtype=float))
+    if arr.size == 0:
+        raise ConfigurationError("cannot histogram an empty sample")
+    return counts / arr.size, edges
+
+
+def fraction_within(values: np.ndarray, bound: float) -> float:
+    """Fraction of samples with absolute value at most ``bound``."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("empty sample")
+    return float(np.mean(np.abs(arr) <= bound))
+
+
+def mutual_information(x: np.ndarray, y: np.ndarray, n_bins: int = 24) -> float:
+    """Binned mutual information in nats (footnote 7/8's I_{x,y}).
+
+    The paper uses mutual information to confirm that the same-RTO vs
+    different-RTO split is even cleaner under a dependence measure that
+    sees non-linear relationships.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape or x.size == 0:
+        raise ConfigurationError("series must be equal-length and non-empty")
+    if n_bins < 2:
+        raise ConfigurationError("need at least 2 bins")
+    # Quantile bins give equal-mass marginals, robust to heavy tails.
+    x_edges = np.unique(np.quantile(x, np.linspace(0, 1, n_bins + 1)))
+    y_edges = np.unique(np.quantile(y, np.linspace(0, 1, n_bins + 1)))
+    joint, _, _ = np.histogram2d(x, y, bins=(x_edges, y_edges))
+    joint /= joint.sum()
+    px = joint.sum(axis=1, keepdims=True)
+    py = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = joint * np.log(joint / (px * py))
+    return float(np.nansum(terms))

@@ -1,0 +1,53 @@
+"""Energy substrate: the §5.1 cluster power model, §6.1 presets, the
+Fig. 1 fleet estimator, and §5.2 network-path energy accounting."""
+
+from repro.energy.fleet import (
+    DEFAULT_WHOLESALE_PRICE,
+    PAPER_FLEETS,
+    FleetAssumptions,
+    FleetEstimate,
+    annual_energy_mwh,
+    estimate_fleet,
+    google_search_energy_mwh,
+)
+from repro.energy.model import ClusterPowerModel, EnergyModelParams
+from repro.energy.params import (
+    FIG15_MODELS,
+    FULLY_ELASTIC,
+    GOOGLE_LIKE,
+    NAMED_MODELS,
+    NO_POWER_MANAGEMENT,
+    OPTIMISTIC_FUTURE,
+    STATE_OF_THE_ART,
+)
+from repro.energy.routing_energy import (
+    CISCO_GSR_12008,
+    RouterEnergyProfile,
+    incremental_path_energy_joules,
+    path_energy_joules,
+    relative_routing_overhead,
+)
+
+__all__ = [
+    "DEFAULT_WHOLESALE_PRICE",
+    "PAPER_FLEETS",
+    "FleetAssumptions",
+    "FleetEstimate",
+    "annual_energy_mwh",
+    "estimate_fleet",
+    "google_search_energy_mwh",
+    "ClusterPowerModel",
+    "EnergyModelParams",
+    "FIG15_MODELS",
+    "FULLY_ELASTIC",
+    "GOOGLE_LIKE",
+    "NAMED_MODELS",
+    "NO_POWER_MANAGEMENT",
+    "OPTIMISTIC_FUTURE",
+    "STATE_OF_THE_ART",
+    "CISCO_GSR_12008",
+    "RouterEnergyProfile",
+    "incremental_path_energy_joules",
+    "path_energy_joules",
+    "relative_routing_overhead",
+]

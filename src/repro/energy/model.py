@@ -1,0 +1,131 @@
+"""Cluster energy-consumption model (§5.1).
+
+The paper models a cluster's power draw as
+
+    P_cluster(u_t) = F(n) + V(u_t, n) + epsilon
+
+    F(n)      = n * (P_idle + (PUE - 1) * P_peak)
+    V(u_t, n) = n * (P_peak - P_idle) * (2*u_t - u_t^r)
+
+with ``n`` servers, utilization ``u_t`` in [0, 1], and r = 1.4 taken
+from Google's empirical fit [Fan et al. 2007]. The PUE term folds
+cooling and distribution overheads into the fixed component.
+
+The paper's key derived quantity is the **energy elasticity**
+``P_cluster(0) / P_cluster(1)`` — the idle-to-peak power ratio of a
+whole cluster — which §6.2 shows gates all achievable savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_HOUR, watt_seconds_to_mwh
+
+__all__ = ["EnergyModelParams", "ClusterPowerModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyModelParams:
+    """Parameters of the §5.1 power model.
+
+    Attributes
+    ----------
+    idle_fraction:
+        Idle server power as a fraction of peak (``P_idle / P_peak``).
+        0.0 models perfectly energy-proportional servers; ~0.65 is the
+        paper's "state of the art"; ~0.95 is no power management.
+    pue:
+        Power usage effectiveness; total facility power over IT power.
+        1.0 is an ideal facility, 2.0 the 2007 EPA-report average.
+    peak_power_watts:
+        Average peak draw of one server. The paper measures ~250 W at
+        Akamai; absolute value only matters for dollar figures, not for
+        percentage savings (§5.1 notes the ratio is what matters).
+    exponent:
+        The empirical ``r`` of the variable-power term (1.4 in the
+        Google study; 1.0 gives the linear variant).
+    correction_watts:
+        The additive empirical correction ``epsilon`` per cluster.
+    """
+
+    idle_fraction: float
+    pue: float
+    peak_power_watts: float = 250.0
+    exponent: float = 1.4
+    correction_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.idle_fraction <= 1.0:
+            raise ConfigurationError(f"idle_fraction must be in [0, 1], got {self.idle_fraction}")
+        if self.pue < 1.0:
+            raise ConfigurationError(f"PUE must be >= 1, got {self.pue}")
+        if self.peak_power_watts <= 0.0:
+            raise ConfigurationError("peak power must be positive")
+        if self.exponent < 1.0:
+            raise ConfigurationError(f"exponent must be >= 1, got {self.exponent}")
+
+    @property
+    def idle_power_watts(self) -> float:
+        """Idle draw of one server, watts."""
+        return self.idle_fraction * self.peak_power_watts
+
+    def describe(self) -> str:
+        """Short label like ``(65% idle, 1.3 PUE)`` used in Fig. 15."""
+        return f"({self.idle_fraction:.0%} idle, {self.pue:.1f} PUE)"
+
+
+class ClusterPowerModel:
+    """Power and energy of one cluster under the §5.1 model."""
+
+    def __init__(self, params: EnergyModelParams, n_servers: int) -> None:
+        if n_servers < 1:
+            raise ConfigurationError(f"cluster needs at least one server, got {n_servers}")
+        self._params = params
+        self._n = n_servers
+
+    @property
+    def params(self) -> EnergyModelParams:
+        return self._params
+
+    @property
+    def n_servers(self) -> int:
+        return self._n
+
+    def fixed_power_watts(self) -> float:
+        """F(n): load-independent power, including the PUE overhead."""
+        p = self._params
+        return self._n * (p.idle_power_watts + (p.pue - 1.0) * p.peak_power_watts)
+
+    def variable_power_watts(self, utilization: float | np.ndarray) -> float | np.ndarray:
+        """V(u, n): load-dependent power above idle."""
+        p = self._params
+        u = np.clip(utilization, 0.0, 1.0)
+        shape = 2.0 * u - np.power(u, p.exponent)
+        result = self._n * (p.peak_power_watts - p.idle_power_watts) * shape
+        return float(result) if np.isscalar(utilization) else result
+
+    def power_watts(self, utilization: float | np.ndarray) -> float | np.ndarray:
+        """Total cluster power at a given utilization."""
+        fixed = self.fixed_power_watts() + self._params.correction_watts
+        variable = self.variable_power_watts(utilization)
+        return fixed + variable
+
+    def energy_mwh(self, utilization: float | np.ndarray, duration_seconds: float) -> float | np.ndarray:
+        """Energy consumed over ``duration_seconds`` at a utilization."""
+        power = self.power_watts(utilization)
+        return watt_seconds_to_mwh(power * duration_seconds) if np.isscalar(power) else (
+            np.asarray(power) * duration_seconds / (1e6 * SECONDS_PER_HOUR)
+        )
+
+    def elasticity(self) -> float:
+        """``P_cluster(0) / P_cluster(1)`` — 0.0 is fully elastic.
+
+        §1: "A system with inelastic clusters is forced to always
+        consume energy everywhere, even in regions with high energy
+        prices."
+        """
+        return float(self.power_watts(0.0) / self.power_watts(1.0))

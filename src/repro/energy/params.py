@@ -1,0 +1,58 @@
+"""Named energy-model parameter presets used throughout the paper.
+
+§6.1 names four scenarios and Fig. 15 sweeps seven (idle%, PUE) pairs;
+both sets are provided here so experiments reference presets by name
+instead of scattering magic numbers.
+"""
+
+from __future__ import annotations
+
+from repro.energy.model import EnergyModelParams
+
+__all__ = [
+    "OPTIMISTIC_FUTURE",
+    "GOOGLE_LIKE",
+    "STATE_OF_THE_ART",
+    "NO_POWER_MANAGEMENT",
+    "FULLY_ELASTIC",
+    "NAMED_MODELS",
+    "FIG15_MODELS",
+]
+
+#: Fully energy-proportional servers in an ideal facility — the upper
+#: bound on what price-aware routing can capture.
+FULLY_ELASTIC = EnergyModelParams(idle_fraction=0.0, pue=1.0)
+
+#: §6.1 "optimistic future": proportional servers, 1.1 PUE facility.
+OPTIMISTIC_FUTURE = EnergyModelParams(idle_fraction=0.0, pue=1.1)
+
+#: §6.1 "cutting-edge/google": Google's published elasticity level.
+#: (§6.2 quotes 65% idle with 1.3 PUE when reading Fig. 15.)
+GOOGLE_LIKE = EnergyModelParams(idle_fraction=0.65, pue=1.3)
+
+#: §6.1 "state-of-the-art" commodity deployment.
+STATE_OF_THE_ART = EnergyModelParams(idle_fraction=0.65, pue=1.7)
+
+#: §6.1 "disabled power management": off-the-shelf server drawing ~95%
+#: of peak when idle, in a PUE-2.0 facility.
+NO_POWER_MANAGEMENT = EnergyModelParams(idle_fraction=0.95, pue=2.0)
+
+#: The named scenarios, keyed as the paper refers to them.
+NAMED_MODELS: dict[str, EnergyModelParams] = {
+    "fully-elastic": FULLY_ELASTIC,
+    "optimistic-future": OPTIMISTIC_FUTURE,
+    "google-like": GOOGLE_LIKE,
+    "state-of-the-art": STATE_OF_THE_ART,
+    "no-power-management": NO_POWER_MANAGEMENT,
+}
+
+#: The seven (idle fraction, PUE) pairs of Fig. 15's x-axis, in order.
+FIG15_MODELS: tuple[EnergyModelParams, ...] = (
+    EnergyModelParams(idle_fraction=0.00, pue=1.0),
+    EnergyModelParams(idle_fraction=0.00, pue=1.1),
+    EnergyModelParams(idle_fraction=0.25, pue=1.3),
+    EnergyModelParams(idle_fraction=0.33, pue=1.3),
+    EnergyModelParams(idle_fraction=0.33, pue=1.7),
+    EnergyModelParams(idle_fraction=0.65, pue=1.3),
+    EnergyModelParams(idle_fraction=0.65, pue=2.0),
+)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class. Subclasses distinguish configuration
+mistakes (bad parameters), data problems (malformed or inconsistent
+series/traces), and runtime simulation failures (infeasible
+allocations).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "SeriesAlignmentError",
+    "UnknownHubError",
+    "UnknownStateError",
+    "CapacityError",
+    "InfeasibleAllocationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or combination of parameters is invalid."""
+
+
+class DataError(ReproError):
+    """Input data is malformed, inconsistent, or out of range."""
+
+
+class SeriesAlignmentError(DataError):
+    """Two time series could not be aligned (different start/length/step)."""
+
+
+class UnknownHubError(DataError):
+    """A market hub code was not found in the hub registry."""
+
+    def __init__(self, code: str) -> None:
+        super().__init__(f"unknown market hub: {code!r}")
+        self.code = code
+
+
+class UnknownStateError(DataError):
+    """A US state code was not found in the state registry."""
+
+    def __init__(self, code: str) -> None:
+        super().__init__(f"unknown US state: {code!r}")
+        self.code = code
+
+
+class CapacityError(ReproError):
+    """A cluster was driven past its capacity."""
+
+
+class InfeasibleAllocationError(ReproError):
+    """No feasible assignment of demand to clusters exists.
+
+    Raised when total demand exceeds the combined capacity of all
+    candidate clusters, even after relaxing soft constraints.
+    """

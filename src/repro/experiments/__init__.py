@@ -1,0 +1,56 @@
+"""Per-figure experiment drivers.
+
+Each ``figNN_*`` module exposes ``run(...) -> FigureResult`` producing
+the rows/series the paper's corresponding table or figure reports, and
+a ``main()`` console entry that prints them. The registry maps figure
+ids to drivers for programmatic sweeps.
+"""
+
+from repro.experiments import (
+    fig01_fleet_costs,
+    fig03_daily_prices,
+    fig04_market_types,
+    fig05_window_sigma,
+    fig06_hub_stats,
+    fig07_hourly_change,
+    fig08_correlation,
+    fig09_differential_series,
+    fig10_differential_hist,
+    fig11_monthly_evolution,
+    fig12_hour_of_day,
+    fig13_durations,
+    fig14_traffic,
+    fig15_elasticity_savings,
+    fig16_cost_vs_distance,
+    fig17_distance_profile,
+    fig18_longrun_cost,
+    fig19_per_cluster,
+    fig20_reaction_delay,
+)
+from repro.experiments.common import FigureResult
+
+#: Figure id -> driver module. fig02 is the RTO map (Fig. 2), realised
+#: as the static registries in repro.markets.rto / repro.markets.hubs.
+REGISTRY = {
+    "fig01": fig01_fleet_costs,
+    "fig03": fig03_daily_prices,
+    "fig04": fig04_market_types,
+    "fig05": fig05_window_sigma,
+    "fig06": fig06_hub_stats,
+    "fig07": fig07_hourly_change,
+    "fig08": fig08_correlation,
+    "fig09": fig09_differential_series,
+    "fig10": fig10_differential_hist,
+    "fig11": fig11_monthly_evolution,
+    "fig12": fig12_hour_of_day,
+    "fig13": fig13_durations,
+    "fig14": fig14_traffic,
+    "fig15": fig15_elasticity_savings,
+    "fig16": fig16_cost_vs_distance,
+    "fig17": fig17_distance_profile,
+    "fig18": fig18_longrun_cost,
+    "fig19": fig19_per_cluster,
+    "fig20": fig20_reaction_delay,
+}
+
+__all__ = ["FigureResult", "REGISTRY"]

@@ -1,0 +1,51 @@
+"""Console entry: run experiment drivers by figure id.
+
+Usage::
+
+    python -m repro.experiments fig06 fig08      # specific figures
+    python -m repro.experiments --list           # show available ids
+    python -m repro.experiments --all            # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures from the paper.",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids, e.g. fig06 fig15")
+    parser.add_argument("--list", action="store_true", help="list available figure ids")
+    parser.add_argument("--all", action="store_true", help="run every driver (slow)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for figure_id, module in sorted(REGISTRY.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{figure_id}  {doc}")
+        return 0
+
+    chosen = sorted(REGISTRY) if args.all else args.figures
+    if not chosen:
+        parser.print_help()
+        return 2
+    unknown = [f for f in chosen if f not in REGISTRY]
+    if unknown:
+        print(f"unknown figure ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
+        return 2
+    for figure_id in chosen:
+        result = REGISTRY[figure_id].run()
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

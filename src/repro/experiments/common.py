@@ -1,0 +1,190 @@
+"""Shared machinery for the per-figure experiment drivers.
+
+Experiments share one default market data set (29 hubs, Jan 2006 -
+Mar 2009, the paper's window), one 24-day turn-of-year trace, one
+Akamai-like deployment, and the §6.1 synthetic long workload derived
+from the trace. Everything heavy is memoised so the twenty drivers and
+their benchmarks never regenerate inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.energy.model import EnergyModelParams
+from repro.markets.calendar import HourlyCalendar
+from repro.markets.generator import MarketConfig, MarketDataset, generate_market
+from repro.routing.akamai import BaselineProximityRouter
+from repro.routing.base import RoutingProblem
+from repro.routing.price import PriceConsciousRouter
+from repro.routing.static import StaticSingleHubRouter, cheapest_cluster_index
+from repro.sim.engine import SimulationOptions, simulate
+from repro.sim.results import SimulationResult
+from repro.traffic.clusters import akamai_like_deployment
+from repro.traffic.synthetic import make_turn_of_year_trace
+from repro.traffic.trace import HourOfWeekWorkload, TrafficTrace
+
+__all__ = [
+    "DEFAULT_SEED",
+    "FigureResult",
+    "default_dataset",
+    "default_problem",
+    "trace_24day",
+    "baseline_24day",
+    "caps_24day",
+    "long_trace",
+    "baseline_long",
+    "price_run_24day",
+    "price_run_long",
+    "static_run_long",
+]
+
+DEFAULT_SEED = 2009
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """Output of one experiment driver.
+
+    ``rows``/``headers`` carry the table the paper prints; ``series``
+    carries plottable line data (x -> y arrays) for figure-shaped
+    results; ``notes`` records substitutions or deviations worth
+    surfacing next to the numbers.
+    """
+
+    figure_id: str
+    title: str
+    headers: tuple[str, ...] = ()
+    rows: tuple[tuple, ...] = ()
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+
+    def to_text(self) -> str:
+        from repro.analysis.report import render_table
+
+        parts = []
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows, title=f"{self.figure_id}: {self.title}"))
+        else:
+            parts.append(f"{self.figure_id}: {self.title}")
+        for name, values in self.series.items():
+            arr = np.asarray(values)
+            parts.append(f"series {name}: n={arr.size} min={arr.min():.2f} max={arr.max():.2f}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+@lru_cache(maxsize=2)
+def default_dataset(seed: int = DEFAULT_SEED) -> MarketDataset:
+    """The 39-month, 29-hub market data set."""
+    return generate_market(MarketConfig(seed=seed))
+
+
+@lru_cache(maxsize=1)
+def default_problem() -> RoutingProblem:
+    """Akamai-like nine-cluster deployment with distances."""
+    return RoutingProblem(akamai_like_deployment())
+
+
+@lru_cache(maxsize=2)
+def trace_24day(seed: int = 1224) -> TrafficTrace:
+    """The five-minute turn-of-year trace."""
+    return make_turn_of_year_trace(seed=seed)
+
+
+@lru_cache(maxsize=2)
+def baseline_24day(seed: int = DEFAULT_SEED) -> SimulationResult:
+    """Baseline ("Akamai's original allocation") over the 24-day trace."""
+    problem = default_problem()
+    return simulate(
+        trace_24day(), default_dataset(seed), problem, BaselineProximityRouter(problem)
+    )
+
+
+def caps_24day(seed: int = DEFAULT_SEED) -> np.ndarray:
+    """Baseline 95th percentiles: the 95/5 caps for the 24-day runs."""
+    return baseline_24day(seed).percentiles_95()
+
+
+@lru_cache(maxsize=2)
+def long_trace(seed: int = DEFAULT_SEED) -> TrafficTrace:
+    """§6.3's synthetic hourly workload expanded over all 39 months."""
+    workload = HourOfWeekWorkload.from_trace(trace_24day())
+    calendar = default_dataset(seed).calendar
+    return workload.expand(HourlyCalendar(calendar.start, calendar.n_hours))
+
+
+@lru_cache(maxsize=2)
+def baseline_long(seed: int = DEFAULT_SEED) -> SimulationResult:
+    """Akamai-like baseline over the 39-month synthetic workload."""
+    problem = default_problem()
+    return simulate(
+        long_trace(seed), default_dataset(seed), problem, BaselineProximityRouter(problem)
+    )
+
+
+@lru_cache(maxsize=64)
+def price_run_24day(
+    threshold_km: float, follow_95_5: bool, seed: int = DEFAULT_SEED
+) -> SimulationResult:
+    """Price-conscious run over the 24-day trace (memoised per config)."""
+    problem = default_problem()
+    router = PriceConsciousRouter(problem, distance_threshold_km=threshold_km)
+    options = SimulationOptions(
+        bandwidth_caps=caps_24day(seed) if follow_95_5 else None
+    )
+    return simulate(trace_24day(), default_dataset(seed), problem, router, options)
+
+
+@lru_cache(maxsize=128)
+def price_run_long(
+    threshold_km: float,
+    follow_95_5: bool,
+    reaction_delay_hours: int = 1,
+    seed: int = DEFAULT_SEED,
+) -> SimulationResult:
+    """Price-conscious run over the 39-month workload (memoised)."""
+    problem = default_problem()
+    router = PriceConsciousRouter(problem, distance_threshold_km=threshold_km)
+    caps = baseline_long(seed).percentiles_95() if follow_95_5 else None
+    options = SimulationOptions(
+        reaction_delay_hours=reaction_delay_hours, bandwidth_caps=caps
+    )
+    return simulate(long_trace(seed), default_dataset(seed), problem, router, options)
+
+
+@lru_cache(maxsize=4)
+def static_run_long(seed: int = DEFAULT_SEED) -> SimulationResult:
+    """The §6.3 static alternative: every server at the cheapest hub.
+
+    Uses oracle mean prices over the horizon to pick the hub, relaxes
+    per-site capacity (the fleet notionally relocates), and accounts
+    energy with the whole fleet's servers at that one site.
+    """
+    problem = default_problem()
+    dataset = default_dataset(seed)
+    deployment = problem.deployment
+    hub_cols = [dataset.hub_column(code) for code in deployment.hub_codes]
+    mean_prices = dataset.price_matrix[:, hub_cols].mean(axis=0)
+    target = cheapest_cluster_index(problem, mean_prices)
+    router = StaticSingleHubRouter(problem, target)
+    total_servers = sum(c.n_servers for c in deployment.clusters)
+    counts = np.zeros(deployment.n_clusters)
+    counts[target] = total_servers
+    return simulate(
+        long_trace(seed),
+        dataset,
+        problem,
+        router,
+        SimulationOptions(relax_capacity=True),
+        server_counts=counts,
+    )
+
+
+def energy_label(params: EnergyModelParams) -> str:
+    """Fig. 15 x-axis label for an energy model."""
+    return params.describe()

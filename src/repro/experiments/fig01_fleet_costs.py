@@ -1,0 +1,47 @@
+"""Fig. 1 — estimated annual electricity costs for large fleets."""
+
+from __future__ import annotations
+
+from repro.energy.fleet import (
+    DEFAULT_WHOLESALE_PRICE,
+    PAPER_FLEETS,
+    estimate_fleet,
+    google_search_energy_mwh,
+)
+from repro.experiments.common import FigureResult
+
+__all__ = ["run"]
+
+
+def run(price_per_mwh: float = DEFAULT_WHOLESALE_PRICE) -> FigureResult:
+    """Reproduce the Fig. 1 table from the footnote-3 formula."""
+    rows = []
+    for assumptions in PAPER_FLEETS:
+        est = estimate_fleet(assumptions, price_per_mwh)
+        rows.append(
+            (
+                est.name,
+                f"{est.n_servers // 1000}K",
+                round(est.annual_mwh / 1e5, 2),
+                round(est.annual_cost / 1e6, 1),
+            )
+        )
+    search_mwh = google_search_energy_mwh()
+    return FigureResult(
+        figure_id="fig01",
+        title="Estimated annual electricity cost @ $%.0f/MWh" % price_per_mwh,
+        headers=("Company", "Servers", "Energy (1e5 MWh)", "Cost ($M)"),
+        rows=tuple(rows),
+        notes=(
+            f"Google search cross-check: 1.2B searches/day @ 1 kJ = "
+            f"{search_mwh / 1e5:.2f}e5 MWh/yr (paper quotes ~1e5)",
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - console entry
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,55 @@
+"""Fig. 11 — monthly evolution of the PaloAlto-Virginia differential.
+
+Monthly medians and inter-quartile ranges over the 39 months: sustained
+asymmetries persist for months before reversing, and the spread can
+double month to month.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.differentials import monthly_profile
+from repro.experiments.common import FigureResult, default_dataset
+
+__all__ = ["run"]
+
+
+def run(seed: int = 2009, pair: tuple[str, str] = ("NP15", "DOM")) -> FigureResult:
+    dataset = default_dataset(seed)
+    diff = dataset.real_time(pair[0]) - dataset.real_time(pair[1])
+    profile = monthly_profile(diff)
+    rows = tuple(
+        (
+            f"{int(p['year'])}-{int(p['month']):02d}",
+            round(p["median"], 1),
+            round(p["q25"], 1),
+            round(p["q75"], 1),
+            round(p["q75"] - p["q25"], 1),
+        )
+        for p in profile
+    )
+    medians = np.array([p["median"] for p in profile])
+    iqrs = np.array([p["q75"] - p["q25"] for p in profile])
+    flips = int(np.sum(np.diff(np.sign(medians[np.abs(medians) > 1.0])) != 0))
+    return FigureResult(
+        figure_id="fig11",
+        title=f"Monthly {pair[0]}-minus-{pair[1]} differential (median/IQR)",
+        headers=("Month", "Median", "Q25", "Q75", "IQR"),
+        rows=rows,
+        series={"monthly_median": medians, "monthly_iqr": iqrs},
+        notes=(
+            f"median sign flips across months: {flips} (sustained "
+            "asymmetries exist and reverse)",
+            f"max month-over-month IQR ratio: "
+            f"{float(np.max(iqrs[1:] / np.maximum(iqrs[:-1], 1e-9))):.2f}",
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Extensions from the paper's §7 (market participation) and §8
+(future work): demand response, carbon-aware and weather-aware
+routing."""
+
+from repro.ext.carbon import (
+    EMISSION_FACTORS,
+    RTO_GENERATION_MIX,
+    CarbonConsciousRouter,
+    GenerationMix,
+    carbon_intensity_matrix,
+)
+from repro.ext.contracts import (
+    BlendedPlan,
+    FixedPricePlan,
+    ProvisionedCapacityPlan,
+    WholesaleIndexedPlan,
+    bill,
+    compare_plans,
+)
+from repro.ext.demand_response import (
+    DemandResponseEvent,
+    DemandResponseOutcome,
+    DemandResponseProgram,
+    evaluate_demand_response,
+)
+from repro.ext.weather import CoolingModel, TemperatureModel, effective_price_matrix
+
+__all__ = [
+    "EMISSION_FACTORS",
+    "RTO_GENERATION_MIX",
+    "CarbonConsciousRouter",
+    "BlendedPlan",
+    "FixedPricePlan",
+    "ProvisionedCapacityPlan",
+    "WholesaleIndexedPlan",
+    "bill",
+    "compare_plans",
+    "GenerationMix",
+    "carbon_intensity_matrix",
+    "DemandResponseEvent",
+    "DemandResponseOutcome",
+    "DemandResponseProgram",
+    "evaluate_demand_response",
+    "CoolingModel",
+    "TemperatureModel",
+    "effective_price_matrix",
+]

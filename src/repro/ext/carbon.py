@@ -1,0 +1,138 @@
+"""Carbon-aware routing (§8, "Environmental Cost").
+
+The paper's future-work section proposes replacing the dollar cost
+function with an environmental one: the carbon intensity of a grid
+region varies hourly with the dispatched generation mix (is the wind
+blowing, are peakers running), so request routing can chase clean
+energy exactly the way it chases cheap energy.
+
+We model per-RTO generation mixes (coal / gas / nuclear / hydro / wind,
+approximating §2.2's regional profiles), an hourly dispatch that brings
+fossil peakers online as the price level rises, and the resulting
+carbon intensity (kg CO2 per MWh). A :class:`CarbonConsciousRouter` is
+then just the price-conscious optimizer reading intensity instead of
+price — which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.markets.generator import MarketDataset
+from repro.markets.rto import RTO
+from repro.routing.base import RoutingProblem
+from repro.routing.price import PriceConsciousRouter
+
+__all__ = [
+    "GenerationMix",
+    "RTO_GENERATION_MIX",
+    "EMISSION_FACTORS",
+    "carbon_intensity_matrix",
+    "CarbonConsciousRouter",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationMix:
+    """Baseload/flexible generation shares of one region (sum to 1)."""
+
+    coal: float
+    gas: float
+    nuclear: float
+    hydro: float
+    wind: float
+
+    def __post_init__(self) -> None:
+        total = self.coal + self.gas + self.nuclear + self.hydro + self.wind
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"generation shares must sum to 1, got {total}")
+
+
+#: Approximate 2007-era generation mixes per RTO (§2.2 notes the US
+#: averages ~50% coal / 20% gas / 20% nuclear / 6% hydro, Texas ~86%
+#: gas+coal, the Northwest hydro-dominated).
+RTO_GENERATION_MIX: dict[RTO, GenerationMix] = {
+    RTO.ISONE: GenerationMix(coal=0.12, gas=0.42, nuclear=0.28, hydro=0.12, wind=0.06),
+    RTO.NYISO: GenerationMix(coal=0.14, gas=0.40, nuclear=0.28, hydro=0.16, wind=0.02),
+    RTO.PJM: GenerationMix(coal=0.54, gas=0.12, nuclear=0.30, hydro=0.02, wind=0.02),
+    RTO.MISO: GenerationMix(coal=0.65, gas=0.12, nuclear=0.15, hydro=0.02, wind=0.06),
+    RTO.CAISO: GenerationMix(coal=0.06, gas=0.48, nuclear=0.16, hydro=0.26, wind=0.04),
+    RTO.ERCOT: GenerationMix(coal=0.36, gas=0.50, nuclear=0.10, hydro=0.00, wind=0.04),
+}
+
+#: Lifecycle-ish emission factors, kg CO2 per MWh generated.
+EMISSION_FACTORS: dict[str, float] = {
+    "coal": 950.0,
+    "gas": 450.0,
+    "nuclear": 12.0,
+    "hydro": 10.0,
+    "wind": 11.0,
+}
+
+
+def _mix_intensity(mix: GenerationMix) -> tuple[float, float]:
+    """(baseload intensity, marginal/peaker intensity) of a mix."""
+    base = (
+        mix.coal * EMISSION_FACTORS["coal"]
+        + mix.gas * EMISSION_FACTORS["gas"]
+        + mix.nuclear * EMISSION_FACTORS["nuclear"]
+        + mix.hydro * EMISSION_FACTORS["hydro"]
+        + mix.wind * EMISSION_FACTORS["wind"]
+    )
+    # Peaking capacity is overwhelmingly gas (§2.2: "When demand rises,
+    # additional resources, such as natural gas turbines, need to be
+    # activated"), except in coal-heavy regions where older coal ramps.
+    marginal = 0.75 * EMISSION_FACTORS["gas"] + 0.25 * mix.coal * EMISSION_FACTORS["coal"]
+    return base, marginal
+
+
+def carbon_intensity_matrix(
+    dataset: MarketDataset, wind_sigma: float = 0.25, seed: int = 4242
+) -> np.ndarray:
+    """Hourly carbon intensity per hub, kg CO2/MWh, aligned to prices.
+
+    Intensity blends the region's baseload mix with its marginal
+    (peaker) mix according to how elevated the hub's price is relative
+    to its own mean — high prices mean peakers are dispatched. An
+    hourly wind-output jitter modulates the clean share (§8: "is the
+    wind blowing").
+    """
+    prices = dataset.price_matrix
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 8]))
+    out = np.empty_like(prices)
+    for j, hub in enumerate(dataset.hubs):
+        mix = RTO_GENERATION_MIX[hub.rto]
+        base, marginal = _mix_intensity(mix)
+        level = prices[:, j] / max(1e-9, prices[:, j].mean())
+        # 0 at/below mean price -> pure baseload; saturates at 2x mean.
+        peaker_share = np.clip((level - 1.0) / 1.0, 0.0, 1.0) * 0.5
+        wind = 1.0 + wind_sigma * (rng.random(prices.shape[0]) - 0.5) * 2.0
+        clean_adjust = 1.0 - mix.wind * (wind - 1.0)
+        out[:, j] = (base * (1.0 - peaker_share) + marginal * peaker_share) * clean_adjust
+    return np.maximum(1.0, out)
+
+
+class CarbonConsciousRouter(PriceConsciousRouter):
+    """Route to the lowest-carbon cluster within a distance threshold.
+
+    Identical machinery to the price optimizer — §8's observation is
+    that the cost function is pluggable. ``allocate`` must be fed
+    carbon intensities (kg/MWh) in place of prices; the "price
+    threshold" becomes an intensity threshold (kg CO2/MWh) below which
+    differences are ignored.
+    """
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        distance_threshold_km: float,
+        intensity_threshold: float = 25.0,
+    ) -> None:
+        super().__init__(
+            problem,
+            distance_threshold_km=distance_threshold_km,
+            price_threshold=intensity_threshold,
+        )

@@ -1,0 +1,160 @@
+"""Electricity billing structures (§7, "Actual Electricity Bills").
+
+The simulations assume bills indexed to hourly wholesale prices. §7
+discusses how real contracts change the picture: fixed-price deals
+hedge away the volatility the optimizer exploits; co-location tenants
+(like Akamai) pay for *provisioned* capacity, not consumption, and see
+no routing savings at all until contracts change; wholesale-indexed
+retail plans (e.g. Commonwealth Edison's Real-Time Pricing program)
+pass hourly prices through and preserve the full opportunity.
+
+These plan models price the *same* simulated consumption under each
+structure, quantifying "most current contractual arrangements would
+reduce the potential savings below what our analysis indicates".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.model import EnergyModelParams
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = [
+    "WholesaleIndexedPlan",
+    "FixedPricePlan",
+    "BlendedPlan",
+    "ProvisionedCapacityPlan",
+    "bill",
+    "compare_plans",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WholesaleIndexedPlan:
+    """Hourly consumption billed at wholesale plus a retail adder.
+
+    The ComEd-RTP-style plan: the structure the paper's analysis
+    assumes, available even to small consumers.
+    """
+
+    adder_per_mwh: float = 0.0
+
+    def cost(self, energy_mwh: np.ndarray, prices: np.ndarray, result: SimulationResult) -> float:
+        del result
+        return float(np.sum(energy_mwh * (prices + self.adder_per_mwh)))
+
+
+@dataclass(frozen=True, slots=True)
+class FixedPricePlan:
+    """All consumption at one negotiated rate: fully hedged.
+
+    Under this plan the *operator* sees zero benefit from price-aware
+    routing (the provider pockets any load-shape value).
+    """
+
+    rate_per_mwh: float = 65.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_mwh <= 0:
+            raise ConfigurationError("fixed rate must be positive")
+
+    def cost(self, energy_mwh: np.ndarray, prices: np.ndarray, result: SimulationResult) -> float:
+        del prices, result
+        return float(np.sum(energy_mwh) * self.rate_per_mwh)
+
+
+@dataclass(frozen=True, slots=True)
+class BlendedPlan:
+    """A hedged fraction at fixed price, the rest wholesale-indexed.
+
+    The common middle ground: block-and-index contracts. The indexed
+    tail is where routing savings survive.
+    """
+
+    hedged_fraction: float = 0.7
+    fixed_rate_per_mwh: float = 65.0
+    adder_per_mwh: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hedged_fraction <= 1.0:
+            raise ConfigurationError("hedged fraction must be in [0, 1]")
+
+    def cost(self, energy_mwh: np.ndarray, prices: np.ndarray, result: SimulationResult) -> float:
+        del result
+        fixed = self.hedged_fraction * float(np.sum(energy_mwh)) * self.fixed_rate_per_mwh
+        indexed = (1.0 - self.hedged_fraction) * float(
+            np.sum(energy_mwh * (prices + self.adder_per_mwh))
+        )
+        return fixed + indexed
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisionedCapacityPlan:
+    """Co-location billing: dollars per provisioned kW-month.
+
+    "Most co-location centers charge by the rack, each rack having a
+    maximum power rating... a company like Akamai pays for provisioned
+    power, and not for actual power used." Consumption — and therefore
+    routing — does not move this bill at all.
+    """
+
+    rate_per_kw_month: float = 150.0
+    provisioned_watts_per_server: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_kw_month <= 0 or self.provisioned_watts_per_server <= 0:
+            raise ConfigurationError("rates must be positive")
+
+    def cost(self, energy_mwh: np.ndarray, prices: np.ndarray, result: SimulationResult) -> float:
+        del energy_mwh, prices
+        provisioned_kw = float(result.server_counts.sum()) * (
+            self.provisioned_watts_per_server / 1000.0
+        )
+        months = result.n_steps * result.step_seconds / SECONDS_PER_HOUR / 730.0
+        return provisioned_kw * self.rate_per_kw_month * months
+
+
+def bill(result: SimulationResult, params: EnergyModelParams, plan) -> float:
+    """Total bill for a simulated run under a billing plan."""
+    energy = result.energy_mwh(params)
+    return plan.cost(energy, result.paid_prices, result)
+
+
+def compare_plans(
+    baseline: SimulationResult,
+    priced: SimulationResult,
+    params: EnergyModelParams,
+    plans: dict[str, object] | None = None,
+) -> list[dict[str, float | str]]:
+    """Savings surviving each billing structure.
+
+    For every plan: the baseline bill, the price-aware-routing bill,
+    and the fractional saving. Wholesale-indexed plans preserve the
+    full opportunity; fixed-price and provisioned-capacity plans
+    reduce it to (near) zero — §7's conclusion, in numbers.
+    """
+    chosen = plans or {
+        "wholesale-indexed": WholesaleIndexedPlan(adder_per_mwh=2.0),
+        "blended (70% hedged)": BlendedPlan(),
+        "fixed-price": FixedPricePlan(),
+        "provisioned capacity": ProvisionedCapacityPlan(),
+    }
+    rows: list[dict[str, float | str]] = []
+    for name, plan in chosen.items():
+        base_bill = bill(baseline, params, plan)
+        priced_bill = bill(priced, params, plan)
+        saving = 0.0 if base_bill == 0 else 1.0 - priced_bill / base_bill
+        rows.append(
+            {
+                "plan": name,
+                "baseline_bill": base_bill,
+                "priced_bill": priced_bill,
+                "savings_fraction": saving,
+            }
+        )
+    return rows

@@ -1,0 +1,175 @@
+"""Demand response and negawatt markets (§7, "Selling Flexibility").
+
+A geo-distributed system with elastic clusters can *sell* its ability
+to shed load at a location: when the grid is stressed, the operator
+reroutes requests away and is compensated for the negawatts. §7 argues
+this works even under fixed-price contracts and that barriers to entry
+are low (a few racks per location suffice).
+
+This module models a triggered demand-response program:
+
+* events are declared at a hub when its real-time price crosses a
+  stress threshold (a proxy for the grid operator's reliability call),
+* a participating cluster curtails to a target utilization by shifting
+  load to other clusters (the rerouting the system already does),
+* compensation is paid per MWh of *avoided* consumption, measured
+  against the cluster's pre-event baseline load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.model import EnergyModelParams
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+__all__ = ["DemandResponseProgram", "DemandResponseEvent", "DemandResponseOutcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class DemandResponseProgram:
+    """Terms of a triggered demand-response enrolment.
+
+    Attributes
+    ----------
+    trigger_price:
+        Real-time price ($/MWh) above which the grid declares an event
+        at a hub.
+    compensation_per_mwh:
+        Payment per MWh of curtailed consumption. DR programs typically
+        pay at or above peak wholesale rates.
+    max_events_per_cluster:
+        Cap on events a site can be called for in the horizon
+        (programs limit call frequency).
+    min_event_hours:
+        Minimum consecutive-hour duration of an event.
+    """
+
+    trigger_price: float = 200.0
+    compensation_per_mwh: float = 250.0
+    max_events_per_cluster: int = 40
+    min_event_hours: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trigger_price <= 0 or self.compensation_per_mwh <= 0:
+            raise ConfigurationError("prices must be positive")
+        if self.max_events_per_cluster < 1 or self.min_event_hours < 1:
+            raise ConfigurationError("event limits must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class DemandResponseEvent:
+    """One declared curtailment event."""
+
+    cluster_label: str
+    start_step: int
+    n_steps: int
+    curtailed_mwh: float
+    revenue: float
+
+
+@dataclass(frozen=True, slots=True)
+class DemandResponseOutcome:
+    """Aggregate result of participating in a DR program."""
+
+    events: tuple[DemandResponseEvent, ...]
+    total_curtailed_mwh: float
+    total_revenue: float
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+
+def _find_runs(mask: np.ndarray, min_length: int) -> list[tuple[int, int]]:
+    """(start, length) of True runs at least ``min_length`` long."""
+    runs: list[tuple[int, int]] = []
+    start = None
+    for i, value in enumerate(mask):
+        if value and start is None:
+            start = i
+        elif not value and start is not None:
+            if i - start >= min_length:
+                runs.append((start, i - start))
+            start = None
+    if start is not None and len(mask) - start >= min_length:
+        runs.append((start, len(mask) - start))
+    return runs
+
+
+def evaluate_demand_response(
+    result: SimulationResult,
+    params: EnergyModelParams,
+    program: DemandResponseProgram | None = None,
+    curtail_to_utilization: float = 0.05,
+    suspend_servers: bool = True,
+) -> DemandResponseOutcome:
+    """Estimate DR revenue a routing run could have collected.
+
+    For every price-stress event at a cluster's hub, the avoided
+    energy is the difference between the cluster's actual consumption
+    and its consumption at the curtailed operating point. Revenue is
+    avoided MWh times the program rate.
+
+    With ``suspend_servers`` (the default), curtailment powers down
+    machines — §7: operators "can quickly and precipitously reduce
+    power usage at a location (by suspending servers, and routing
+    requests elsewhere)" — so the whole cluster, fixed power included,
+    scales down to the curtail fraction. This is what makes DR
+    valuable even for clusters with poor steady-state elasticity.
+    Without it, only the §5.1 variable term is shed.
+
+    This is an upper-bound estimate in the paper's spirit: it assumes
+    the rerouted load lands in unconstrained remote capacity, and it
+    does not debit the (cheaper) energy consumed at the absorbing
+    sites.
+    """
+    prog = program or DemandResponseProgram()
+    if not 0.0 <= curtail_to_utilization <= 1.0:
+        raise ConfigurationError("curtail target must be in [0, 1]")
+
+    utilization = result.utilization()
+    energy = result.energy_mwh(params)
+    events: list[DemandResponseEvent] = []
+
+    step_hours = result.step_seconds / 3600.0
+    for c, label in enumerate(result.cluster_labels):
+        stressed = result.paid_prices[:, c] >= prog.trigger_price
+        runs = _find_runs(stressed, max(1, int(prog.min_event_hours / step_hours)))
+        runs = runs[: prog.max_events_per_cluster]
+        for start, length in runs:
+            stop = start + length
+            # Energy at the curtailed operating point, same model.
+            p_idle = params.idle_power_watts
+            p_peak = params.peak_power_watts
+            fixed = p_idle + (params.pue - 1.0) * p_peak
+            n_servers = result.server_counts[c]
+            if suspend_servers:
+                # Keep only the fraction of machines needed for the
+                # residual load, at full utilization; the rest are off.
+                active = curtail_to_utilization * n_servers
+                watts = active * (fixed + (p_peak - p_idle))
+            else:
+                curtailed_u = np.full(length, curtail_to_utilization)
+                shape = 2.0 * curtailed_u - curtailed_u**params.exponent
+                watts = n_servers * (fixed + (p_peak - p_idle) * shape)
+            floor_mwh = np.asarray(watts) * result.step_seconds / 3.6e9
+            avoided = np.maximum(0.0, energy[start:stop, c] - floor_mwh)
+            curtailed = float(avoided.sum())
+            if curtailed <= 0.0:
+                continue
+            events.append(
+                DemandResponseEvent(
+                    cluster_label=label,
+                    start_step=start,
+                    n_steps=length,
+                    curtailed_mwh=curtailed,
+                    revenue=curtailed * prog.compensation_per_mwh,
+                )
+            )
+    total = sum(e.curtailed_mwh for e in events)
+    revenue = sum(e.revenue for e in events)
+    return DemandResponseOutcome(tuple(events), total, revenue)

@@ -1,0 +1,113 @@
+"""Weather differentials and free-air cooling (§8).
+
+Data centers spend up to 25% of their energy on cooling; when the
+outside air is cold enough, economizers displace the chillers and the
+facility's effective PUE drops. Ambient temperatures differ across the
+country at any instant, so routing toward *cold* sites saves energy —
+and unlike price-chasing, it reduces joules, not just dollars.
+
+We model per-hub ambient temperature (seasonal + diurnal + weather
+noise) and a PUE that degrades linearly between the free-cooling
+threshold and a hot limit. A :class:`WeatherAwareCostModel` then
+exposes an *effective cost* matrix (price x PUE-multiplier) that the
+standard optimizer can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.markets.calendar import HourlyCalendar
+from repro.markets.generator import MarketDataset
+from repro.markets.hubs import Hub
+from repro.markets.model import ar1_filter
+
+__all__ = ["TemperatureModel", "CoolingModel", "effective_price_matrix"]
+
+
+@dataclass(frozen=True, slots=True)
+class TemperatureModel:
+    """Synthetic hourly ambient temperature for a hub, degrees C.
+
+    Latitude sets the annual mean and swing; a diurnal cycle and an
+    AR(1) weather system complete the signal. Coastal moderation is
+    approximated by damping swings for far-west longitudes.
+    """
+
+    annual_mean_at_equator: float = 27.0
+    mean_lapse_per_degree_lat: float = 0.45
+    seasonal_swing: float = 12.0
+    diurnal_swing: float = 4.0
+    weather_sigma: float = 3.5
+
+    def series(self, calendar: HourlyCalendar, hub: Hub, rng: np.random.Generator) -> np.ndarray:
+        """Hourly temperatures aligned to the calendar."""
+        mean = self.annual_mean_at_equator - self.mean_lapse_per_degree_lat * hub.location.lat
+        coastal = 0.7 if hub.location.lon < -115.0 else 1.0
+        yf = calendar.year_fraction
+        seasonal = -self.seasonal_swing * coastal * np.cos(2 * np.pi * (yf - 0.05))
+        local = calendar.local_hour_of_day(hub.utc_offset_hours).astype(float)
+        diurnal = -self.diurnal_swing * np.cos(2 * np.pi * (local - 15.0) / 24.0)
+        weather = ar1_filter(rng.standard_normal(calendar.n_hours), 0.995, self.weather_sigma)
+        return mean + seasonal + diurnal + weather
+
+
+@dataclass(frozen=True, slots=True)
+class CoolingModel:
+    """Temperature-dependent facility overhead.
+
+    Below ``free_cooling_max_c`` the facility runs on outside air at
+    ``pue_free``; above ``chiller_max_c`` it needs full mechanical
+    cooling at ``pue_mechanical``; between the two, overhead
+    interpolates linearly.
+    """
+
+    free_cooling_max_c: float = 15.0
+    chiller_max_c: float = 30.0
+    pue_free: float = 1.12
+    pue_mechanical: float = 1.55
+
+    def __post_init__(self) -> None:
+        if self.chiller_max_c <= self.free_cooling_max_c:
+            raise ConfigurationError("chiller threshold must exceed free-cooling threshold")
+        if not 1.0 <= self.pue_free <= self.pue_mechanical:
+            raise ConfigurationError("need 1 <= pue_free <= pue_mechanical")
+
+    def pue(self, temperature_c: np.ndarray) -> np.ndarray:
+        """Effective PUE at given ambient temperatures."""
+        t = np.asarray(temperature_c, dtype=float)
+        frac = np.clip(
+            (t - self.free_cooling_max_c) / (self.chiller_max_c - self.free_cooling_max_c),
+            0.0,
+            1.0,
+        )
+        return self.pue_free + frac * (self.pue_mechanical - self.pue_free)
+
+
+def effective_price_matrix(
+    dataset: MarketDataset,
+    temperature: TemperatureModel | None = None,
+    cooling: CoolingModel | None = None,
+    seed: int = 1515,
+) -> np.ndarray:
+    """Cooling-adjusted cost matrix: price times normalised PUE.
+
+    A cluster's marginal dollar cost per unit of useful work scales
+    with both its hub price and its current facility overhead, so the
+    joint optimizer should read ``price * pue / mean_pue``. Routing on
+    this matrix chases cheap *and* cold locations (§8's suggestion
+    that both dollars and joules can fall).
+    """
+    temp_model = temperature or TemperatureModel()
+    cool_model = cooling or CoolingModel()
+    calendar = dataset.calendar
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 16]))
+    out = np.empty_like(dataset.price_matrix)
+    for j, hub in enumerate(dataset.hubs):
+        temps = temp_model.series(calendar, hub, rng)
+        pue = cool_model.pue(temps)
+        out[:, j] = dataset.price_matrix[:, j] * pue / cool_model.pue_mechanical
+    return out

@@ -1,0 +1,29 @@
+"""Geographic substrate: coordinates, US states, weighted distances."""
+
+from repro.geo.coords import EARTH_RADIUS_KM, LatLon, haversine_km, pairwise_haversine_km
+from repro.geo.distance import DistanceTable, state_to_point_km
+from repro.geo.states import (
+    CONTIGUOUS_STATES,
+    US_STATES,
+    PopulationCenter,
+    StateInfo,
+    all_states,
+    get_state,
+    total_population,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "LatLon",
+    "haversine_km",
+    "pairwise_haversine_km",
+    "DistanceTable",
+    "state_to_point_km",
+    "CONTIGUOUS_STATES",
+    "US_STATES",
+    "PopulationCenter",
+    "StateInfo",
+    "all_states",
+    "get_state",
+    "total_population",
+]

@@ -1,0 +1,82 @@
+"""Geographic coordinates and great-circle distance.
+
+The paper uses geographic distance as a coarse proxy for network
+performance (§4, §6.1). All distances in this library are great-circle
+kilometres computed with the haversine formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EARTH_RADIUS_KM", "LatLon", "haversine_km", "pairwise_haversine_km"]
+
+#: Mean Earth radius, in kilometres.
+EARTH_RADIUS_KM = 6_371.0
+
+
+@dataclass(frozen=True, slots=True)
+class LatLon:
+    """A point on the Earth's surface, in decimal degrees.
+
+    Latitude is positive north, longitude positive east. US longitudes
+    are therefore negative.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "LatLon") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: LatLon, b: LatLon) -> float:
+    """Great-circle distance between two points, in kilometres.
+
+    Uses the haversine formula, which is numerically stable for the
+    continental-US distances (1–5000 km) this library cares about.
+    """
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def pairwise_haversine_km(points_a: "np.ndarray", points_b: "np.ndarray") -> "np.ndarray":
+    """Vectorised haversine between two arrays of (lat, lon) rows.
+
+    Parameters
+    ----------
+    points_a:
+        Array of shape ``(n, 2)`` of decimal-degree (lat, lon) pairs.
+    points_b:
+        Array of shape ``(m, 2)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Distance matrix of shape ``(n, m)`` in kilometres.
+    """
+    pa = np.radians(np.asarray(points_a, dtype=float).reshape(-1, 2))
+    pb = np.radians(np.asarray(points_b, dtype=float).reshape(-1, 2))
+    lat1 = pa[:, 0][:, None]
+    lon1 = pa[:, 1][:, None]
+    lat2 = pb[:, 0][None, :]
+    lon2 = pb[:, 1][None, :]
+    h = (
+        np.sin((lat2 - lat1) / 2.0) ** 2
+        + np.cos(lat1) * np.cos(lat2) * np.sin((lon2 - lon1) / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(h)))

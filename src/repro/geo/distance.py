@@ -1,0 +1,131 @@
+"""Population-density-weighted client-server distance (§6.1).
+
+The paper measures client-server distance as a *population-density
+weighted geographic distance*: a client state is not a point but a
+distribution of people, so the distance from a state to a server site
+is the population-weighted average of the distances from each of the
+state's population centres to the site.
+
+:class:`DistanceTable` precomputes the state-to-site matrix once per
+cluster deployment so the per-timestep routing loop is pure numpy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.coords import LatLon, haversine_km
+from repro.geo.states import StateInfo, all_states
+
+__all__ = ["state_to_point_km", "DistanceTable"]
+
+
+def state_to_point_km(state: StateInfo, point: LatLon) -> float:
+    """Population-weighted distance from a state's people to ``point``.
+
+    This is the expected great-circle distance from a uniformly sampled
+    resident of the state (per the state's population-centre weights)
+    to the given location, in kilometres.
+    """
+    return sum(c.weight * haversine_km(c.location, point) for c in state.centers)
+
+
+class DistanceTable:
+    """Precomputed population-weighted distances, states x sites.
+
+    Parameters
+    ----------
+    states:
+        Client states, in the row order the table will use.
+    site_locations:
+        Server-site coordinates, in column order.
+
+    The table is immutable after construction; ``matrix`` is a
+    read-only ``(n_states, n_sites)`` array in kilometres.
+    """
+
+    def __init__(self, states: Sequence[StateInfo], site_locations: Sequence[LatLon]) -> None:
+        self._states = tuple(states)
+        self._sites = tuple(site_locations)
+        matrix = np.empty((len(self._states), len(self._sites)), dtype=float)
+        for i, state in enumerate(self._states):
+            for j, site in enumerate(self._sites):
+                matrix[i, j] = state_to_point_km(state, site)
+        matrix.setflags(write=False)
+        self._matrix = matrix
+        self._state_index = {s.code: i for i, s in enumerate(self._states)}
+
+    @classmethod
+    def for_deployment(
+        cls, site_locations: Sequence[LatLon], states: Iterable[StateInfo] | None = None
+    ) -> "DistanceTable":
+        """Build a table for the default contiguous-US client states."""
+        chosen = list(states) if states is not None else all_states(contiguous_only=True)
+        return cls(chosen, site_locations)
+
+    @property
+    def states(self) -> tuple[StateInfo, ...]:
+        return self._states
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(n_states, n_sites)`` distance matrix in km."""
+        return self._matrix
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self._sites)
+
+    def row(self, state_code: str) -> np.ndarray:
+        """Distances from one state to every site, in km."""
+        return self._matrix[self._state_index[state_code.upper()]]
+
+    def state_row_index(self, state_code: str) -> int:
+        """Row index of a state code in :attr:`matrix`."""
+        return self._state_index[state_code.upper()]
+
+    def nearest_site(self, state_code: str) -> int:
+        """Column index of the geographically nearest site to a state."""
+        return int(np.argmin(self.row(state_code)))
+
+    def within(self, state_code: str, threshold_km: float) -> np.ndarray:
+        """Boolean mask of sites within ``threshold_km`` of a state."""
+        return self.row(state_code) <= threshold_km
+
+    def mean_distance(self, weights: np.ndarray) -> float:
+        """Demand-weighted mean client-server distance.
+
+        Parameters
+        ----------
+        weights:
+            ``(n_states, n_sites)`` array of demand (hits/s) routed from
+            each state to each site. Zero total weight yields 0.0.
+        """
+        total = float(np.sum(weights))
+        if total <= 0.0:
+            return 0.0
+        return float(np.sum(weights * self._matrix) / total)
+
+    def distance_percentile(self, weights: np.ndarray, percentile: float) -> float:
+        """Demand-weighted percentile of client-server distance.
+
+        Used for the 99th-percentile distance curves of Fig. 17.
+        """
+        w = np.asarray(weights, dtype=float).ravel()
+        d = self._matrix.ravel()
+        mask = w > 0
+        if not np.any(mask):
+            return 0.0
+        d, w = d[mask], w[mask]
+        order = np.argsort(d)
+        d, w = d[order], w[order]
+        cum = np.cumsum(w)
+        cutoff = (percentile / 100.0) * cum[-1]
+        idx = int(np.searchsorted(cum, cutoff, side="left"))
+        return float(d[min(idx, len(d) - 1)])

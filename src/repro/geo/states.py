@@ -1,0 +1,214 @@
+"""US state registry: populations, population centres, and time zones.
+
+The Akamai traffic data resolves clients only to US states (§4), so the
+simulator's unit of client geography is the state. Each state carries:
+
+* a 2008-era population estimate (clients are generated proportionally),
+* one or more *population centres* — weighted metro-area points used by
+  the population-density-weighted distance metric of §6.1,
+* the state's dominant UTC offset (standard time), which drives the
+  local-time diurnal demand and price peaks.
+
+The numbers are approximate public census/metro figures; the simulation
+only depends on their relative magnitudes and rough geography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownStateError
+from repro.geo.coords import LatLon
+
+__all__ = [
+    "PopulationCenter",
+    "StateInfo",
+    "US_STATES",
+    "CONTIGUOUS_STATES",
+    "get_state",
+    "all_states",
+    "total_population",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationCenter:
+    """A weighted metro-area point inside a state.
+
+    ``weight`` is the fraction of the state's population attributed to
+    this centre; the weights of a state's centres sum to 1.
+    """
+
+    name: str
+    location: LatLon
+    weight: float
+
+
+@dataclass(frozen=True, slots=True)
+class StateInfo:
+    """Static geographic and demographic facts about one US state."""
+
+    code: str
+    name: str
+    population: int
+    utc_offset_hours: int
+    centers: tuple[PopulationCenter, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.centers:
+            raise ValueError(f"state {self.code} has no population centers")
+        total = sum(c.weight for c in self.centers)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"state {self.code} center weights sum to {total}, expected 1")
+
+    @property
+    def centroid(self) -> LatLon:
+        """Population-weighted centroid of the state."""
+        lat = sum(c.location.lat * c.weight for c in self.centers)
+        lon = sum(c.location.lon * c.weight for c in self.centers)
+        return LatLon(lat, lon)
+
+
+def _state(
+    code: str,
+    name: str,
+    population_thousands: int,
+    utc_offset_hours: int,
+    centers: list[tuple[str, float, float, float]],
+) -> StateInfo:
+    return StateInfo(
+        code=code,
+        name=name,
+        population=population_thousands * 1000,
+        utc_offset_hours=utc_offset_hours,
+        centers=tuple(
+            PopulationCenter(n, LatLon(lat, lon), w) for (n, lat, lon, w) in centers
+        ),
+    )
+
+
+# UTC offsets are standard-time offsets of the state's dominant zone.
+_STATE_TABLE: tuple[StateInfo, ...] = (
+    _state("AL", "Alabama", 4_700, -6, [("Birmingham", 33.52, -86.80, 0.6), ("Mobile", 30.69, -88.04, 0.4)]),
+    _state("AK", "Alaska", 690, -9, [("Anchorage", 61.22, -149.90, 1.0)]),
+    _state("AZ", "Arizona", 6_500, -7, [("Phoenix", 33.45, -112.07, 0.75), ("Tucson", 32.22, -110.97, 0.25)]),
+    _state("AR", "Arkansas", 2_900, -6, [("Little Rock", 34.75, -92.29, 1.0)]),
+    _state("CA", "California", 36_800, -8, [
+        ("Los Angeles", 34.05, -118.24, 0.45),
+        ("SF Bay Area", 37.60, -122.10, 0.30),
+        ("San Diego", 32.72, -117.16, 0.15),
+        ("Sacramento", 38.58, -121.49, 0.10),
+    ]),
+    _state("CO", "Colorado", 4_900, -7, [("Denver", 39.74, -104.99, 0.8), ("Colorado Springs", 38.83, -104.82, 0.2)]),
+    _state("CT", "Connecticut", 3_500, -5, [("Hartford", 41.77, -72.67, 0.55), ("Bridgeport", 41.19, -73.20, 0.45)]),
+    _state("DE", "Delaware", 870, -5, [("Wilmington", 39.75, -75.55, 1.0)]),
+    _state("DC", "District of Columbia", 590, -5, [("Washington", 38.91, -77.04, 1.0)]),
+    _state("FL", "Florida", 18_300, -5, [
+        ("Miami", 25.76, -80.19, 0.40),
+        ("Tampa", 27.95, -82.46, 0.30),
+        ("Orlando", 28.54, -81.38, 0.15),
+        ("Jacksonville", 30.33, -81.66, 0.15),
+    ]),
+    _state("GA", "Georgia", 9_700, -5, [("Atlanta", 33.75, -84.39, 0.8), ("Savannah", 32.08, -81.09, 0.2)]),
+    _state("HI", "Hawaii", 1_300, -10, [("Honolulu", 21.31, -157.86, 1.0)]),
+    _state("ID", "Idaho", 1_500, -7, [("Boise", 43.62, -116.20, 1.0)]),
+    _state("IL", "Illinois", 12_900, -6, [
+        ("Chicago", 41.88, -87.63, 0.80),
+        ("Peoria", 40.69, -89.59, 0.10),
+        ("Springfield", 39.80, -89.64, 0.10),
+    ]),
+    _state("IN", "Indiana", 6_400, -5, [("Indianapolis", 39.77, -86.16, 0.7), ("Fort Wayne", 41.08, -85.14, 0.3)]),
+    _state("IA", "Iowa", 3_000, -6, [("Des Moines", 41.59, -93.62, 1.0)]),
+    _state("KS", "Kansas", 2_800, -6, [("Wichita", 37.69, -97.34, 0.55), ("Kansas City KS", 39.11, -94.63, 0.45)]),
+    _state("KY", "Kentucky", 4_300, -5, [("Louisville", 38.25, -85.76, 0.6), ("Lexington", 38.04, -84.50, 0.4)]),
+    _state("LA", "Louisiana", 4_400, -6, [("New Orleans", 29.95, -90.07, 0.5), ("Baton Rouge", 30.45, -91.15, 0.5)]),
+    _state("ME", "Maine", 1_300, -5, [("Portland ME", 43.66, -70.26, 1.0)]),
+    _state("MD", "Maryland", 5_600, -5, [("Baltimore", 39.29, -76.61, 0.7), ("DC suburbs", 39.00, -77.10, 0.3)]),
+    _state("MA", "Massachusetts", 6_500, -5, [("Boston", 42.36, -71.06, 0.8), ("Springfield MA", 42.10, -72.59, 0.2)]),
+    _state("MI", "Michigan", 10_000, -5, [("Detroit", 42.33, -83.05, 0.7), ("Grand Rapids", 42.96, -85.66, 0.3)]),
+    _state("MN", "Minnesota", 5_200, -6, [("Minneapolis", 44.98, -93.27, 0.85), ("Duluth", 46.79, -92.10, 0.15)]),
+    _state("MS", "Mississippi", 2_900, -6, [("Jackson", 32.30, -90.18, 1.0)]),
+    _state("MO", "Missouri", 5_900, -6, [("St. Louis", 38.63, -90.20, 0.55), ("Kansas City MO", 39.10, -94.58, 0.45)]),
+    _state("MT", "Montana", 970, -7, [("Billings", 45.78, -108.50, 1.0)]),
+    _state("NE", "Nebraska", 1_800, -6, [("Omaha", 41.26, -95.93, 1.0)]),
+    _state("NV", "Nevada", 2_600, -8, [("Las Vegas", 36.17, -115.14, 0.75), ("Reno", 39.53, -119.81, 0.25)]),
+    _state("NH", "New Hampshire", 1_300, -5, [("Manchester", 42.99, -71.45, 1.0)]),
+    _state("NJ", "New Jersey", 8_700, -5, [("Newark", 40.74, -74.17, 0.6), ("Trenton", 40.22, -74.76, 0.4)]),
+    _state("NM", "New Mexico", 2_000, -7, [("Albuquerque", 35.08, -106.65, 1.0)]),
+    _state("NY", "New York", 19_500, -5, [
+        ("New York City", 40.71, -74.01, 0.75),
+        ("Buffalo", 42.89, -78.88, 0.15),
+        ("Albany", 42.65, -73.75, 0.10),
+    ]),
+    _state("NC", "North Carolina", 9_200, -5, [("Charlotte", 35.23, -80.84, 0.5), ("Raleigh", 35.78, -78.64, 0.5)]),
+    _state("ND", "North Dakota", 640, -6, [("Fargo", 46.88, -96.79, 1.0)]),
+    _state("OH", "Ohio", 11_500, -5, [
+        ("Columbus", 39.96, -83.00, 0.35),
+        ("Cleveland", 41.50, -81.69, 0.35),
+        ("Cincinnati", 39.10, -84.51, 0.30),
+    ]),
+    _state("OK", "Oklahoma", 3_600, -6, [("Oklahoma City", 35.47, -97.52, 0.6), ("Tulsa", 36.15, -95.99, 0.4)]),
+    _state("OR", "Oregon", 3_800, -8, [("Portland OR", 45.52, -122.68, 1.0)]),
+    _state("PA", "Pennsylvania", 12_400, -5, [
+        ("Philadelphia", 39.95, -75.17, 0.50),
+        ("Pittsburgh", 40.44, -80.00, 0.35),
+        ("Harrisburg", 40.27, -76.88, 0.15),
+    ]),
+    _state("RI", "Rhode Island", 1_050, -5, [("Providence", 41.82, -71.41, 1.0)]),
+    _state("SC", "South Carolina", 4_500, -5, [("Columbia", 34.00, -81.03, 0.6), ("Charleston", 32.78, -79.93, 0.4)]),
+    _state("SD", "South Dakota", 800, -6, [("Sioux Falls", 43.55, -96.70, 1.0)]),
+    _state("TN", "Tennessee", 6_200, -6, [("Nashville", 36.16, -86.78, 0.5), ("Memphis", 35.15, -90.05, 0.5)]),
+    _state("TX", "Texas", 24_300, -6, [
+        ("Dallas", 32.78, -96.80, 0.35),
+        ("Houston", 29.76, -95.37, 0.35),
+        ("San Antonio", 29.42, -98.49, 0.15),
+        ("Austin", 30.27, -97.74, 0.15),
+    ]),
+    _state("UT", "Utah", 2_700, -7, [("Salt Lake City", 40.76, -111.89, 1.0)]),
+    _state("VT", "Vermont", 620, -5, [("Burlington", 44.48, -73.21, 1.0)]),
+    _state("VA", "Virginia", 7_800, -5, [
+        ("Northern Virginia", 38.88, -77.30, 0.45),
+        ("Richmond", 37.54, -77.44, 0.30),
+        ("Norfolk", 36.85, -76.29, 0.25),
+    ]),
+    _state("WA", "Washington", 6_500, -8, [("Seattle", 47.61, -122.33, 0.8), ("Spokane", 47.66, -117.43, 0.2)]),
+    _state("WV", "West Virginia", 1_800, -5, [("Charleston WV", 38.35, -81.63, 1.0)]),
+    _state("WI", "Wisconsin", 5_600, -6, [("Milwaukee", 43.04, -87.91, 0.7), ("Madison", 43.07, -89.40, 0.3)]),
+    _state("WY", "Wyoming", 530, -7, [("Cheyenne", 41.14, -104.82, 1.0)]),
+)
+
+#: Mapping of state code to :class:`StateInfo`, for all 50 states + DC.
+US_STATES: dict[str, StateInfo] = {s.code: s for s in _STATE_TABLE}
+
+#: State codes for the contiguous (lower-48 + DC) states; the routing
+#: experiments exclude AK and HI, matching the continental focus of the
+#: paper's distance analysis.
+CONTIGUOUS_STATES: tuple[str, ...] = tuple(
+    sorted(code for code in US_STATES if code not in ("AK", "HI"))
+)
+
+
+def get_state(code: str) -> StateInfo:
+    """Look up a state by its two-letter code.
+
+    Raises
+    ------
+    UnknownStateError
+        If the code is not in the registry.
+    """
+    try:
+        return US_STATES[code.upper()]
+    except KeyError:
+        raise UnknownStateError(code) from None
+
+
+def all_states(contiguous_only: bool = True) -> list[StateInfo]:
+    """All registered states, optionally restricted to the lower 48 + DC."""
+    if contiguous_only:
+        return [US_STATES[c] for c in CONTIGUOUS_STATES]
+    return sorted(US_STATES.values(), key=lambda s: s.code)
+
+
+def total_population(contiguous_only: bool = True) -> int:
+    """Total population across the registry."""
+    return sum(s.population for s in all_states(contiguous_only))

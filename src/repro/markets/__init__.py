@@ -1,0 +1,62 @@
+"""Wholesale electricity market substrate.
+
+Provides the hub/RTO registries, the hourly calendar, the price-series
+container, and the calibrated stochastic generator that stands in for
+the paper's 39 months of RTO price archives.
+"""
+
+from repro.markets.calendar import PAPER_MONTHS, PAPER_START, HourlyCalendar, month_range_hours
+from repro.markets.correlation import (
+    CorrelationModel,
+    build_target_matrix,
+    correlated_normals,
+    nearest_positive_definite,
+    target_pair_correlation,
+)
+from repro.markets.generator import MarketConfig, MarketDataset, generate_market
+from repro.markets.hubs import (
+    ALL_HUB_CODES,
+    CLUSTER_HUB_CODES,
+    HUBS,
+    Hub,
+    all_hubs,
+    cluster_hubs,
+    get_hub,
+    hub_distance_km,
+)
+from repro.markets.model import PRICE_FLOOR, PriceModelConfig
+from repro.markets.northwest import MIDC_MEAN_PRICE, northwest_daily_series
+from repro.markets.rto import RTO, RTO_INFO, RTOInfo
+from repro.markets.series import PriceSeries, SeriesStats
+
+__all__ = [
+    "PAPER_MONTHS",
+    "PAPER_START",
+    "HourlyCalendar",
+    "month_range_hours",
+    "CorrelationModel",
+    "build_target_matrix",
+    "correlated_normals",
+    "nearest_positive_definite",
+    "target_pair_correlation",
+    "MarketConfig",
+    "MarketDataset",
+    "generate_market",
+    "ALL_HUB_CODES",
+    "CLUSTER_HUB_CODES",
+    "HUBS",
+    "Hub",
+    "all_hubs",
+    "cluster_hubs",
+    "get_hub",
+    "hub_distance_km",
+    "PRICE_FLOOR",
+    "PriceModelConfig",
+    "MIDC_MEAN_PRICE",
+    "northwest_daily_series",
+    "RTO",
+    "RTO_INFO",
+    "RTOInfo",
+    "PriceSeries",
+    "SeriesStats",
+]

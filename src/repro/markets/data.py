@@ -1,0 +1,91 @@
+"""Published reference numbers from the paper.
+
+These constants are the targets the calibration tests and the
+EXPERIMENTS.md paper-vs-measured tables compare against. They are data
+*about* the paper, not inputs to the generator (the generator is
+parametrised through :mod:`repro.markets.hubs` and
+:mod:`repro.markets.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Fig6Row",
+    "PAPER_FIG6_STATS",
+    "PAPER_FIG5_WINDOW_SIGMA",
+    "PAPER_FIG7_CHANGE_STATS",
+    "PAPER_CAISO_INTERNAL_CORRELATION",
+    "PAPER_SAME_RTO_CORRELATION_LINE",
+    "PAPER_FIG15_SAVINGS",
+    "PAPER_FIG18_DYNAMIC_RELAXED_COST",
+    "PAPER_FIG18_STATIC_COST",
+    "PAPER_BOSTON_NYC_FAVOURABLE_FRACTION",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig6Row:
+    """One row of Fig. 6: 1%-trimmed statistics of hourly RT prices."""
+
+    hub_code: str
+    city: str
+    rto: str
+    mean: float
+    std: float
+    kurtosis: float
+
+
+#: Fig. 6 — real-time market statistics, Jan 2006 - Mar 2009, 1% trimmed.
+PAPER_FIG6_STATS: tuple[Fig6Row, ...] = (
+    Fig6Row("CHI", "Chicago, IL", "PJM", 40.6, 26.9, 4.6),
+    Fig6Row("CINERGY", "Indianapolis, IN", "MISO", 44.0, 28.3, 5.8),
+    Fig6Row("NP15", "Palo Alto, CA", "CAISO", 54.0, 34.2, 11.9),
+    Fig6Row("DOM", "Richmond, VA", "PJM", 57.8, 39.2, 6.6),
+    Fig6Row("MA-BOS", "Boston, MA", "ISONE", 66.5, 25.8, 5.7),
+    Fig6Row("NYC", "New York, NY", "NYISO", 77.9, 40.26, 7.9),
+)
+
+#: Fig. 5 — std-dev of window-averaged NYC prices, Q1 2009, $/MWh.
+#: Keys are window lengths in hours; the 5-minute row uses 1/12.
+PAPER_FIG5_WINDOW_SIGMA: dict[str, dict[float, float]] = {
+    "real_time": {1 / 12: 28.5, 1.0: 24.8, 3.0: 21.9, 12.0: 18.1, 24.0: 15.6},
+    "day_ahead": {1.0: 20.0, 3.0: 19.4, 12.0: 17.1, 24.0: 16.0},
+}
+
+#: Fig. 7 — hour-to-hour change distributions over 39 months:
+#: (sigma, kurtosis, fraction within +/- $20).
+PAPER_FIG7_CHANGE_STATS: dict[str, tuple[float, float, float]] = {
+    "NP15": (37.2, 17.8, 0.78),
+    "CHI": (22.5, 33.3, 0.82),
+}
+
+#: §3.2 — LA and Palo Alto (same RTO, CAISO) correlate at 0.94.
+PAPER_CAISO_INTERNAL_CORRELATION = 0.94
+
+#: §3.2 / Fig. 8 — the dividing line: most same-RTO pairs sit above a
+#: correlation of 0.6; all cross-RTO pairs sit below it.
+PAPER_SAME_RTO_CORRELATION_LINE = 0.6
+
+#: Fig. 15 — maximum 24-day savings (%) by (idle fraction, PUE), for
+#: relaxed and followed 95/5 constraints. Values read off the bars.
+PAPER_FIG15_SAVINGS: dict[tuple[float, float], dict[str, float]] = {
+    (0.0, 1.0): {"relaxed": 40.0, "followed": 13.0},
+    (0.0, 1.1): {"relaxed": 33.0, "followed": 11.0},
+    (0.25, 1.3): {"relaxed": 15.0, "followed": 5.5},
+    (0.33, 1.3): {"relaxed": 12.0, "followed": 4.5},
+    (0.33, 1.7): {"relaxed": 9.0, "followed": 3.0},
+    (0.65, 1.3): {"relaxed": 5.0, "followed": 2.0},
+    (0.65, 2.0): {"relaxed": 3.0, "followed": 1.0},
+}
+
+#: Fig. 18 — 39-month dynamic optimum (relaxed constraints) reaches a
+#: normalized cost of ~0.55; parking everything at the cheapest hub
+#: only reaches ~0.65.
+PAPER_FIG18_DYNAMIC_RELAXED_COST = 0.55
+PAPER_FIG18_STATIC_COST = 0.65
+
+#: §3.3 — Boston is usually cheaper than NYC, but NYC wins 36% of the
+#: time (>$10/MWh savings 18% of the time).
+PAPER_BOSTON_NYC_FAVOURABLE_FRACTION = 0.36

@@ -1,0 +1,53 @@
+"""The Pacific Northwest daily price series (Fig. 3, top panel).
+
+The paper's §3 uses *30* locations: the 29 hourly hubs plus the
+Northwest's Mid-Columbia (MID-C) hub, which lacks an hourly wholesale
+market and therefore only appears in the daily-average analysis
+(footnote 6 explains why the region is excluded from routing).
+
+The Northwest is hydro-dominated (74% of Washington's 2007 generation),
+so its daily prices (a) do not follow the 2008 natural-gas hump and
+(b) dip every spring when snow-melt runoff floods the reservoirs —
+both visible in Fig. 3. This module generates a daily series with that
+structure for the Fig. 3 reproduction.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+
+from repro.markets.calendar import HourlyCalendar
+from repro.markets.model import ar1_filter
+from repro.markets.series import PriceSeries
+from repro.units import SECONDS_PER_DAY
+
+__all__ = ["MIDC_MEAN_PRICE", "northwest_daily_series"]
+
+#: Long-run mean of the MID-C daily peak price, $/MWh.
+MIDC_MEAN_PRICE = 48.0
+
+
+def northwest_daily_series(
+    start: datetime, months: int, seed: int = 2009
+) -> PriceSeries:
+    """Daily average prices for the hydro-dominated MID-C hub.
+
+    Structure: a mild summer/winter shape, a *deep April-May dip*
+    (seasonal rainfall/run-off, per the Fig. 3 caption), essentially no
+    coupling to the gas-price hump, and moderate day-to-day noise.
+    """
+    calendar = HourlyCalendar.for_months(start, months)
+    n_days = calendar.n_hours // 24
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 777]))
+
+    day_of_year = calendar.day_of_year[::24][:n_days].astype(float)
+    yf = (day_of_year - 1) / 365.0
+
+    # Spring run-off dip centred around mid-April (yf ~ 0.29).
+    dip = 0.45 * np.exp(-((yf - 0.29) ** 2) / (2 * 0.06**2))
+    seasonal = 1.0 + 0.08 * np.cos(2 * np.pi * (yf - 0.55)) - dip
+    noise = ar1_filter(rng.standard_normal(n_days), phi=0.92, sigma=0.15)
+    values = np.maximum(5.0, MIDC_MEAN_PRICE * (seasonal + noise))
+    return PriceSeries(calendar.start, values, step_seconds=SECONDS_PER_DAY, label="MID-C")

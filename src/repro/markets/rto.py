@@ -1,0 +1,70 @@
+"""Regional Transmission Organizations (RTOs).
+
+§2.2 of the paper: in each deregulated US region a pseudo-governmental
+RTO manages the grid and administers parallel wholesale markets
+(day-ahead futures and a real-time balancing market). Market
+*boundaries* matter enormously for this work — hourly prices at hubs in
+different RTOs are never highly correlated, even when geographically
+close (Fig. 8) — so the RTO is a first-class object in the price model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["RTO", "RTOInfo", "RTO_INFO"]
+
+
+class RTO(enum.Enum):
+    """The six wholesale-market regions studied in the paper (Fig. 2)."""
+
+    ISONE = "ISONE"
+    NYISO = "NYISO"
+    PJM = "PJM"
+    MISO = "MISO"
+    CAISO = "CAISO"
+    ERCOT = "ERCOT"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class RTOInfo:
+    """Static facts about one RTO used by the price generator.
+
+    Attributes
+    ----------
+    region:
+        Human-readable coverage description (Fig. 2).
+    cohesion:
+        How tightly internal hub prices co-move. CAISO is extremely
+        cohesive (the paper observes LA/Palo Alto at 0.94); NYISO and
+        ERCOT show internal non-linear dispersion (footnote 8).
+        Expressed as a correlation penalty subtracted for same-RTO
+        pairs: 0.0 means near-lockstep.
+    spike_rate_per_kh:
+        Expected count of price-spike events per thousand hours; grids
+        with tight supply (ERCOT, NYISO) spike more often.
+    gas_coupling:
+        Sensitivity of the region's price level to the shared natural
+        gas fuel trend (Fig. 3: the 2008 hump). Texas generates ~86%
+        from gas+coal, so couples strongly; hydro regions do not.
+    """
+
+    rto: RTO
+    region: str
+    cohesion: float
+    spike_rate_per_kh: float
+    gas_coupling: float
+
+
+RTO_INFO: dict[RTO, RTOInfo] = {
+    RTO.ISONE: RTOInfo(RTO.ISONE, "New England", cohesion=0.06, spike_rate_per_kh=1.5, gas_coupling=0.9),
+    RTO.NYISO: RTOInfo(RTO.NYISO, "New York", cohesion=0.14, spike_rate_per_kh=2.5, gas_coupling=0.8),
+    RTO.PJM: RTOInfo(RTO.PJM, "Eastern (Mid-Atlantic to Chicago)", cohesion=0.16, spike_rate_per_kh=1.8, gas_coupling=0.6),
+    RTO.MISO: RTOInfo(RTO.MISO, "Midwest", cohesion=0.15, spike_rate_per_kh=1.6, gas_coupling=0.5),
+    RTO.CAISO: RTOInfo(RTO.CAISO, "California", cohesion=0.02, spike_rate_per_kh=2.0, gas_coupling=0.8),
+    RTO.ERCOT: RTOInfo(RTO.ERCOT, "Texas", cohesion=0.13, spike_rate_per_kh=2.8, gas_coupling=1.0),
+}

@@ -1,0 +1,159 @@
+"""Routing abstractions.
+
+A *router* maps one time step's per-state demand onto clusters, given
+the electricity prices it can currently see and the effective capacity
+limits. Routers are deliberately stateless across steps except through
+the limits they are handed (the 95/5 tracker lives in the simulation
+engine), which keeps every scheme replayable and comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleAllocationError
+from repro.geo.distance import DistanceTable
+from repro.geo.states import all_states
+from repro.traffic.clusters import ClusterDeployment
+
+__all__ = ["Router", "RoutingProblem", "greedy_fill", "deployment_distance_table"]
+
+
+def deployment_distance_table(deployment: ClusterDeployment) -> DistanceTable:
+    """Population-weighted state-to-cluster distances for a deployment."""
+    return DistanceTable(all_states(contiguous_only=True), deployment.locations)
+
+
+class RoutingProblem:
+    """Static context shared by all routers for one simulation.
+
+    Bundles the deployment, the distance table (states x clusters), and
+    the state ordering so routers can precompute whatever they need.
+    """
+
+    def __init__(self, deployment: ClusterDeployment, distances: DistanceTable | None = None) -> None:
+        self.deployment = deployment
+        self.distances = distances or deployment_distance_table(deployment)
+        if self.distances.n_sites != deployment.n_clusters:
+            raise ConfigurationError(
+                "distance table columns must match deployment clusters"
+            )
+        self.state_codes = tuple(s.code for s in self.distances.states)
+
+    @property
+    def n_states(self) -> int:
+        return self.distances.n_states
+
+    @property
+    def n_clusters(self) -> int:
+        return self.deployment.n_clusters
+
+
+class Router(Protocol):
+    """One allocation policy.
+
+    ``allocate`` returns a ``(n_states, n_clusters)`` matrix of hit
+    rates; row sums must equal the demand vector (all demand is always
+    served — §1's problem statement assumes full replication).
+    """
+
+    def allocate(
+        self,
+        demand: np.ndarray,
+        prices: np.ndarray,
+        limits: np.ndarray,
+    ) -> np.ndarray:
+        """Map ``demand`` (hits/s per state) to clusters.
+
+        Parameters
+        ----------
+        demand:
+            Per-state request rates for this step.
+        prices:
+            The prices the router is allowed to see (already lagged by
+            the reaction delay), one per cluster, $/MWh.
+        limits:
+            Effective per-cluster load ceilings for this step (capacity
+            and/or the 95/5 ceiling). ``inf`` means unconstrained.
+        """
+        ...
+
+
+def greedy_fill(
+    demand: np.ndarray,
+    preference_orders: list[np.ndarray],
+    limits: np.ndarray,
+    state_order: np.ndarray | None = None,
+) -> np.ndarray:
+    """Allocate each state's demand along its cluster preference order.
+
+    The workhorse shared by the baseline and price-conscious routers:
+    walk states (largest demand first by default), pour each state's
+    demand into its most-preferred cluster with remaining headroom, and
+    spill the remainder down the preference list — the paper's
+    "iteratively finds another good cluster" behaviour.
+
+    Parameters
+    ----------
+    demand:
+        ``(n_states,)`` hit rates.
+    preference_orders:
+        Per state, an array of cluster indices from most to least
+        preferred. Orders may omit clusters; a final pass over *all*
+        clusters (by remaining headroom) guarantees feasibility.
+    limits:
+        ``(n_clusters,)`` ceilings for this step.
+    state_order:
+        Optional processing order (defaults to descending demand, so
+        big states claim their preferred clusters first and fragmented
+        spill is minimised).
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        If total demand exceeds the summed limits.
+    """
+    n_states = demand.shape[0]
+    n_clusters = limits.shape[0]
+    total_demand = float(demand.sum())
+    total_limit = float(np.sum(limits[np.isfinite(limits)])) + (
+        np.inf if np.any(np.isinf(limits)) else 0.0
+    )
+    if total_demand > total_limit + 1e-6:
+        raise InfeasibleAllocationError(
+            f"demand {total_demand:.0f} hits/s exceeds total limit {total_limit:.0f}"
+        )
+
+    allocation = np.zeros((n_states, n_clusters))
+    headroom = limits.astype(float).copy()
+    order = state_order if state_order is not None else np.argsort(-demand)
+
+    for s in order:
+        remaining = float(demand[s])
+        if remaining <= 0.0:
+            continue
+        for c in preference_orders[s]:
+            if remaining <= 0.0:
+                break
+            take = min(remaining, headroom[c])
+            if take <= 0.0:
+                continue
+            allocation[s, c] += take
+            headroom[c] -= take
+            remaining -= take
+        if remaining > 1e-9:
+            # Fallback: any cluster with room, fullest preference first.
+            for c in np.argsort(-headroom):
+                take = min(remaining, headroom[c])
+                if take <= 0.0:
+                    break
+                allocation[s, c] += take
+                headroom[c] -= take
+                remaining -= take
+        if remaining > 1e-6:
+            raise InfeasibleAllocationError(
+                f"could not place {remaining:.1f} hits/s for state index {s}"
+            )
+    return allocation

@@ -1,0 +1,106 @@
+"""Joint optimization of electricity price, distance, and congestion (§8).
+
+"Existing systems already have frameworks in place that engineer
+traffic to optimize for bandwidth costs, performance, and reliability.
+Dynamic energy costs represent another input that should be integrated
+into such frameworks."
+
+The paper's own optimizer treats bandwidth and performance as hard
+*constraints*; this router is the future-work variant that folds them
+into one soft objective. Each state scores every candidate cluster as
+
+    score = price
+          + distance_penalty_per_1000km * distance / 1000
+          + congestion_penalty * utilization_headroom_term
+
+and demand flows greedily along ascending scores. Setting both
+penalties to zero recovers the pure price optimizer's first choice;
+a huge distance penalty recovers proximity routing — both limits are
+pinned by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.routing.base import RoutingProblem, greedy_fill
+
+__all__ = ["JointOptimizationRouter"]
+
+
+class JointOptimizationRouter:
+    """Soft-objective router over price, distance, and congestion.
+
+    Parameters
+    ----------
+    problem:
+        Shared routing context.
+    distance_penalty_per_1000km:
+        Dollars per MWh a client is "charged" for each 1000 km of
+        client-server distance; encodes the performance objective.
+    congestion_penalty:
+        Dollars per MWh added as a cluster's projected utilization
+        approaches 1 (quadratic ramp); encodes the load-balancing
+        objective and keeps the system off capacity cliffs.
+    distance_threshold_km:
+        Optional hard performance constraint on top of the soft
+        objective (None = unconstrained).
+    """
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        distance_penalty_per_1000km: float = 10.0,
+        congestion_penalty: float = 50.0,
+        distance_threshold_km: float | None = None,
+    ) -> None:
+        if distance_penalty_per_1000km < 0 or congestion_penalty < 0:
+            raise ConfigurationError("penalties must be non-negative")
+        self._problem = problem
+        self.distance_penalty_per_1000km = distance_penalty_per_1000km
+        self.congestion_penalty = congestion_penalty
+        self.distance_threshold_km = distance_threshold_km
+        distances = problem.distances.matrix
+        self._distance_cost = distance_penalty_per_1000km * distances / 1000.0
+        if distance_threshold_km is not None:
+            allowed = distances <= distance_threshold_km
+            # Metro fallback as in the price router: never strand a state.
+            for s in range(problem.n_states):
+                if not allowed[s].any():
+                    allowed[s, int(np.argmin(distances[s]))] = True
+            self._forbidden = ~allowed
+        else:
+            self._forbidden = np.zeros_like(distances, dtype=bool)
+
+    def _scores(self, prices: np.ndarray, projected_utilization: np.ndarray) -> np.ndarray:
+        congestion = self.congestion_penalty * np.clip(projected_utilization, 0.0, 2.0) ** 2
+        scores = prices[None, :] + self._distance_cost + congestion[None, :]
+        return np.where(self._forbidden, np.inf, scores)
+
+    def allocate(self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray) -> np.ndarray:
+        """Two-pass allocation: score, place, re-score, repair.
+
+        The first pass scores clusters assuming the previous step's
+        shape (empty system) and places each state at its argmin; the
+        congestion term is then refreshed with the realised loads and
+        states are re-placed once. Limits are enforced exactly by the
+        greedy filler using the final score ordering.
+        """
+        capacities = self._problem.deployment.capacities
+        utilization = np.zeros(self._problem.n_clusters)
+        for _ in range(2):
+            scores = self._scores(prices, utilization)
+            preferred = np.argmin(scores, axis=1)
+            loads = np.bincount(
+                preferred, weights=demand, minlength=self._problem.n_clusters
+            )
+            utilization = loads / capacities
+
+        scores = self._scores(prices, utilization)
+        if np.all(loads <= limits + 1e-9):
+            allocation = np.zeros((self._problem.n_states, self._problem.n_clusters))
+            allocation[np.arange(self._problem.n_states), preferred] = demand
+            return allocation
+        orders = [np.argsort(scores[s]) for s in range(self._problem.n_states)]
+        return greedy_fill(demand, orders, limits)

@@ -1,0 +1,122 @@
+"""The distance-constrained electricity-price optimizer (§6.1).
+
+This is the paper's core contribution: a routing policy that maps each
+client to the cheapest-energy cluster it is allowed to use.
+
+The policy, exactly as specified in "Routing Schemes":
+
+1. A client's *candidate set* is every cluster within the **distance
+   threshold** of the client. Clients with an empty candidate set fall
+   back to their geographically closest cluster plus any other cluster
+   within 50 km of it (same metro area).
+2. Among candidates, price differentials smaller than the **price
+   threshold** ($5/MWh by default) are ignored: clusters within the
+   threshold of the candidate minimum are treated as equally cheap and
+   the geographically closest of them wins.
+3. If the chosen cluster is near capacity or its 95/5 ceiling, demand
+   iteratively spills to the next-best candidate.
+
+Setting the distance threshold to 0 yields the *optimal distance*
+scheme (strict nearest); setting it beyond coast-to-coast (~4500 km)
+yields the *optimal price* scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.routing.base import RoutingProblem, greedy_fill
+
+__all__ = ["PriceConsciousRouter", "DEFAULT_PRICE_THRESHOLD", "METRO_RADIUS_KM"]
+
+#: The paper's default price threshold, $/MWh.
+DEFAULT_PRICE_THRESHOLD = 5.0
+
+#: "any other nearby clusters (< 50km)" for clients with no candidate
+#: inside the distance threshold.
+METRO_RADIUS_KM = 50.0
+
+
+class PriceConsciousRouter:
+    """Cheapest-electricity routing under distance/price thresholds."""
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        distance_threshold_km: float,
+        price_threshold: float = DEFAULT_PRICE_THRESHOLD,
+    ) -> None:
+        if distance_threshold_km < 0:
+            raise ConfigurationError("distance threshold must be non-negative")
+        if price_threshold < 0:
+            raise ConfigurationError("price threshold must be non-negative")
+        self._problem = problem
+        self.distance_threshold_km = distance_threshold_km
+        self.price_threshold = price_threshold
+
+        distances = problem.distances.matrix
+        self._distances = distances
+        self._candidates: list[np.ndarray] = []
+        for s in range(problem.n_states):
+            within = np.flatnonzero(distances[s] <= distance_threshold_km)
+            if within.size == 0:
+                nearest = int(np.argmin(distances[s]))
+                metro = np.flatnonzero(
+                    distances[s] <= distances[s, nearest] + METRO_RADIUS_KM
+                )
+                within = np.union1d(np.array([nearest]), metro)
+            self._candidates.append(within)
+        # Dense candidate mask and masked-distance matrix for the
+        # vectorised fast path.
+        self._mask = np.zeros_like(distances, dtype=bool)
+        for s, cands in enumerate(self._candidates):
+            self._mask[s, cands] = True
+        self._masked_distance = np.where(self._mask, distances, np.inf)
+
+    @property
+    def candidate_sets(self) -> list[np.ndarray]:
+        """Per-state candidate cluster indices (copies)."""
+        return [c.copy() for c in self._candidates]
+
+    def _preference(self, state: int, prices: np.ndarray) -> np.ndarray:
+        """Candidates ordered by (price bucket, distance).
+
+        Prices within ``price_threshold`` of the candidate minimum form
+        the cheap bucket; within the bucket, closer wins. Spill
+        continues to pricier candidates in the same ordering.
+        """
+        cands = self._candidates[state]
+        p = prices[cands]
+        d = self._distances[state, cands]
+        cheap_cutoff = p.min() + self.price_threshold
+        # Two-level sort: bucket index first (0 = cheap), then price,
+        # then distance. np.lexsort sorts by the *last* key first.
+        bucket = (p > cheap_cutoff).astype(int)
+        within_bucket_price = np.where(bucket == 0, 0.0, p)
+        order = np.lexsort((d, within_bucket_price, bucket))
+        return cands[order]
+
+    def allocate(self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray) -> np.ndarray:
+        """Allocate one step's demand by price within distance limits.
+
+        Fast path: when every state's single best candidate has room,
+        the allocation is one cluster per state and is computed with
+        pure array operations. Otherwise the greedy spill logic runs.
+        """
+        n_states, n_clusters = self._mask.shape
+        masked_prices = np.where(self._mask, prices[None, :], np.inf)
+        cheapest = masked_prices.min(axis=1)
+        cheap = masked_prices <= (cheapest + self.price_threshold)[:, None]
+        # Within the cheap bucket, the geographically closest wins.
+        choice_key = np.where(cheap, self._masked_distance, np.inf)
+        preferred = np.argmin(choice_key, axis=1)
+
+        loads = np.bincount(preferred, weights=demand, minlength=n_clusters)
+        if np.all(loads <= limits + 1e-9):
+            allocation = np.zeros((n_states, n_clusters))
+            allocation[np.arange(n_states), preferred] = demand
+            return allocation
+
+        orders = [self._preference(s, prices) for s in range(n_states)]
+        return greedy_fill(demand, orders, limits)

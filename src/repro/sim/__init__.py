@@ -1,0 +1,6 @@
+"""Discrete-time routing simulator and result accounting."""
+
+from repro.sim.engine import SimulationOptions, simulate
+from repro.sim.results import DistanceProfile, SimulationResult
+
+__all__ = ["SimulationOptions", "simulate", "DistanceProfile", "SimulationResult"]

@@ -1,0 +1,37 @@
+"""CDN workload substrate: clusters, demand, traces, 95/5 billing."""
+
+from repro.traffic.clusters import (
+    HITS_PER_SERVER,
+    Cluster,
+    ClusterDeployment,
+    akamai_like_deployment,
+    uniform_deployment,
+)
+from repro.traffic.demand import DemandModel, DemandModelConfig
+from repro.traffic.percentile import Bandwidth95Tracker, billing_percentile, percentile_95
+from repro.traffic.synthetic import (
+    PAPER_TRACE_START,
+    TraceConfig,
+    make_trace,
+    make_turn_of_year_trace,
+)
+from repro.traffic.trace import HourOfWeekWorkload, TrafficTrace
+
+__all__ = [
+    "HITS_PER_SERVER",
+    "Cluster",
+    "ClusterDeployment",
+    "akamai_like_deployment",
+    "uniform_deployment",
+    "DemandModel",
+    "DemandModelConfig",
+    "Bandwidth95Tracker",
+    "billing_percentile",
+    "percentile_95",
+    "PAPER_TRACE_START",
+    "TraceConfig",
+    "make_trace",
+    "make_turn_of_year_trace",
+    "HourOfWeekWorkload",
+    "TrafficTrace",
+]

@@ -1,0 +1,76 @@
+"""Units, physical constants, and conversion helpers.
+
+The paper mixes watts (server power), megawatt-hours (market
+quantities), and dollars per MWh (market prices). Keeping every
+conversion in one place avoids the classic factor-of-1000 bugs.
+
+Conventions used throughout the library:
+
+* power is carried in **watts** at the server/cluster level,
+* energy is carried in **MWh** at the market/billing level,
+* prices are **dollars per MWh** ($/MWh),
+* time steps are **seconds** internally, with helpers for hours.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "MINUTES_PER_HOUR",
+    "HOURS_PER_DAY",
+    "HOURS_PER_WEEK",
+    "DAYS_PER_WEEK",
+    "FIVE_MINUTES",
+    "WATTS_PER_MEGAWATT",
+    "watts_to_megawatts",
+    "megawatts_to_watts",
+    "watt_seconds_to_mwh",
+    "watt_hours_to_mwh",
+    "mwh_cost",
+    "annual_hours",
+]
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3_600
+SECONDS_PER_DAY = 86_400
+MINUTES_PER_HOUR = 60
+HOURS_PER_DAY = 24
+DAYS_PER_WEEK = 7
+HOURS_PER_WEEK = HOURS_PER_DAY * DAYS_PER_WEEK
+
+#: Sampling interval of the CDN traffic traces, in seconds (§4).
+FIVE_MINUTES = 5 * SECONDS_PER_MINUTE
+
+WATTS_PER_MEGAWATT = 1_000_000.0
+
+
+def watts_to_megawatts(watts: float) -> float:
+    """Convert power in watts to megawatts."""
+    return watts / WATTS_PER_MEGAWATT
+
+
+def megawatts_to_watts(megawatts: float) -> float:
+    """Convert power in megawatts to watts."""
+    return megawatts * WATTS_PER_MEGAWATT
+
+
+def watt_seconds_to_mwh(watt_seconds: float) -> float:
+    """Convert energy in watt-seconds (joules) to megawatt-hours."""
+    return watt_seconds / (WATTS_PER_MEGAWATT * SECONDS_PER_HOUR)
+
+
+def watt_hours_to_mwh(watt_hours: float) -> float:
+    """Convert energy in watt-hours to megawatt-hours."""
+    return watt_hours / WATTS_PER_MEGAWATT
+
+
+def mwh_cost(energy_mwh: float, price_per_mwh: float) -> float:
+    """Dollar cost of ``energy_mwh`` at ``price_per_mwh`` ($/MWh)."""
+    return energy_mwh * price_per_mwh
+
+
+def annual_hours(leap: bool = False) -> int:
+    """Hours in a calendar year (8760, or 8784 in a leap year)."""
+    return (366 if leap else 365) * HOURS_PER_DAY

@@ -1,0 +1,47 @@
+"""Tests for repro.analysis.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_summary, pairwise_correlations
+
+
+@pytest.fixture(scope="module")
+def pairs(small_dataset):
+    return pairwise_correlations(small_dataset)
+
+
+class TestPairwise:
+    def test_all_pairs_once(self, pairs):
+        assert len(pairs) == 29 * 28 // 2
+        seen = {frozenset((p.hub_a, p.hub_b)) for p in pairs}
+        assert len(seen) == len(pairs)
+
+    def test_coefficients_valid(self, pairs):
+        for p in pairs:
+            assert -1.0 <= p.coefficient <= 1.0
+            assert p.distance_km > 0.0
+
+    def test_same_rto_flag(self, pairs):
+        for p in pairs:
+            assert p.same_rto == (p.rto_a == p.rto_b)
+
+    def test_mutual_information_optional(self, small_dataset):
+        pairs = pairwise_correlations(small_dataset, with_mutual_information=True)
+        assert all(p.mutual_information is not None for p in pairs[:5])
+        assert all(p.mutual_information >= 0.0 for p in pairs)
+
+
+class TestSummary:
+    def test_counts_add_up(self, pairs):
+        summary = correlation_summary(pairs)
+        assert summary["n_same_rto"] + summary["n_cross_rto"] == summary["n_pairs"]
+
+    def test_medians_ordered(self, pairs):
+        summary = correlation_summary(pairs)
+        assert summary["same_rto_median"] > summary["cross_rto_median"]
+
+    def test_fractions_in_unit_interval(self, pairs):
+        summary = correlation_summary(pairs)
+        assert 0.0 <= summary["same_rto_above_line"] <= 1.0
+        assert 0.0 <= summary["cross_rto_below_line"] <= 1.0

@@ -1,0 +1,110 @@
+"""Tests for repro.analysis.differentials."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.analysis.differentials import (
+    differential_durations,
+    differential_stats,
+    duration_histogram,
+    favourable_fractions,
+    hour_of_day_profile,
+    monthly_profile,
+)
+from repro.errors import ConfigurationError
+from repro.markets.series import PriceSeries
+
+START = datetime(2006, 1, 1)
+
+
+def series(values, step=3600):
+    return PriceSeries(START, np.asarray(values, dtype=float), step)
+
+
+class TestStats:
+    def test_moments(self):
+        diff = series([0.0, 10.0, -10.0, 0.0])
+        stats = differential_stats(diff)
+        assert stats.mean == pytest.approx(0.0)
+        assert stats.std == pytest.approx(np.std([0, 10, -10, 0]))
+        assert stats.n_samples == 4
+
+
+class TestFavourable:
+    def test_fractions(self):
+        # diff = A - B; positive means B cheaper.
+        diff = series([20.0, 5.0, -5.0, -20.0, 0.0])
+        frac = favourable_fractions(diff, threshold=10.0)
+        assert frac["b_cheaper"] == pytest.approx(2 / 5)
+        assert frac["a_cheaper"] == pytest.approx(2 / 5)
+        assert frac["b_saves_over_threshold"] == pytest.approx(1 / 5)
+        assert frac["a_saves_over_threshold"] == pytest.approx(1 / 5)
+
+
+class TestHourOfDay:
+    def test_profile_shape_and_values(self):
+        # Deterministic daily pattern: hour h has value h, in UTC.
+        values = np.tile(np.arange(24.0), 30)
+        profile = hour_of_day_profile(series(values), utc_offset_hours=0)
+        assert len(profile) == 24
+        for row in profile:
+            assert row["median"] == pytest.approx(row["hour"])
+            assert row["q25"] == pytest.approx(row["hour"])
+
+    def test_offset_shifts_axis(self):
+        values = np.tile(np.arange(24.0), 30)
+        est = hour_of_day_profile(series(values), utc_offset_hours=-5)
+        # UTC hour 5 (value 5) is midnight EST.
+        assert est[0]["median"] == pytest.approx(5.0)
+
+    def test_requires_hourly(self):
+        with pytest.raises(ConfigurationError):
+            hour_of_day_profile(series(np.ones(100), step=300))
+
+
+class TestMonthly:
+    def test_profile_rows(self):
+        hours = (31 + 28) * 24
+        values = np.concatenate([np.full(31 * 24, 10.0), np.full(28 * 24, 30.0)])
+        profile = monthly_profile(series(values[:hours]))
+        assert len(profile) == 2
+        assert profile[0]["median"] == pytest.approx(10.0)
+        assert profile[1]["median"] == pytest.approx(30.0)
+        assert profile[1]["month"] == 2.0
+
+
+class TestDurations:
+    def test_simple_runs(self):
+        # +6 for 3h, quiet 2h, -6 for 2h.
+        diff = series([6.0, 6.0, 6.0, 0.0, 0.0, -6.0, -6.0, 0.0])
+        assert differential_durations(diff, threshold=5.0) == [3, 2]
+
+    def test_reversal_splits_runs(self):
+        diff = series([6.0, 6.0, -6.0, -6.0, -6.0])
+        assert differential_durations(diff, threshold=5.0) == [2, 3]
+
+    def test_sub_threshold_ignored(self):
+        diff = series([4.0, 4.0, -4.0])
+        assert differential_durations(diff, threshold=5.0) == []
+
+    def test_run_at_end_counted(self):
+        diff = series([0.0, 6.0, 6.0])
+        assert differential_durations(diff, threshold=5.0) == [2]
+
+    def test_histogram_time_weighted(self):
+        durations = [1, 1, 3]
+        hist = duration_histogram(durations, max_hours=5, total_hours=10)
+        assert hist[0] == pytest.approx(0.2)  # 2 x 1h over 10h
+        assert hist[2] == pytest.approx(0.3)  # 1 x 3h over 10h
+
+    def test_histogram_folds_long_runs(self):
+        hist = duration_histogram([100], max_hours=10, total_hours=100)
+        assert hist[9] == pytest.approx(1.0)
+
+    def test_histogram_validation(self):
+        with pytest.raises(ConfigurationError):
+            duration_histogram([1], max_hours=0)
+        with pytest.raises(ConfigurationError):
+            duration_histogram([1], total_hours=0)

@@ -1,0 +1,42 @@
+"""Tests for repro.analysis.report."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(("Name", "Value"), [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(("X",), [("y",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_floats_two_decimals(self):
+        text = render_table(("V",), [(1.23456,)])
+        assert "1.23" in text
+        assert "1.235" not in text
+
+    def test_numeric_right_aligned(self):
+        text = render_table(("Number",), [(7,)])
+        row = text.splitlines()[-1]
+        assert row.endswith("7")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_table(("A", "B"), [(1,)])
+
+    def test_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            render_table((), [])
+
+    def test_wide_content_stretches_column(self):
+        text = render_table(("H",), [("very long cell content",)])
+        assert "very long cell content" in text

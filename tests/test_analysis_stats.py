@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    fraction_within,
+    histogram_fractions,
+    mutual_information,
+    pearson_kurtosis,
+    trimmed_values,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTrimming:
+    def test_removes_both_tails(self):
+        values = np.concatenate([np.full(96, 10.0), [-1e6, -1e6, 1e6, 1e6]])
+        kept = trimmed_values(values, 0.02)
+        assert kept.min() == 10.0
+        assert kept.max() == 10.0
+
+    def test_zero_fraction_identity(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(trimmed_values(values, 0.0), values)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_values(np.array([]), 0.01)
+        with pytest.raises(ConfigurationError):
+            trimmed_values(np.ones(5), 0.5)
+
+
+class TestKurtosis:
+    def test_normal_is_three(self):
+        rng = np.random.default_rng(0)
+        assert pearson_kurtosis(rng.standard_normal(200_000)) == pytest.approx(3.0, abs=0.1)
+
+    def test_uniform_below_three(self):
+        rng = np.random.default_rng(1)
+        assert pearson_kurtosis(rng.uniform(size=100_000)) < 2.0
+
+    def test_heavy_tailed_above_three(self):
+        rng = np.random.default_rng(2)
+        assert pearson_kurtosis(rng.standard_t(4, size=100_000)) > 4.0
+
+    def test_constant_is_zero(self):
+        assert pearson_kurtosis(np.full(100, 5.0)) == 0.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            pearson_kurtosis(np.array([1.0]))
+
+
+class TestHistogramFractions:
+    def test_fractions_of_total(self):
+        values = np.array([1.0, 2.0, 3.0, 100.0])
+        fractions, _ = histogram_fractions(values, np.array([0.0, 5.0]))
+        # 3 of 4 samples fall in range; out-of-range counts in the
+        # denominator (matching the paper's "78% samples" annotations).
+        assert fractions[0] == pytest.approx(0.75)
+
+    def test_fraction_within(self):
+        values = np.array([-30.0, -10.0, 0.0, 10.0, 30.0])
+        assert fraction_within(values, 20.0) == pytest.approx(0.6)
+
+
+class TestMutualInformation:
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.standard_normal(50_000), rng.standard_normal(50_000)
+        assert mutual_information(x, y) < 0.05
+
+    def test_identical_high(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(50_000)
+        assert mutual_information(x, x) > 1.0
+
+    def test_detects_nonlinear_dependence(self):
+        # |x| is uncorrelated with x but strongly dependent — the
+        # footnote-8 motivation for using I(x, y).
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(50_000)
+        y = np.abs(x)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.05
+        assert mutual_information(x, y) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mutual_information(np.ones(5), np.ones(4))

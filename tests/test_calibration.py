@@ -1,0 +1,188 @@
+"""Calibration tests: the generated market vs the paper's published facts.
+
+These are the tests that justify the data substitution documented in
+DESIGN.md: the synthetic 39-month data set must land in the
+neighbourhood of every statistic the paper prints about the real one.
+Bands are deliberately generous (a stochastic model, one seed), but the
+*orderings* and *structural facts* are asserted tightly — they carry
+the paper's conclusions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_summary, pairwise_correlations
+from repro.analysis.differentials import differential_durations, differential_stats
+from repro.analysis.stats import pearson_kurtosis
+from repro.markets.data import (
+    PAPER_BOSTON_NYC_FAVOURABLE_FRACTION,
+    PAPER_FIG6_STATS,
+    PAPER_FIG7_CHANGE_STATS,
+)
+
+
+class TestFig6Statistics:
+    def test_trimmed_means_within_15_percent(self, full_dataset):
+        for row in PAPER_FIG6_STATS:
+            stats = full_dataset.real_time(row.hub_code).stats()
+            assert stats.mean == pytest.approx(row.mean, rel=0.15), row.hub_code
+
+    def test_trimmed_sigmas_within_40_percent(self, full_dataset):
+        for row in PAPER_FIG6_STATS:
+            stats = full_dataset.real_time(row.hub_code).stats()
+            assert stats.std == pytest.approx(row.std, rel=0.40), row.hub_code
+
+    def test_mean_ordering_nyc_top_chicago_bottom(self, full_dataset):
+        means = {
+            row.hub_code: full_dataset.real_time(row.hub_code).stats().mean
+            for row in PAPER_FIG6_STATS
+        }
+        assert max(means, key=means.get) == "NYC"
+        assert min(means, key=means.get) == "CHI"
+
+    def test_prices_leptokurtic(self, full_dataset):
+        # Every Fig. 6 hub has trimmed kurtosis well above normal.
+        for row in PAPER_FIG6_STATS:
+            stats = full_dataset.real_time(row.hub_code).stats()
+            assert stats.kurtosis > 3.5, row.hub_code
+
+    def test_palo_alto_heaviest_tails(self, full_dataset):
+        kurt = {
+            row.hub_code: full_dataset.real_time(row.hub_code).stats().kurtosis
+            for row in PAPER_FIG6_STATS
+        }
+        assert kurt["NP15"] == max(kurt.values())
+        assert kurt["CHI"] == min(kurt.values())
+
+
+class TestFig7HourlyChanges:
+    def test_changes_zero_mean(self, full_dataset):
+        for code in PAPER_FIG7_CHANGE_STATS:
+            changes = full_dataset.real_time(code).changes()
+            assert abs(changes.mean()) < 0.5, code
+
+    def test_change_sigma_in_band(self, full_dataset):
+        for code, (paper_sigma, _, _) in PAPER_FIG7_CHANGE_STATS.items():
+            sigma = full_dataset.real_time(code).changes().std()
+            assert sigma == pytest.approx(paper_sigma, rel=0.5), code
+
+    def test_changes_heavy_tailed(self, full_dataset):
+        for code in PAPER_FIG7_CHANGE_STATS:
+            changes = full_dataset.real_time(code).changes()
+            assert pearson_kurtosis(changes) > 10.0, code
+
+    def test_twenty_dollar_moves_common(self, full_dataset):
+        # "the price per MWh changed hourly by $20 or more roughly 20%
+        # of the time" — allow 10-40%.
+        for code in PAPER_FIG7_CHANGE_STATS:
+            changes = full_dataset.real_time(code).changes()
+            frac = np.mean(np.abs(changes) >= 20.0)
+            assert 0.10 < frac < 0.40, code
+
+
+class TestFig8Correlation:
+    @pytest.fixture(scope="class")
+    def pairs(self, full_dataset):
+        return pairwise_correlations(full_dataset)
+
+    def test_406_pairs(self, pairs):
+        assert len(pairs) == 406
+
+    def test_no_negative_pairs(self, pairs):
+        assert min(p.coefficient for p in pairs) > 0.0
+
+    def test_same_rto_mostly_above_line(self, pairs):
+        summary = correlation_summary(pairs)
+        assert summary["same_rto_above_line"] >= 0.9
+
+    def test_cross_rto_all_below_line(self, pairs):
+        summary = correlation_summary(pairs)
+        assert summary["cross_rto_below_line"] == 1.0
+
+    def test_caiso_zones_tightly_coupled(self, pairs):
+        caiso = next(p for p in pairs if {p.hub_a, p.hub_b} == {"NP15", "SP15"})
+        assert caiso.coefficient > 0.8  # paper: 0.94
+
+    def test_correlation_decays_with_distance(self, pairs):
+        cross = [(p.distance_km, p.coefficient) for p in pairs if not p.same_rto]
+        d = np.array([x for x, _ in cross])
+        c = np.array([y for _, y in cross])
+        near = c[d < np.median(d)].mean()
+        far = c[d >= np.median(d)].mean()
+        assert near > far
+
+
+class TestFig10Differentials:
+    def test_coast_pairs_near_zero_mean_high_variance(self, full_dataset):
+        for a, b in (("NP15", "DOM"), ("ERCOT-S", "DOM")):
+            diff = full_dataset.real_time(a) - full_dataset.real_time(b)
+            stats = differential_stats(diff)
+            assert abs(stats.mean) < 12.0, (a, b)
+            assert stats.std > 35.0, (a, b)
+
+    def test_boston_nyc_skewed_but_exploitable(self, full_dataset):
+        diff = full_dataset.real_time("MA-BOS") - full_dataset.real_time("NYC")
+        stats = differential_stats(diff)
+        assert stats.mean < -5.0  # Boston usually cheaper
+        nyc_cheaper = np.mean(diff.values > 0)
+        assert nyc_cheaper == pytest.approx(
+            PAPER_BOSTON_NYC_FAVOURABLE_FRACTION, abs=0.12
+        )
+        # ">$10/MWh savings 18% of the time"
+        assert np.mean(diff.values > 10.0) == pytest.approx(0.18, abs=0.1)
+
+    def test_chicago_virginia_one_sided(self, full_dataset):
+        diff = full_dataset.real_time("CHI") - full_dataset.real_time("DOM")
+        assert differential_stats(diff).mean < -10.0
+
+
+class TestFig13Durations:
+    def test_short_differentials_dominate(self, full_dataset):
+        diff = full_dataset.real_time("NP15") - full_dataset.real_time("DOM")
+        durations = np.array(differential_durations(diff, threshold=5.0))
+        assert durations.size > 500
+        assert np.median(durations) <= 6
+        assert np.mean(durations > 24) < 0.1
+
+
+class TestFig5MarketTypes:
+    def test_rt_more_volatile_than_da_at_short_windows(self, full_dataset):
+        from datetime import datetime
+
+        rt = full_dataset.real_time("NYC").slice_dates(
+            datetime(2009, 1, 1), datetime(2009, 4, 1)
+        )
+        da = full_dataset.day_ahead("NYC").slice_dates(
+            datetime(2009, 1, 1), datetime(2009, 4, 1)
+        )
+        assert rt.windowed_std(1) > da.windowed_std(1)
+        assert rt.windowed_std(3) > da.windowed_std(3)
+        # Near-convergence at the daily window.
+        assert rt.windowed_std(24) == pytest.approx(da.windowed_std(24), rel=0.45)
+
+    def test_rt_sigma_decreases_with_window(self, full_dataset):
+        rt = full_dataset.real_time("NYC")
+        sigmas = [rt.windowed_std(w) for w in (1, 3, 12, 24)]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_five_minute_most_volatile(self, full_dataset):
+        from datetime import datetime
+
+        start_hour = full_dataset.calendar.index_of(datetime(2009, 1, 1))
+        five = full_dataset.five_minute("NYC", start_hour, 24 * 60)
+        rt = full_dataset.real_time("NYC").slice_dates(
+            datetime(2009, 1, 1), datetime(2009, 3, 2)
+        )
+        assert five.values.std() > rt.values.std()
+
+
+class TestDayToDayStructure:
+    def test_24h_lag_correlation_peaks(self, full_dataset):
+        # Fig. 20's dip mechanism: prices for a given hour correlate
+        # day to day, so the 24h autocorrelation of the *stochastic*
+        # part exceeds its neighbours.
+        v = full_dataset.real_time("NYC").values
+        def lag_corr(lag):
+            return np.corrcoef(v[:-lag], v[lag:])[0, 1]
+        assert lag_corr(24) > lag_corr(21)
+        assert lag_corr(24) > lag_corr(27)

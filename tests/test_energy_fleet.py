@@ -1,0 +1,84 @@
+"""Tests for repro.energy.fleet (Fig. 1 estimates)."""
+
+import pytest
+
+from repro.energy.fleet import (
+    DEFAULT_WHOLESALE_PRICE,
+    PAPER_FLEETS,
+    FleetAssumptions,
+    annual_energy_mwh,
+    estimate_fleet,
+    google_search_energy_mwh,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFormula:
+    def test_fully_idle_proportional_degenerate(self):
+        # 0% idle, PUE 1, zero utilization -> zero energy.
+        assert annual_energy_mwh(1000, 250.0, 0.0, 0.0, 1.0) == 0.0
+
+    def test_always_peak(self):
+        # 100% idle fraction: servers always draw peak regardless of U.
+        low = annual_energy_mwh(100, 250.0, 1.0, 0.0, 1.0)
+        high = annual_energy_mwh(100, 250.0, 1.0, 1.0, 1.0)
+        assert low == pytest.approx(high)
+        # 100 servers * 250 W * 8760 h = 219 MWh.
+        assert low == pytest.approx(219.0, rel=1e-6)
+
+    def test_pue_multiplies_overhead(self):
+        base = annual_energy_mwh(100, 250.0, 0.675, 0.3, 1.0)
+        with_overhead = annual_energy_mwh(100, 250.0, 0.675, 0.3, 2.0)
+        overhead = annual_energy_mwh(100, 250.0, 0.0, 0.0, 2.0)
+        assert with_overhead == pytest.approx(base + overhead)
+
+
+class TestFig1Table:
+    def test_akamai_estimate_matches_paper_band(self):
+        # Paper: Akamai 40K servers ~ 1.7e5 MWh, ~$10M.
+        akamai = next(f for f in PAPER_FLEETS if f.name == "Akamai")
+        est = estimate_fleet(akamai)
+        assert est.annual_mwh == pytest.approx(1.7e5, rel=0.15)
+        assert est.annual_cost == pytest.approx(10e6, rel=0.15)
+
+    def test_google_estimate_matches_paper_band(self):
+        # Paper: Google 500K servers ~ 6.3e5 MWh, ~$38M.
+        google = next(f for f in PAPER_FLEETS if f.name == "Google")
+        est = estimate_fleet(google)
+        assert est.annual_mwh == pytest.approx(6.3e5, rel=0.2)
+        assert est.annual_cost == pytest.approx(38e6, rel=0.2)
+
+    def test_ebay_estimate(self):
+        # Paper: eBay 16K ~ 0.6e5 MWh, ~$3.7M.
+        ebay = next(f for f in PAPER_FLEETS if f.name == "eBay")
+        est = estimate_fleet(ebay)
+        assert est.annual_mwh == pytest.approx(0.6e5, rel=0.25)
+
+    def test_cost_scales_with_price(self):
+        ebay = PAPER_FLEETS[0]
+        cheap = estimate_fleet(ebay, 30.0)
+        expensive = estimate_fleet(ebay, 90.0)
+        assert expensive.annual_cost == pytest.approx(3.0 * cheap.annual_cost)
+
+    def test_three_percent_of_google_exceeds_million(self):
+        # §1: "A modest 3% reduction would therefore exceed a million
+        # dollars every year."
+        google = next(f for f in PAPER_FLEETS if f.name == "Google")
+        est = estimate_fleet(google, DEFAULT_WHOLESALE_PRICE)
+        assert 0.03 * est.annual_cost > 1e6
+
+
+class TestValidation:
+    def test_bad_assumptions(self):
+        with pytest.raises(ConfigurationError):
+            FleetAssumptions("x", 0)
+        with pytest.raises(ConfigurationError):
+            FleetAssumptions("x", 10, utilization=1.5)
+        with pytest.raises(ConfigurationError):
+            FleetAssumptions("x", 10, pue=0.5)
+
+
+class TestSearchCrossCheck:
+    def test_one_hundred_thousand_mwh_scale(self):
+        # Paper: "search alone works out to 1e5 MWh in 2007".
+        assert google_search_energy_mwh() == pytest.approx(1.2e5, rel=0.05)

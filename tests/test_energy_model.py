@@ -1,0 +1,120 @@
+"""Tests for repro.energy.model and repro.energy.params."""
+
+import numpy as np
+import pytest
+
+from repro.energy.model import ClusterPowerModel, EnergyModelParams
+from repro.energy.params import (
+    FIG15_MODELS,
+    FULLY_ELASTIC,
+    GOOGLE_LIKE,
+    NAMED_MODELS,
+    NO_POWER_MANAGEMENT,
+    OPTIMISTIC_FUTURE,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModelParams(idle_fraction=-0.1, pue=1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModelParams(idle_fraction=1.1, pue=1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModelParams(idle_fraction=0.5, pue=0.9)
+        with pytest.raises(ConfigurationError):
+            EnergyModelParams(idle_fraction=0.5, pue=1.0, exponent=0.5)
+
+    def test_idle_power(self):
+        params = EnergyModelParams(idle_fraction=0.6, pue=1.0, peak_power_watts=200.0)
+        assert params.idle_power_watts == pytest.approx(120.0)
+
+    def test_describe(self):
+        assert GOOGLE_LIKE.describe() == "(65% idle, 1.3 PUE)"
+
+    def test_presets_exist(self):
+        assert set(NAMED_MODELS) == {
+            "fully-elastic",
+            "optimistic-future",
+            "google-like",
+            "state-of-the-art",
+            "no-power-management",
+        }
+        assert len(FIG15_MODELS) == 7
+
+
+class TestPowerModel:
+    def test_needs_servers(self):
+        with pytest.raises(ConfigurationError):
+            ClusterPowerModel(FULLY_ELASTIC, 0)
+
+    def test_fully_elastic_zero_idle_power(self):
+        model = ClusterPowerModel(FULLY_ELASTIC, 100)
+        assert model.power_watts(0.0) == 0.0
+        assert model.elasticity() == 0.0
+
+    def test_peak_power_is_peak_times_pue_equivalent(self):
+        # At u=1, V = (Ppeak - Pidle)*(2 - 1) so total per server is
+        # Ppeak + (PUE-1)*Ppeak = PUE * Ppeak.
+        params = EnergyModelParams(idle_fraction=0.5, pue=1.4, peak_power_watts=100.0)
+        model = ClusterPowerModel(params, 10)
+        assert model.power_watts(1.0) == pytest.approx(10 * 1.4 * 100.0)
+
+    def test_monotone_in_utilization(self):
+        model = ClusterPowerModel(GOOGLE_LIKE, 50)
+        u = np.linspace(0.0, 1.0, 101)
+        power = model.power_watts(u)
+        assert np.all(np.diff(power) >= -1e-9)
+
+    def test_concave_variable_term(self):
+        # 2u - u^1.4 is concave: half-load draws more than half of the
+        # full-load variable power (the Google study's empirical shape).
+        model = ClusterPowerModel(FULLY_ELASTIC, 1)
+        half = model.variable_power_watts(0.5)
+        full = model.variable_power_watts(1.0)
+        assert half > 0.5 * full
+
+    def test_linear_variant(self):
+        params = EnergyModelParams(idle_fraction=0.0, pue=1.0, exponent=1.0)
+        model = ClusterPowerModel(params, 1)
+        # 2u - u = u: exactly linear in utilization.
+        assert model.variable_power_watts(0.3) == pytest.approx(
+            0.3 * model.variable_power_watts(1.0)
+        )
+
+    def test_utilization_clipped(self):
+        model = ClusterPowerModel(GOOGLE_LIKE, 10)
+        assert model.power_watts(1.5) == model.power_watts(1.0)
+        assert model.power_watts(-0.5) == model.power_watts(0.0)
+
+    def test_elasticity_ordering_of_presets(self):
+        # §6.2: elasticity gates savings; the presets must be ordered.
+        def elasticity(params):
+            return ClusterPowerModel(params, 1).elasticity()
+
+        assert (
+            elasticity(FULLY_ELASTIC)
+            < elasticity(OPTIMISTIC_FUTURE)
+            < elasticity(GOOGLE_LIKE)
+            < elasticity(NO_POWER_MANAGEMENT)
+        )
+
+    def test_energy_scales_with_duration(self):
+        model = ClusterPowerModel(GOOGLE_LIKE, 100)
+        one_hour = model.energy_mwh(0.5, 3600.0)
+        two_hours = model.energy_mwh(0.5, 7200.0)
+        assert two_hours == pytest.approx(2.0 * one_hour)
+
+    def test_energy_magnitude(self):
+        # 1000 servers at 250 W peak, PUE 1.0, fully loaded, one hour
+        # = 0.25 MWh * ... : exactly n * Ppeak * 1h.
+        params = EnergyModelParams(idle_fraction=0.0, pue=1.0, peak_power_watts=250.0)
+        model = ClusterPowerModel(params, 1000)
+        assert model.energy_mwh(1.0, 3600.0) == pytest.approx(0.25)
+
+    def test_fig15_models_span_elasticity_range(self):
+        values = [ClusterPowerModel(p, 1).elasticity() for p in FIG15_MODELS]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] > 0.8

@@ -1,0 +1,62 @@
+"""Tests for repro.energy.routing_energy (§5.2)."""
+
+import pytest
+
+from repro.energy.routing_energy import (
+    CISCO_GSR_12008,
+    RouterEnergyProfile,
+    incremental_path_energy_joules,
+    path_energy_joules,
+    relative_routing_overhead,
+)
+from repro.errors import ConfigurationError
+
+
+class TestProfile:
+    def test_paper_average_energy_2mj(self):
+        # "on the order of 2 mJ" per packet through a core router.
+        avg = CISCO_GSR_12008.average_energy_per_packet_joules
+        assert avg == pytest.approx(770.0 / 540_000.0)
+        assert 1e-3 < avg < 3e-3
+
+    def test_paper_incremental_energy_50uj(self):
+        # "as low as a 50 uJ per medium-sized packet".
+        inc = CISCO_GSR_12008.incremental_energy_per_packet_joules
+        assert 2e-5 < inc < 8e-5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RouterEnergyProfile("x", watts=0.0, packets_per_second=1.0, idle_power_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            RouterEnergyProfile("x", watts=1.0, packets_per_second=1.0, idle_power_fraction=1.5)
+
+
+class TestPathEnergy:
+    def test_scales_linearly(self):
+        one = path_energy_joules(100.0, 1)
+        five = path_energy_joules(100.0, 5)
+        assert five == pytest.approx(5.0 * one)
+
+    def test_incremental_below_average(self):
+        avg = path_energy_joules(1000.0, 3)
+        inc = incremental_path_energy_joules(1000.0, 3)
+        assert inc < avg
+
+    def test_zero_hops_zero_energy(self):
+        assert path_energy_joules(1000.0, 0) == 0.0
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            path_energy_joules(1.0, -1)
+
+
+class TestOverheadClaim:
+    def test_negligible_relative_to_endpoint(self):
+        # §5.2's conclusion: the path-expansion energy is orders of
+        # magnitude below the 1 kJ endpoint energy per request.
+        overhead = relative_routing_overhead()
+        assert overhead < 1e-5
+
+    def test_even_average_cost_is_small(self):
+        overhead = relative_routing_overhead(incremental=False)
+        assert overhead < 1e-3

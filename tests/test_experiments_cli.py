@@ -1,0 +1,26 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "fig20" in out
+
+    def test_run_cheap_figure(self, capsys):
+        assert main(["fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "Google" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_no_arguments_shows_help(self, capsys):
+        assert main([]) == 2

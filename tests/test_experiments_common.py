@@ -1,0 +1,61 @@
+"""Tests for repro.experiments.common (shared cached runners)."""
+
+import numpy as np
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_24day,
+    caps_24day,
+    default_dataset,
+    default_problem,
+    long_trace,
+    trace_24day,
+)
+
+
+class TestCaching:
+    def test_dataset_memoised(self):
+        assert default_dataset() is default_dataset()
+
+    def test_problem_memoised(self):
+        assert default_problem() is default_problem()
+
+    def test_trace_memoised(self):
+        assert trace_24day() is trace_24day()
+
+
+class TestDefaults:
+    def test_dataset_covers_paper_range(self):
+        dataset = default_dataset()
+        assert dataset.calendar.n_hours == 1186 * 24
+        assert len(dataset.hubs) == 29
+
+    def test_trace_within_calendar(self):
+        dataset = default_dataset()
+        trace = trace_24day()
+        assert trace.start >= dataset.calendar.start
+        assert trace.time_axis()[-1] < dataset.calendar.end
+
+    def test_long_trace_is_hourly_and_full_length(self):
+        trace = long_trace()
+        assert trace.step_seconds == 3600
+        assert trace.n_steps == default_dataset().calendar.n_hours
+
+    def test_caps_are_baseline_p95(self):
+        assert np.allclose(caps_24day(), baseline_24day().percentiles_95())
+
+
+class TestFigureResult:
+    def test_text_rendering_with_rows_and_series(self):
+        result = FigureResult(
+            figure_id="figZZ",
+            title="demo",
+            headers=("A", "B"),
+            rows=((1, 2.0),),
+            series={"s": np.array([0.0, 1.0])},
+            notes=("note here",),
+        )
+        text = result.to_text()
+        assert "figZZ" in text
+        assert "note here" in text
+        assert "series s" in text

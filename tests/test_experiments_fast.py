@@ -1,0 +1,72 @@
+"""Fast experiment-driver tests (no 39-month simulation).
+
+The heavy drivers are exercised by the benchmark suite; here we verify
+the cheap ones end to end and the registry's integrity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import REGISTRY, FigureResult
+from repro.experiments import fig01_fleet_costs
+from repro.experiments.common import FigureResult as CommonFigureResult
+
+
+class TestRegistry:
+    def test_nineteen_drivers(self):
+        # Fig. 2 is the static RTO map; every other figure/table 1-20
+        # has a driver.
+        assert len(REGISTRY) == 19
+        expected = {f"fig{n:02d}" for n in range(1, 21)} - {"fig02"}
+        assert set(REGISTRY) == expected
+
+    def test_every_driver_has_run_and_main(self):
+        for module in REGISTRY.values():
+            assert callable(module.run)
+            assert callable(module.main)
+
+    def test_figure_result_reexported(self):
+        assert FigureResult is CommonFigureResult
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01_fleet_costs.run()
+
+    def test_structure(self, result):
+        assert result.figure_id == "fig01"
+        assert len(result.rows) == 5
+        companies = [row[0] for row in result.rows]
+        assert companies == ["eBay", "Akamai", "Rackspace", "Microsoft", "Google"]
+
+    def test_costs_track_fleet_scale(self, result):
+        # Fig. 1 values are lower bounds; sizes grow down the table but
+        # Google's efficient servers (140 W, PUE 1.3) legitimately cost
+        # less than Microsoft's 250 W / PUE 2.0 estimate.
+        costs = dict(zip((row[0] for row in result.rows), (row[3] for row in result.rows)))
+        assert costs["eBay"] < costs["Akamai"] < costs["Rackspace"] < costs["Microsoft"]
+        assert costs["Google"] > costs["Rackspace"]
+
+    def test_google_near_38_million(self, result):
+        google_cost = result.rows[-1][3]
+        assert google_cost == pytest.approx(38.0, rel=0.2)
+
+    def test_to_text_renders(self, result):
+        text = result.to_text()
+        assert "fig01" in text
+        assert "Google" in text
+
+
+class TestFigureResultRendering:
+    def test_series_summary(self):
+        result = FigureResult(
+            figure_id="figXX",
+            title="demo",
+            series={"line": np.array([1.0, 2.0, 3.0])},
+            notes=("a note",),
+        )
+        text = result.to_text()
+        assert "figXX" in text
+        assert "series line" in text
+        assert "a note" in text

@@ -1,0 +1,97 @@
+"""Experiment-driver tests for the market-analysis figures (3-14).
+
+These exercise the real drivers end to end on the shared 39-month
+data set (cached by repro.experiments.common). The routing-heavy
+drivers (fig15-20) are validated in the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig03_daily_prices,
+    fig04_market_types,
+    fig05_window_sigma,
+    fig08_correlation,
+    fig09_differential_series,
+    fig11_monthly_evolution,
+    fig12_hour_of_day,
+    fig13_durations,
+    fig14_traffic,
+)
+
+
+class TestFig03:
+    def test_gas_hump_spares_northwest(self):
+        result = fig03_daily_prices.run()
+        ratios = {row[0]: row[3] for row in result.rows}
+        assert ratios["NP15"] > ratios["MID-C"]
+        assert "MID-C" in result.series
+
+
+class TestFig04:
+    def test_windows_and_series(self):
+        result = fig04_market_types.run()
+        assert len(result.rows) == 2
+        assert "window1/rt_5min" in result.series
+        # 5-minute series has 12x the samples of the hourly one.
+        assert (
+            result.series["window1/rt_5min"].size
+            == 12 * result.series["window1/rt_hourly"].size
+        )
+
+
+class TestFig05:
+    def test_rows_cover_all_windows(self):
+        result = fig05_window_sigma.run()
+        assert [row[0] for row in result.rows] == ["5 min", "1 hr", "3 hr", "12 hr", "24 hr"]
+        assert result.rows[0][3] == "N/A"  # no 5-min day-ahead market
+
+
+class TestFig08:
+    def test_no_negative_and_boundary_effect(self):
+        result = fig08_correlation.run()
+        rows = dict((r[0], r[1]) for r in result.rows)
+        assert rows["minimum coefficient"] > 0.0
+        assert rows["cross-RTO below 0.6"] == 1.0
+        assert rows["same-RTO median"] > rows["cross-RTO median"]
+
+
+class TestFig09:
+    def test_two_week_window_length(self):
+        result = fig09_differential_series.run()
+        for name in ("NP15-minus-DOM", "ERCOT-S-minus-DOM"):
+            assert result.series[name].size == 14 * 24
+
+
+class TestFig11:
+    def test_39_monthly_rows(self):
+        result = fig11_monthly_evolution.run()
+        assert len(result.rows) == 39
+        assert result.rows[0][0] == "2006-01"
+        assert result.rows[-1][0] == "2009-03"
+
+
+class TestFig12:
+    def test_24_hour_profiles(self):
+        result = fig12_hour_of_day.run()
+        for name, values in result.series.items():
+            assert values.size == 24, name
+
+
+class TestFig13:
+    def test_fractions_sum_below_one(self):
+        result = fig13_durations.run()
+        hist = result.series["duration_fraction"]
+        # Time inside differentials cannot exceed total time.
+        assert 0.0 < hist.sum() <= 1.0
+
+
+class TestFig14:
+    def test_traffic_series_consistent(self):
+        result = fig14_traffic.run()
+        total_global = result.series["global"]
+        usa = result.series["usa"]
+        nine = result.series["nine_region"]
+        assert np.all(total_global >= usa)
+        assert np.all(usa >= nine)

@@ -1,0 +1,104 @@
+"""Tests for repro.ext.carbon and repro.ext.weather."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ext.carbon import (
+    EMISSION_FACTORS,
+    RTO_GENERATION_MIX,
+    CarbonConsciousRouter,
+    GenerationMix,
+    carbon_intensity_matrix,
+)
+from repro.ext.weather import CoolingModel, TemperatureModel, effective_price_matrix
+from repro.markets.hubs import get_hub
+from repro.markets.rto import RTO
+from repro.routing.base import RoutingProblem
+from repro.traffic.clusters import akamai_like_deployment
+
+
+class TestGenerationMix:
+    def test_shares_sum_to_one(self):
+        for mix in RTO_GENERATION_MIX.values():
+            total = mix.coal + mix.gas + mix.nuclear + mix.hydro + mix.wind
+            assert total == pytest.approx(1.0)
+
+    def test_all_rtos_covered(self):
+        assert set(RTO_GENERATION_MIX) == set(RTO)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GenerationMix(coal=0.5, gas=0.5, nuclear=0.5, hydro=0.0, wind=0.0)
+
+    def test_coal_dirtiest(self):
+        assert EMISSION_FACTORS["coal"] == max(EMISSION_FACTORS.values())
+
+
+class TestCarbonIntensity:
+    def test_matrix_aligned_and_positive(self, small_dataset):
+        intensity = carbon_intensity_matrix(small_dataset)
+        assert intensity.shape == small_dataset.price_matrix.shape
+        assert np.all(intensity >= 1.0)
+
+    def test_coal_regions_dirtier(self, small_dataset):
+        intensity = carbon_intensity_matrix(small_dataset)
+        miso = intensity[:, small_dataset.hub_column("MN")].mean()
+        caiso = intensity[:, small_dataset.hub_column("NP15")].mean()
+        assert miso > caiso  # 65% coal vs hydro/gas California
+
+    def test_high_price_hours_dirtier(self, small_dataset):
+        intensity = carbon_intensity_matrix(small_dataset)
+        j = small_dataset.hub_column("NYC")
+        prices = small_dataset.price_matrix[:, j]
+        hot = prices > np.percentile(prices, 90)
+        cold = prices < np.percentile(prices, 10)
+        assert intensity[hot, j].mean() > intensity[cold, j].mean()
+
+    def test_deterministic(self, small_dataset):
+        a = carbon_intensity_matrix(small_dataset, seed=1)
+        b = carbon_intensity_matrix(small_dataset, seed=1)
+        assert np.array_equal(a, b)
+
+
+class TestCarbonRouter:
+    def test_routes_to_cleanest(self):
+        problem = RoutingProblem(akamai_like_deployment())
+        router = CarbonConsciousRouter(problem, 10_000.0, intensity_threshold=0.0)
+        demand = np.full(problem.n_states, 10.0)
+        intensity = np.linspace(800.0, 100.0, 9)  # cluster 8 cleanest
+        alloc = router.allocate(demand, intensity, np.full(9, np.inf))
+        assert np.allclose(alloc[:, 8], demand)
+
+
+class TestWeather:
+    def test_temperature_latitude_gradient(self, small_dataset):
+        model = TemperatureModel()
+        rng = np.random.default_rng(0)
+        calendar = small_dataset.calendar
+        north = model.series(calendar, get_hub("MN"), rng).mean()
+        south = model.series(calendar, get_hub("ERCOT-H"), rng).mean()
+        assert south > north
+
+    def test_cooling_pue_monotone(self):
+        cooling = CoolingModel()
+        temps = np.array([-10.0, 10.0, 20.0, 35.0])
+        pue = cooling.pue(temps)
+        assert np.all(np.diff(pue) >= 0)
+        assert pue[0] == cooling.pue_free
+        assert pue[-1] == cooling.pue_mechanical
+
+    def test_cooling_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoolingModel(free_cooling_max_c=30.0, chiller_max_c=20.0)
+        with pytest.raises(ConfigurationError):
+            CoolingModel(pue_free=2.0, pue_mechanical=1.1)
+
+    def test_effective_price_discounts_cold_sites(self, small_dataset):
+        effective = effective_price_matrix(small_dataset)
+        assert effective.shape == small_dataset.price_matrix.shape
+        # The PUE multiplier never exceeds 1 (normalised by mechanical
+        # PUE), so effective prices are bounded by raw prices wherever
+        # prices are positive.
+        positive = small_dataset.price_matrix > 0
+        assert np.all(effective[positive] <= small_dataset.price_matrix[positive] + 1e-9)

@@ -1,0 +1,105 @@
+"""Tests for repro.ext.contracts (§7 billing structures)."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.energy import OPTIMISTIC_FUTURE
+from repro.errors import ConfigurationError
+from repro.ext.contracts import (
+    BlendedPlan,
+    FixedPricePlan,
+    ProvisionedCapacityPlan,
+    WholesaleIndexedPlan,
+    bill,
+    compare_plans,
+)
+from repro.sim.results import SimulationResult
+
+
+def make_result(prices, loads):
+    prices = np.asarray(prices, dtype=float)
+    loads = np.asarray(loads, dtype=float)
+    histogram = np.zeros(240)
+    histogram[0] = loads.sum()
+    return SimulationResult(
+        start=datetime(2008, 12, 16),
+        step_seconds=3600,
+        cluster_labels=tuple(f"C{i}" for i in range(prices.shape[1])),
+        capacities=np.full(prices.shape[1], 1000.0),
+        server_counts=np.full(prices.shape[1], 100.0),
+        loads=loads,
+        paid_prices=prices,
+        distance_histogram=histogram,
+    )
+
+
+@pytest.fixture(scope="module")
+def cheap_heavy():
+    """Consumption concentrated in cheap hours."""
+    prices = np.array([[20.0], [100.0]] * 12)
+    loads = np.array([[900.0], [100.0]] * 12)
+    return make_result(prices, loads)
+
+
+@pytest.fixture(scope="module")
+def expensive_heavy():
+    """Same total consumption, concentrated in expensive hours."""
+    prices = np.array([[20.0], [100.0]] * 12)
+    loads = np.array([[100.0], [900.0]] * 12)
+    return make_result(prices, loads)
+
+
+class TestPlans:
+    def test_wholesale_rewards_price_chasing(self, cheap_heavy, expensive_heavy):
+        plan = WholesaleIndexedPlan()
+        params = OPTIMISTIC_FUTURE
+        assert bill(cheap_heavy, params, plan) < bill(expensive_heavy, params, plan)
+
+    def test_fixed_price_erases_price_chasing(self, cheap_heavy, expensive_heavy):
+        plan = FixedPricePlan(rate_per_mwh=60.0)
+        params = OPTIMISTIC_FUTURE
+        assert bill(cheap_heavy, params, plan) == pytest.approx(
+            bill(expensive_heavy, params, plan)
+        )
+
+    def test_blended_in_between(self, cheap_heavy, expensive_heavy):
+        params = OPTIMISTIC_FUTURE
+        indexed = WholesaleIndexedPlan(adder_per_mwh=2.0)
+        blended = BlendedPlan(hedged_fraction=0.7, adder_per_mwh=2.0)
+        delta_indexed = bill(expensive_heavy, params, indexed) - bill(
+            cheap_heavy, params, indexed
+        )
+        delta_blended = bill(expensive_heavy, params, blended) - bill(
+            cheap_heavy, params, blended
+        )
+        assert 0.0 < delta_blended < delta_indexed
+
+    def test_provisioned_capacity_ignores_consumption(self, cheap_heavy, expensive_heavy):
+        plan = ProvisionedCapacityPlan()
+        params = OPTIMISTIC_FUTURE
+        a = bill(cheap_heavy, params, plan)
+        b = bill(expensive_heavy, params, plan)
+        assert a == pytest.approx(b)
+        assert a > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedPricePlan(rate_per_mwh=0.0)
+        with pytest.raises(ConfigurationError):
+            BlendedPlan(hedged_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ProvisionedCapacityPlan(rate_per_kw_month=0.0)
+
+
+class TestComparePlans:
+    def test_section7_conclusion(self, cheap_heavy, expensive_heavy):
+        # cheap_heavy plays the role of price-aware routing.
+        rows = compare_plans(expensive_heavy, cheap_heavy, OPTIMISTIC_FUTURE)
+        by_plan = {row["plan"]: row for row in rows}
+        assert by_plan["wholesale-indexed"]["savings_fraction"] > 0.3
+        assert by_plan["fixed-price"]["savings_fraction"] == pytest.approx(0.0, abs=1e-9)
+        assert by_plan["provisioned capacity"]["savings_fraction"] == pytest.approx(0.0, abs=1e-9)
+        blended = by_plan["blended (70% hedged)"]["savings_fraction"]
+        assert 0.0 < blended < by_plan["wholesale-indexed"]["savings_fraction"]

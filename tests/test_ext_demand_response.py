@@ -1,0 +1,122 @@
+"""Tests for repro.ext.demand_response."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.energy import GOOGLE_LIKE
+from repro.errors import ConfigurationError
+from repro.ext.demand_response import (
+    DemandResponseProgram,
+    _find_runs,
+    evaluate_demand_response,
+)
+from repro.sim.results import SimulationResult
+
+
+def result_with_prices(prices, loads=None):
+    prices = np.asarray(prices, dtype=float)
+    n_steps, n_clusters = prices.shape
+    loads = (
+        np.asarray(loads, dtype=float)
+        if loads is not None
+        else np.full(prices.shape, 500.0)
+    )
+    histogram = np.zeros(240)
+    histogram[0] = loads.sum()
+    return SimulationResult(
+        start=datetime(2008, 12, 16),
+        step_seconds=3600,
+        cluster_labels=tuple(f"C{i}" for i in range(n_clusters)),
+        capacities=np.full(n_clusters, 1000.0),
+        server_counts=np.full(n_clusters, 100.0),
+        loads=loads,
+        paid_prices=prices,
+        distance_histogram=histogram,
+    )
+
+
+class TestFindRuns:
+    def test_basic(self):
+        mask = np.array([False, True, True, False, True])
+        assert _find_runs(mask, 1) == [(1, 2), (4, 1)]
+
+    def test_min_length_filter(self):
+        mask = np.array([True, False, True, True, True])
+        assert _find_runs(mask, 2) == [(2, 3)]
+
+    def test_all_true(self):
+        assert _find_runs(np.array([True, True]), 1) == [(0, 2)]
+
+
+class TestProgram:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DemandResponseProgram(trigger_price=0.0)
+        with pytest.raises(ConfigurationError):
+            DemandResponseProgram(max_events_per_cluster=0)
+
+
+class TestEvaluation:
+    def test_no_stress_no_events(self):
+        result = result_with_prices(np.full((48, 2), 50.0))
+        outcome = evaluate_demand_response(result, GOOGLE_LIKE)
+        assert outcome.n_events == 0
+        assert outcome.total_revenue == 0.0
+
+    def test_stress_creates_paid_events(self):
+        prices = np.full((48, 2), 50.0)
+        prices[10:14, 0] = 400.0  # 4-hour spike at cluster 0
+        result = result_with_prices(prices)
+        program = DemandResponseProgram(trigger_price=200.0, compensation_per_mwh=300.0)
+        outcome = evaluate_demand_response(result, GOOGLE_LIKE, program)
+        assert outcome.n_events == 1
+        event = outcome.events[0]
+        assert event.cluster_label == "C0"
+        assert event.n_steps == 4
+        assert event.curtailed_mwh > 0
+        assert event.revenue == pytest.approx(event.curtailed_mwh * 300.0)
+
+    def test_event_cap_respected(self):
+        prices = np.full((100, 1), 50.0)
+        prices[::10] = 400.0  # ten separate one-hour spikes
+        result = result_with_prices(prices)
+        program = DemandResponseProgram(trigger_price=200.0, max_events_per_cluster=3)
+        outcome = evaluate_demand_response(result, GOOGLE_LIKE, program)
+        assert outcome.n_events == 3
+
+    def test_curtailment_bounded_by_actual_energy(self):
+        prices = np.full((24, 1), 400.0)
+        result = result_with_prices(prices)
+        outcome = evaluate_demand_response(result, GOOGLE_LIKE)
+        total_energy = result.total_energy_mwh(GOOGLE_LIKE)
+        assert outcome.total_curtailed_mwh <= total_energy
+
+    def test_curtail_target_validation(self):
+        result = result_with_prices(np.full((10, 1), 50.0))
+        with pytest.raises(ConfigurationError):
+            evaluate_demand_response(result, GOOGLE_LIKE, curtail_to_utilization=1.5)
+
+    def test_deeper_curtailment_earns_more(self):
+        prices = np.full((24, 1), 400.0)
+        result = result_with_prices(prices)
+        deep = evaluate_demand_response(result, GOOGLE_LIKE, curtail_to_utilization=0.0)
+        shallow = evaluate_demand_response(result, GOOGLE_LIKE, curtail_to_utilization=0.4)
+        assert deep.total_revenue > shallow.total_revenue
+
+
+class TestServerSuspension:
+    def test_suspension_sheds_fixed_power(self):
+        # With 65%-idle servers, curtailment without suspension sheds
+        # only the small variable term; suspension powers machines off
+        # and earns far more (§7's "suspending servers").
+        prices = np.full((24, 1), 400.0)
+        result = result_with_prices(prices)
+        suspended = evaluate_demand_response(
+            result, GOOGLE_LIKE, suspend_servers=True
+        )
+        throttled = evaluate_demand_response(
+            result, GOOGLE_LIKE, suspend_servers=False
+        )
+        assert suspended.total_curtailed_mwh > 2.0 * throttled.total_curtailed_mwh

@@ -1,0 +1,90 @@
+"""Tests for repro.geo.coords."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import EARTH_RADIUS_KM, LatLon, haversine_km, pairwise_haversine_km
+
+BOSTON = LatLon(42.36, -71.06)
+CHICAGO = LatLon(41.88, -87.63)
+LA = LatLon(34.05, -118.24)
+DC = LatLon(38.91, -77.04)
+
+
+class TestLatLon:
+    def test_valid_construction(self):
+        p = LatLon(40.0, -74.0)
+        assert p.lat == 40.0
+        assert p.lon == -74.0
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            LatLon(90.1, 0.0)
+        with pytest.raises(ValueError):
+            LatLon(-90.1, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            LatLon(0.0, 180.5)
+        with pytest.raises(ValueError):
+            LatLon(0.0, -180.5)
+
+    def test_poles_and_antimeridian_allowed(self):
+        LatLon(90.0, 0.0)
+        LatLon(-90.0, 180.0)
+
+    def test_frozen(self):
+        p = LatLon(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.lat = 3.0
+
+    def test_distance_method_matches_function(self):
+        assert BOSTON.distance_km(CHICAGO) == haversine_km(BOSTON, CHICAGO)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(BOSTON, BOSTON) == 0.0
+
+    def test_symmetry(self):
+        assert haversine_km(BOSTON, LA) == pytest.approx(haversine_km(LA, BOSTON))
+
+    def test_boston_chicago_about_1400km(self):
+        # The paper quotes ~1400 km Boston-Chicago.
+        assert haversine_km(BOSTON, CHICAGO) == pytest.approx(1370, rel=0.05)
+
+    def test_boston_dc_area_about_650km(self):
+        # The paper quotes ~650 km Boston-Alexandria(VA).
+        assert haversine_km(BOSTON, DC) == pytest.approx(650, rel=0.1)
+
+    def test_coast_to_coast_over_4000km(self):
+        assert haversine_km(BOSTON, LA) > 4_000
+
+    def test_antipodal_is_half_circumference(self):
+        a = LatLon(0.0, 0.0)
+        b = LatLon(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_triangle_inequality(self):
+        ab = haversine_km(BOSTON, CHICAGO)
+        bc = haversine_km(CHICAGO, LA)
+        ac = haversine_km(BOSTON, LA)
+        assert ac <= ab + bc + 1e-9
+
+
+class TestPairwiseHaversine:
+    def test_matches_scalar(self):
+        points_a = np.array([[BOSTON.lat, BOSTON.lon], [CHICAGO.lat, CHICAGO.lon]])
+        points_b = np.array([[LA.lat, LA.lon], [DC.lat, DC.lon], [BOSTON.lat, BOSTON.lon]])
+        matrix = pairwise_haversine_km(points_a, points_b)
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == pytest.approx(haversine_km(BOSTON, LA), rel=1e-9)
+        assert matrix[1, 1] == pytest.approx(haversine_km(CHICAGO, DC), rel=1e-9)
+        assert matrix[0, 2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_nonnegative(self):
+        rng = np.random.default_rng(0)
+        pts = np.column_stack([rng.uniform(-80, 80, 10), rng.uniform(-170, 170, 10)])
+        assert np.all(pairwise_haversine_km(pts, pts) >= 0.0)

@@ -1,0 +1,79 @@
+"""Tests for repro.geo.distance."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import LatLon, haversine_km
+from repro.geo.distance import DistanceTable, state_to_point_km
+from repro.geo.states import get_state
+
+BOSTON = LatLon(42.36, -71.06)
+CHICAGO_PT = LatLon(41.88, -87.63)
+
+
+class TestStateToPoint:
+    def test_single_center_state_equals_haversine(self):
+        vermont = get_state("VT")
+        expected = haversine_km(vermont.centers[0].location, BOSTON)
+        assert state_to_point_km(vermont, BOSTON) == pytest.approx(expected)
+
+    def test_weighted_average_between_extremes(self):
+        california = get_state("CA")
+        distances = [haversine_km(c.location, BOSTON) for c in california.centers]
+        weighted = state_to_point_km(california, BOSTON)
+        assert min(distances) <= weighted <= max(distances)
+
+    def test_nearby_state_is_close(self):
+        assert state_to_point_km(get_state("MA"), BOSTON) < 100.0
+
+
+class TestDistanceTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return DistanceTable.for_deployment([BOSTON, CHICAGO_PT])
+
+    def test_shape(self, table):
+        assert table.matrix.shape == (49, 2)
+        assert table.n_states == 49
+        assert table.n_sites == 2
+
+    def test_matrix_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.matrix[0, 0] = 1.0
+
+    def test_row_lookup(self, table):
+        row = table.row("MA")
+        assert row[0] < row[1]  # Massachusetts closer to Boston
+
+    def test_nearest_site(self, table):
+        assert table.nearest_site("MA") == 0
+        assert table.nearest_site("IL") == 1
+
+    def test_within(self, table):
+        mask = table.within("MA", 200.0)
+        assert mask[0] and not mask[1]
+
+    def test_mean_distance_weighted(self, table):
+        weights = np.zeros((49, 2))
+        idx = table.state_row_index("MA")
+        weights[idx, 0] = 100.0
+        expected = table.matrix[idx, 0]
+        assert table.mean_distance(weights) == pytest.approx(expected)
+
+    def test_mean_distance_zero_weights(self, table):
+        assert table.mean_distance(np.zeros((49, 2))) == 0.0
+
+    def test_percentile_monotone(self, table):
+        rng = np.random.default_rng(3)
+        weights = rng.random((49, 2))
+        p50 = table.distance_percentile(weights, 50.0)
+        p99 = table.distance_percentile(weights, 99.0)
+        assert p50 <= p99
+
+    def test_percentile_single_mass(self, table):
+        weights = np.zeros((49, 2))
+        idx = table.state_row_index("IL")
+        weights[idx, 1] = 5.0
+        assert table.distance_percentile(weights, 99.0) == pytest.approx(
+            table.matrix[idx, 1]
+        )

@@ -1,0 +1,67 @@
+"""Tests for repro.geo.states."""
+
+import pytest
+
+from repro.errors import UnknownStateError
+from repro.geo.states import (
+    CONTIGUOUS_STATES,
+    US_STATES,
+    all_states,
+    get_state,
+    total_population,
+)
+
+
+class TestRegistry:
+    def test_has_fifty_states_plus_dc(self):
+        assert len(US_STATES) == 51
+
+    def test_contiguous_excludes_alaska_hawaii(self):
+        assert "AK" not in CONTIGUOUS_STATES
+        assert "HI" not in CONTIGUOUS_STATES
+        assert len(CONTIGUOUS_STATES) == 49
+
+    def test_center_weights_sum_to_one(self):
+        for state in US_STATES.values():
+            total = sum(c.weight for c in state.centers)
+            assert total == pytest.approx(1.0, abs=1e-9), state.code
+
+    def test_populations_positive(self):
+        assert all(s.population > 0 for s in US_STATES.values())
+
+    def test_california_most_populous(self):
+        biggest = max(US_STATES.values(), key=lambda s: s.population)
+        assert biggest.code == "CA"
+
+    def test_total_population_reasonable_2008(self):
+        # ~300 M in 2008; contiguous slightly less.
+        assert 250e6 < total_population() < 320e6
+        assert total_population(contiguous_only=False) > total_population()
+
+    def test_timezones_span_continent(self):
+        assert US_STATES["MA"].utc_offset_hours == -5
+        assert US_STATES["IL"].utc_offset_hours == -6
+        assert US_STATES["CO"].utc_offset_hours == -7
+        assert US_STATES["CA"].utc_offset_hours == -8
+
+    def test_centroid_inside_plausible_box(self):
+        for state in all_states():
+            c = state.centroid
+            assert 24.0 < c.lat < 50.0, state.code
+            assert -125.0 < c.lon < -66.0, state.code
+
+
+class TestLookup:
+    def test_get_state_case_insensitive(self):
+        assert get_state("ca").code == "CA"
+        assert get_state("CA").name == "California"
+
+    def test_get_state_unknown_raises(self):
+        with pytest.raises(UnknownStateError):
+            get_state("ZZ")
+
+    def test_all_states_sorted_and_stable(self):
+        states = all_states()
+        codes = [s.code for s in states]
+        assert codes == sorted(codes)
+        assert codes == list(CONTIGUOUS_STATES)

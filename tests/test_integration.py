@@ -1,0 +1,103 @@
+"""Integration tests: the whole stack end to end.
+
+These assert the paper's *headline behaviours* on a compact setup —
+the same claims the benchmarks then reproduce at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import quickstart
+from repro.energy import (
+    FULLY_ELASTIC,
+    GOOGLE_LIKE,
+    NO_POWER_MANAGEMENT,
+    OPTIMISTIC_FUTURE,
+)
+from repro.routing import BaselineProximityRouter, PriceConsciousRouter
+from repro.sim import SimulationOptions, simulate
+
+
+@pytest.fixture(scope="module")
+def runs(trace24, small_dataset, problem, baseline24):
+    """Baseline + price runs at two thresholds, both constraint modes."""
+    caps = baseline24.percentiles_95()
+    out = {"baseline": baseline24}
+    for threshold in (0.0, 1500.0, 2500.0):
+        router = PriceConsciousRouter(problem, distance_threshold_km=threshold)
+        out[threshold, "relaxed"] = simulate(trace24, small_dataset, problem, router)
+        out[threshold, "followed"] = simulate(
+            trace24, small_dataset, problem, router,
+            SimulationOptions(bandwidth_caps=caps),
+        )
+    return out
+
+
+class TestHeadlineClaims:
+    def test_price_routing_saves_money_when_elastic(self, runs):
+        base = runs["baseline"]
+        savings = runs[1500.0, "relaxed"].savings_vs(base, OPTIMISTIC_FUTURE)
+        assert savings > 0.10
+
+    def test_savings_increase_with_threshold(self, runs):
+        base = runs["baseline"]
+        s0 = runs[0.0, "relaxed"].savings_vs(base, OPTIMISTIC_FUTURE)
+        s1500 = runs[1500.0, "relaxed"].savings_vs(base, OPTIMISTIC_FUTURE)
+        s2500 = runs[2500.0, "relaxed"].savings_vs(base, OPTIMISTIC_FUTURE)
+        assert s0 < s1500 < s2500
+
+    def test_elasticity_gates_savings(self, runs):
+        base = runs["baseline"]
+        result = runs[1500.0, "relaxed"]
+        s_elastic = result.savings_vs(base, FULLY_ELASTIC)
+        s_future = result.savings_vs(base, OPTIMISTIC_FUTURE)
+        s_google = result.savings_vs(base, GOOGLE_LIKE)
+        s_nopm = result.savings_vs(base, NO_POWER_MANAGEMENT)
+        assert s_elastic > s_future > s_google > s_nopm
+        assert s_nopm < 0.02  # inelastic systems cannot save
+
+    def test_95_5_cuts_but_does_not_eliminate_savings(self, runs):
+        base = runs["baseline"]
+        relaxed = runs[1500.0, "relaxed"].savings_vs(base, OPTIMISTIC_FUTURE)
+        followed = runs[1500.0, "followed"].savings_vs(base, OPTIMISTIC_FUTURE)
+        assert 0.0 < followed < relaxed
+
+    def test_distance_buys_savings(self, runs):
+        d0 = runs[0.0, "relaxed"].mean_distance_km
+        d2500 = runs[2500.0, "relaxed"].mean_distance_km
+        assert d2500 > d0
+
+    def test_followed_95_percentiles_not_raised(self, runs):
+        caps = runs["baseline"].percentiles_95()
+        for threshold in (0.0, 1500.0, 2500.0):
+            p95 = runs[threshold, "followed"].percentiles_95()
+            assert np.all(p95 <= caps * 1.02 + 1e-6)
+
+    def test_energy_conserved_across_routers(self, runs):
+        # Total served hits identical for every policy: routing moves
+        # demand around, never creates or destroys it.
+        expected = runs["baseline"].total_hits()
+        for key, result in runs.items():
+            if key == "baseline":
+                continue
+            assert result.total_hits() == pytest.approx(expected, rel=1e-9)
+
+    def test_reaction_delay_costs_money(self, trace24, small_dataset, problem):
+        router = PriceConsciousRouter(problem, 1500.0)
+        fast = simulate(
+            trace24, small_dataset, problem, router,
+            SimulationOptions(reaction_delay_hours=0),
+        )
+        slow = simulate(
+            trace24, small_dataset, problem, router,
+            SimulationOptions(reaction_delay_hours=12),
+        )
+        assert slow.total_cost(FULLY_ELASTIC) > fast.total_cost(FULLY_ELASTIC)
+
+
+class TestQuickstart:
+    def test_quickstart_runs_and_saves(self):
+        result = quickstart(months=3, seed=3)
+        assert result["savings_future_model"] > 0.0
+        assert result["priced_cost_future_model"] < result["baseline_cost_future_model"]
+        assert result["mean_distance_km"] > 0.0

@@ -1,0 +1,94 @@
+"""Tests for repro.markets.calendar."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markets.calendar import (
+    PAPER_MONTHS,
+    PAPER_START,
+    HourlyCalendar,
+    month_range_hours,
+)
+
+
+class TestMonthRange:
+    def test_one_month(self):
+        assert month_range_hours(datetime(2006, 1, 1), 1) == 31 * 24
+
+    def test_february_leap(self):
+        assert month_range_hours(datetime(2008, 2, 1), 1) == 29 * 24
+
+    def test_paper_range_is_39_months(self):
+        hours = month_range_hours(PAPER_START, PAPER_MONTHS)
+        # Jan 2006 - Mar 2009 inclusive: 1186 days.
+        assert hours == 1186 * 24
+        assert hours > 28_000  # ">28k samples each" (Fig. 8 caption)
+
+    def test_year_wrap(self):
+        assert month_range_hours(datetime(2006, 11, 1), 3) == (30 + 31 + 31) * 24
+
+    def test_invalid_months(self):
+        with pytest.raises(ConfigurationError):
+            month_range_hours(PAPER_START, 0)
+
+
+class TestHourlyCalendar:
+    @pytest.fixture(scope="class")
+    def calendar(self):
+        return HourlyCalendar.for_months(datetime(2006, 1, 1), 3)
+
+    def test_length(self, calendar):
+        assert len(calendar) == (31 + 28 + 31) * 24
+
+    def test_hour_of_day_cycles(self, calendar):
+        hod = calendar.hour_of_day
+        assert hod[0] == 0
+        assert hod[23] == 23
+        assert hod[24] == 0
+        assert np.all((0 <= hod) & (hod < 24))
+
+    def test_day_of_week(self, calendar):
+        # 2006-01-01 was a Sunday.
+        assert calendar.day_of_week[0] == 6
+        assert calendar.day_of_week[24] == 0
+
+    def test_month_index_contiguous(self, calendar):
+        midx = calendar.month_index
+        assert midx[0] == 0
+        assert midx[-1] == 2
+        assert np.all(np.diff(midx) >= 0)
+
+    def test_hour_of_week_range(self, calendar):
+        how = calendar.hour_of_week
+        assert np.all((0 <= how) & (how < 168))
+
+    def test_local_hour_shift(self, calendar):
+        pacific = calendar.local_hour_of_day(-8)
+        assert pacific[8] == 0  # 08:00 UTC == midnight Pacific
+
+    def test_datetime_round_trip(self, calendar):
+        when = datetime(2006, 2, 14, 13)
+        index = calendar.index_of(when)
+        assert calendar.datetime_at(index) == when
+
+    def test_index_out_of_range(self, calendar):
+        with pytest.raises(IndexError):
+            calendar.datetime_at(len(calendar))
+        with pytest.raises(IndexError):
+            calendar.index_of(datetime(2010, 1, 1))
+
+    def test_must_start_on_hour(self):
+        with pytest.raises(ConfigurationError):
+            HourlyCalendar(datetime(2006, 1, 1, 0, 30), 24)
+
+    def test_for_days(self):
+        cal = HourlyCalendar.for_days(datetime(2008, 12, 16), 24)
+        assert len(cal) == 24 * 24
+        assert cal.n_days == 24
+
+    def test_arrays_read_only(self, calendar):
+        with pytest.raises(ValueError):
+            calendar.hour_of_day[0] = 5

@@ -1,0 +1,92 @@
+"""Tests for repro.markets.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markets.correlation import (
+    CorrelationModel,
+    build_target_matrix,
+    correlated_normals,
+    nearest_positive_definite,
+    target_pair_correlation,
+)
+from repro.markets.hubs import all_hubs, get_hub
+
+
+class TestTargetFunction:
+    def test_self_correlation_is_one(self):
+        hub = get_hub("NYC")
+        assert target_pair_correlation(hub, hub) == 1.0
+
+    def test_same_rto_above_cross_rto(self):
+        same = target_pair_correlation(get_hub("NP15"), get_hub("SP15"))
+        cross = target_pair_correlation(get_hub("NP15"), get_hub("DOM"))
+        assert same > cross
+
+    def test_boundary_effect_dominates_distance(self):
+        # Chicago (PJM) and Peoria (MISO) are ~150 km apart but in
+        # different markets; their target must sit below the same-RTO
+        # floor (the Fig. 8 boundary effect).
+        model = CorrelationModel()
+        cross_near = target_pair_correlation(get_hub("CHI"), get_hub("IL"), model)
+        assert cross_near < model.same_floor
+
+    def test_distance_decay_within_group(self):
+        # Cross-RTO: nearer pairs correlate more.
+        near = target_pair_correlation(get_hub("CHI"), get_hub("IL"))
+        far = target_pair_correlation(get_hub("NP15"), get_hub("MA-BOS"))
+        assert near > far
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            CorrelationModel(cross_cap=0.9, same_floor=0.7)
+
+
+class TestMatrix:
+    def test_full_matrix_properties(self):
+        hubs = all_hubs()
+        matrix = build_target_matrix(hubs)
+        assert matrix.shape == (29, 29)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+        off_diag = matrix[~np.eye(29, dtype=bool)]
+        assert np.all(off_diag > 0.0)  # "No pairs were negatively correlated"
+        assert np.all(off_diag < 1.0)
+
+    def test_psd_projection_small_drift(self):
+        hubs = all_hubs()
+        matrix = build_target_matrix(hubs)
+        psd = nearest_positive_definite(matrix)
+        assert np.max(np.abs(psd - matrix)) < 0.05
+        eigvals = np.linalg.eigvalsh(psd)
+        assert np.all(eigvals > 0)
+
+    def test_psd_projection_fixes_indefinite(self):
+        bad = np.array([[1.0, 0.9, 0.1], [0.9, 1.0, 0.9], [0.1, 0.9, 1.0]])
+        assert np.min(np.linalg.eigvalsh(bad)) < 0
+        fixed = nearest_positive_definite(bad)
+        assert np.min(np.linalg.eigvalsh(fixed)) > 0
+        assert np.allclose(np.diag(fixed), 1.0)
+
+
+class TestCorrelatedNormals:
+    def test_realised_correlation_matches_target(self):
+        target = np.array([[1.0, 0.8], [0.8, 1.0]])
+        rng = np.random.default_rng(0)
+        draws = correlated_normals(100_000, target, rng)
+        realised = np.corrcoef(draws.T)[0, 1]
+        assert realised == pytest.approx(0.8, abs=0.01)
+
+    def test_unit_marginals(self):
+        hubs = all_hubs()[:5]
+        target = build_target_matrix(hubs)
+        rng = np.random.default_rng(1)
+        draws = correlated_normals(50_000, target, rng)
+        assert draws.std(axis=0) == pytest.approx(np.ones(5), abs=0.03)
+
+    def test_deterministic_given_rng_seed(self):
+        target = build_target_matrix(all_hubs()[:3])
+        a = correlated_normals(100, target, np.random.default_rng(42))
+        b = correlated_normals(100, target, np.random.default_rng(42))
+        assert np.array_equal(a, b)

@@ -1,0 +1,86 @@
+"""Tests for repro.markets.hubs and repro.markets.rto."""
+
+import pytest
+
+from repro.errors import UnknownHubError
+from repro.markets.hubs import (
+    ALL_HUB_CODES,
+    CLUSTER_HUB_CODES,
+    HUBS,
+    all_hubs,
+    cluster_hubs,
+    get_hub,
+    hub_distance_km,
+)
+from repro.markets.rto import RTO, RTO_INFO
+
+
+class TestRoster:
+    def test_twenty_nine_hubs(self):
+        # §3: "We use price data for 30 locations" = 29 hourly hubs
+        # (this registry) + the daily-only Northwest hub.
+        assert len(ALL_HUB_CODES) == 29
+        assert len(HUBS) == 29
+
+    def test_all_six_rtos_present(self):
+        rtos = {h.rto for h in all_hubs()}
+        assert rtos == set(RTO)
+
+    def test_nine_cluster_hubs_with_fig19_labels(self):
+        labels = [get_hub(c).cluster_label for c in CLUSTER_HUB_CODES]
+        assert labels == ["CA1", "CA2", "MA", "NY", "IL", "VA", "NJ", "TX1", "TX2"]
+
+    def test_cluster_hubs_order(self):
+        assert [h.code for h in cluster_hubs()] == list(CLUSTER_HUB_CODES)
+
+    def test_non_cluster_hubs_have_no_label(self):
+        for hub in all_hubs():
+            if hub.code not in CLUSTER_HUB_CODES:
+                assert hub.cluster_label is None
+
+    def test_fig6_published_stats_embedded(self):
+        assert get_hub("CHI").mean_price == pytest.approx(40.6)
+        assert get_hub("NYC").mean_price == pytest.approx(77.9)
+        assert get_hub("NP15").price_sigma == pytest.approx(34.2)
+
+    def test_nyc_most_expensive_of_fig6_six(self):
+        six = ["CHI", "CINERGY", "NP15", "DOM", "MA-BOS", "NYC"]
+        means = {c: get_hub(c).mean_price for c in six}
+        assert max(means, key=means.get) == "NYC"
+        assert min(means, key=means.get) == "CHI"
+
+    def test_positive_prices_and_sigmas(self):
+        for hub in all_hubs():
+            assert hub.mean_price > 0
+            assert hub.price_sigma > 0
+            assert hub.spikiness > 0
+
+
+class TestLookup:
+    def test_unknown_hub_raises(self):
+        with pytest.raises(UnknownHubError):
+            get_hub("NOPE")
+
+    def test_distance_accepts_codes_and_hubs(self):
+        d1 = hub_distance_km("NP15", "SP15")
+        d2 = hub_distance_km(get_hub("NP15"), get_hub("SP15"))
+        assert d1 == d2
+        assert 400 < d1 < 700  # Palo Alto - LA
+
+    def test_distance_zero_to_self(self):
+        assert hub_distance_km("CHI", "CHI") == 0.0
+
+
+class TestRTOInfo:
+    def test_every_rto_has_info(self):
+        assert set(RTO_INFO) == set(RTO)
+
+    def test_caiso_most_cohesive(self):
+        # §3.2: LA/Palo Alto at 0.94 — CAISO hubs nearly lockstep.
+        assert RTO_INFO[RTO.CAISO].cohesion == min(i.cohesion for i in RTO_INFO.values())
+
+    def test_texas_strongest_gas_coupling(self):
+        # §2.2: 86% of Texas generation was gas+coal in 2007.
+        assert RTO_INFO[RTO.ERCOT].gas_coupling == max(
+            i.gas_coupling for i in RTO_INFO.values()
+        )

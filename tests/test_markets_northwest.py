@@ -1,0 +1,44 @@
+"""Tests for repro.markets.northwest (the Fig. 3 MID-C series)."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.markets.northwest import MIDC_MEAN_PRICE, northwest_daily_series
+
+
+@pytest.fixture(scope="module")
+def series():
+    return northwest_daily_series(datetime(2006, 1, 1), 39, seed=2009)
+
+
+class TestNorthwest:
+    def test_daily_resolution(self, series):
+        assert series.step_seconds == 86_400
+        assert len(series) == 1186  # 39 months of days
+
+    def test_positive_prices(self, series):
+        assert series.values.min() > 0.0
+
+    def test_mean_near_nominal(self, series):
+        assert series.mean == pytest.approx(MIDC_MEAN_PRICE, rel=0.25)
+
+    def test_april_may_dip(self, series):
+        months = np.array([d.month for d in series.time_axis()])
+        spring = series.values[(months == 4) | (months == 5)].mean()
+        rest = series.values[(months != 4) & (months != 5)].mean()
+        # The hydro run-off dip: spring well below the rest of the year.
+        assert spring < 0.8 * rest
+
+    def test_no_2008_gas_hump(self, series):
+        years = np.array([d.year for d in series.time_axis()])
+        mean_2007 = series.values[years == 2007].mean()
+        mean_2008 = series.values[years == 2008].mean()
+        # Hydro region: 2008 within 15% of 2007 (gas-coupled hubs jump >25%).
+        assert mean_2008 == pytest.approx(mean_2007, rel=0.15)
+
+    def test_deterministic(self):
+        a = northwest_daily_series(datetime(2006, 1, 1), 6, seed=1)
+        b = northwest_daily_series(datetime(2006, 1, 1), 6, seed=1)
+        assert np.array_equal(a.values, b.values)

@@ -1,0 +1,148 @@
+"""Tests for repro.markets.series."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SeriesAlignmentError
+from repro.markets.series import PriceSeries
+
+START = datetime(2006, 1, 1)
+
+
+def make_series(values, step=3600, label="X"):
+    return PriceSeries(START, np.asarray(values, dtype=float), step, label)
+
+
+class TestConstruction:
+    def test_values_copied_and_read_only(self):
+        data = np.ones(10)
+        series = make_series(data)
+        data[0] = 99.0
+        assert series.values[0] == 1.0
+        with pytest.raises(ValueError):
+            series.values[0] = 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            make_series([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            PriceSeries(START, np.ones((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            make_series([1.0, np.nan])
+
+    def test_end_and_duration(self):
+        series = make_series(np.arange(48))
+        assert series.end == START + timedelta(hours=48)
+        assert series.duration_hours == 48
+
+
+class TestArithmetic:
+    def test_subtraction_aligned(self):
+        a = make_series([10.0, 20.0, 30.0], label="A")
+        b = make_series([1.0, 2.0, 3.0], label="B")
+        diff = a - b
+        assert np.allclose(diff.values, [9.0, 18.0, 27.0])
+        assert diff.label == "A-B"
+
+    def test_subtraction_misaligned_raises(self):
+        a = make_series([1.0, 2.0])
+        b = PriceSeries(START + timedelta(hours=1), np.array([1.0, 2.0]))
+        with pytest.raises(SeriesAlignmentError):
+            a - b
+
+    def test_shift_repeats_first_value(self):
+        series = make_series([1.0, 2.0, 3.0, 4.0])
+        shifted = series.shifted(2)
+        assert np.allclose(shifted.values, [1.0, 1.0, 1.0, 2.0])
+
+    def test_shift_zero_is_identity(self):
+        series = make_series([1.0, 2.0])
+        assert series.shifted(0) is series
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_series([1.0]).shifted(-1)
+
+
+class TestResampling:
+    def test_daily_average(self):
+        values = np.concatenate([np.full(24, 10.0), np.full(24, 30.0)])
+        daily = make_series(values).daily_average()
+        assert np.allclose(daily.values, [10.0, 30.0])
+        assert daily.step_seconds == 86_400
+
+    def test_resample_drops_partial_block(self):
+        series = make_series(np.arange(25.0))
+        daily = series.resample_mean(24)
+        assert len(daily) == 1
+
+    def test_windowed_std_native(self):
+        rng = np.random.default_rng(0)
+        series = make_series(rng.normal(50, 10, 2000))
+        assert series.windowed_std(1) == pytest.approx(series.std)
+
+    def test_windowed_std_decreases_for_iid(self):
+        rng = np.random.default_rng(1)
+        series = make_series(rng.normal(50, 10, 5000))
+        assert series.windowed_std(24) < series.windowed_std(1)
+
+    def test_window_finer_than_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_series([1.0, 2.0]).windowed_std(0.5)
+
+
+class TestStatistics:
+    def test_changes(self):
+        series = make_series([1.0, 4.0, 2.0])
+        assert np.allclose(series.changes(), [3.0, -2.0])
+
+    def test_trimming_removes_extremes(self):
+        values = np.concatenate([np.full(98, 50.0), [1000.0, -1000.0]])
+        series = make_series(values)
+        trimmed = series.trimmed(0.02)
+        assert trimmed.max() < 1000.0
+        assert trimmed.min() > -1000.0
+
+    def test_trim_zero_returns_all(self):
+        series = make_series([1.0, 2.0, 3.0])
+        assert len(series.trimmed(0.0)) == 3
+
+    def test_stats_gaussian_kurtosis_near_3(self):
+        rng = np.random.default_rng(2)
+        series = make_series(rng.normal(60, 5, 50_000))
+        stats = series.stats(trim_fraction=0.0)
+        assert stats.kurtosis == pytest.approx(3.0, abs=0.15)
+        assert stats.mean == pytest.approx(60.0, abs=0.2)
+
+    def test_invalid_trim_fraction(self):
+        with pytest.raises(ConfigurationError):
+            make_series([1.0, 2.0]).stats(trim_fraction=0.7)
+
+
+class TestSlicing:
+    def test_monthly_slices_cover_everything(self):
+        hours = (31 + 28) * 24
+        series = make_series(np.arange(float(hours)))
+        chunks = series.monthly_slices()
+        assert len(chunks) == 2
+        assert len(chunks[0]) == 31 * 24
+        assert len(chunks[1]) == 28 * 24
+        rejoined = np.concatenate([c.values for c in chunks])
+        assert np.allclose(rejoined, series.values)
+
+    def test_slice_dates(self):
+        series = make_series(np.arange(72.0))
+        part = series.slice_dates(START + timedelta(hours=24), START + timedelta(hours=48))
+        assert len(part) == 24
+        assert part.values[0] == 24.0
+
+    def test_empty_slice_rejected(self):
+        series = make_series(np.arange(10.0))
+        with pytest.raises(ConfigurationError):
+            series.slice(5, 5)

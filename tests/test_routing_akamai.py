@@ -1,0 +1,78 @@
+"""Tests for repro.routing.akamai (the baseline router)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.akamai import BaselineProximityRouter
+from repro.routing.base import RoutingProblem
+from repro.traffic.clusters import akamai_like_deployment
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return RoutingProblem(akamai_like_deployment())
+
+
+@pytest.fixture(scope="module")
+def router(problem):
+    return BaselineProximityRouter(problem)
+
+
+def uniform_demand(problem, total=900_000.0):
+    return np.full(problem.n_states, total / problem.n_states)
+
+
+class TestBaseline:
+    def test_validation(self, problem):
+        with pytest.raises(ConfigurationError):
+            BaselineProximityRouter(problem, balance_slack=0.5)
+
+    def test_conserves_demand(self, problem, router):
+        demand = uniform_demand(problem)
+        limits = np.full(problem.n_clusters, np.inf)
+        alloc = router.allocate(demand, np.zeros(9), limits)
+        assert np.allclose(alloc.sum(axis=1), demand)
+
+    def test_price_blind(self, problem, router):
+        demand = uniform_demand(problem)
+        limits = np.full(problem.n_clusters, np.inf)
+        cheap_east = np.array([100.0, 100, 1.0, 1, 1, 1, 1, 100, 100])
+        cheap_west = cheap_east[::-1].copy()
+        a = router.allocate(demand, cheap_east, limits)
+        b = router.allocate(demand, cheap_west, limits)
+        assert np.array_equal(a, b)
+
+    def test_balances_toward_capacity_shares(self, problem, router):
+        demand = uniform_demand(problem)
+        limits = np.full(problem.n_clusters, np.inf)
+        alloc = router.allocate(demand, np.zeros(9), limits)
+        loads = alloc.sum(axis=0)
+        shares = problem.deployment.capacities / problem.deployment.total_capacity
+        targets = shares * demand.sum()
+        assert np.all(loads <= targets * router.balance_slack + 1e-6)
+
+    def test_geographic_locality(self, problem, router):
+        # Massachusetts demand should land overwhelmingly in the
+        # Northeast clusters (MA/NY/NJ), not in Texas or California.
+        demand = np.zeros(problem.n_states)
+        ma = problem.state_codes.index("MA")
+        demand[ma] = 1000.0
+        limits = np.full(problem.n_clusters, np.inf)
+        alloc = router.allocate(demand, np.zeros(9), limits)
+        labels = problem.deployment.labels
+        northeast = sum(alloc[ma, labels.index(c)] for c in ("MA", "NY", "NJ"))
+        assert northeast == pytest.approx(1000.0)
+
+    def test_respects_external_limits(self, problem, router):
+        demand = uniform_demand(problem, total=1.2e6)
+        limits = problem.deployment.capacities * 0.6
+        alloc = router.allocate(demand, np.zeros(9), limits)
+        assert np.all(alloc.sum(axis=0) <= limits + 1e-6)
+
+    def test_deterministic(self, problem, router):
+        demand = uniform_demand(problem)
+        limits = np.full(problem.n_clusters, np.inf)
+        a = router.allocate(demand, np.zeros(9), limits)
+        b = router.allocate(demand, np.zeros(9), limits)
+        assert np.array_equal(a, b)

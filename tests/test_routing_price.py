@@ -1,0 +1,128 @@
+"""Tests for repro.routing.price (the paper's core optimizer)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.base import RoutingProblem
+from repro.routing.price import METRO_RADIUS_KM, PriceConsciousRouter
+from repro.traffic.clusters import akamai_like_deployment
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return RoutingProblem(akamai_like_deployment())
+
+
+def relaxed_limits(problem):
+    return np.full(problem.n_clusters, np.inf)
+
+
+class TestCandidateSets:
+    def test_zero_threshold_gives_metro_fallback(self, problem):
+        router = PriceConsciousRouter(problem, distance_threshold_km=0.0)
+        for cands in router.candidate_sets:
+            assert cands.size >= 1
+
+    def test_huge_threshold_gives_all_clusters(self, problem):
+        router = PriceConsciousRouter(problem, distance_threshold_km=10_000.0)
+        for cands in router.candidate_sets:
+            assert cands.size == problem.n_clusters
+
+    def test_candidates_grow_with_threshold(self, problem):
+        small = PriceConsciousRouter(problem, 500.0)
+        large = PriceConsciousRouter(problem, 2000.0)
+        for s, l in zip(small.candidate_sets, large.candidate_sets):
+            assert set(s) <= set(l)
+
+    def test_fallback_includes_metro_neighbours(self, problem):
+        router = PriceConsciousRouter(problem, 0.0)
+        distances = problem.distances.matrix
+        for s, cands in enumerate(router.candidate_sets):
+            nearest = distances[s].min()
+            expected = np.flatnonzero(distances[s] <= nearest + METRO_RADIUS_KM)
+            assert set(cands) == set(expected)
+
+    def test_validation(self, problem):
+        with pytest.raises(ConfigurationError):
+            PriceConsciousRouter(problem, -1.0)
+        with pytest.raises(ConfigurationError):
+            PriceConsciousRouter(problem, 100.0, price_threshold=-1.0)
+
+
+class TestAllocation:
+    def test_conserves_demand(self, problem):
+        router = PriceConsciousRouter(problem, 1500.0)
+        rng = np.random.default_rng(0)
+        demand = rng.random(problem.n_states) * 1e4
+        prices = rng.random(problem.n_clusters) * 100
+        alloc = router.allocate(demand, prices, relaxed_limits(problem))
+        assert np.allclose(alloc.sum(axis=1), demand)
+
+    def test_picks_cheapest_when_unconstrained(self, problem):
+        router = PriceConsciousRouter(problem, 10_000.0, price_threshold=0.0)
+        demand = np.full(problem.n_states, 100.0)
+        prices = np.arange(9.0) * 10.0 + 10.0  # cluster 0 cheapest
+        alloc = router.allocate(demand, prices, relaxed_limits(problem))
+        assert np.allclose(alloc[:, 0], demand)
+
+    def test_price_threshold_breaks_ties_by_distance(self, problem):
+        # Clusters 0 (CA1) and 3 (NY) priced within the threshold:
+        # an East Coast state must pick NY, a West Coast state CA1.
+        router = PriceConsciousRouter(problem, 10_000.0, price_threshold=5.0)
+        prices = np.full(9, 100.0)
+        prices[0] = 50.0
+        prices[3] = 53.0  # within $5 of the cheapest
+        demand = np.zeros(problem.n_states)
+        ny = problem.state_codes.index("NY")
+        ca = problem.state_codes.index("CA")
+        demand[ny] = demand[ca] = 100.0
+        alloc = router.allocate(demand, prices, relaxed_limits(problem))
+        assert alloc[ny, 3] == 100.0
+        assert alloc[ca, 0] == 100.0
+
+    def test_distance_threshold_respected(self, problem):
+        router = PriceConsciousRouter(problem, 1000.0)
+        prices = np.full(9, 100.0)
+        tx1 = problem.deployment.index_of("TX1")
+        prices[tx1] = 1.0  # Texas nearly free
+        demand = np.zeros(problem.n_states)
+        ma = problem.state_codes.index("MA")
+        demand[ma] = 500.0
+        alloc = router.allocate(demand, prices, relaxed_limits(problem))
+        # Massachusetts is ~2700 km from Dallas: must NOT go there.
+        assert alloc[ma, tx1] == 0.0
+
+    def test_spills_at_capacity(self, problem):
+        router = PriceConsciousRouter(problem, 10_000.0, price_threshold=0.0)
+        demand = np.full(problem.n_states, 1000.0)
+        prices = np.arange(9.0)
+        limits = np.full(9, 10_000.0)
+        limits[0] = 500.0  # cheapest cluster tiny
+        alloc = router.allocate(demand, prices, limits)
+        loads = alloc.sum(axis=0)
+        assert loads[0] <= 500.0 + 1e-9
+        assert np.allclose(alloc.sum(), demand.sum())
+
+    def test_fast_path_matches_greedy_when_loose(self, problem):
+        router = PriceConsciousRouter(problem, 1500.0)
+        rng = np.random.default_rng(1)
+        demand = rng.random(problem.n_states) * 1000
+        prices = rng.random(9) * 80 + 20
+        loose = router.allocate(demand, prices, relaxed_limits(problem))
+        # Limits just above the realised loads: the greedy path must
+        # produce the same (single-cluster-per-state) allocation.
+        limits = loose.sum(axis=0) + 1.0
+        tight = router.allocate(demand, prices, limits)
+        assert np.allclose(loose, tight)
+
+    def test_cheaper_prices_pull_traffic(self, problem):
+        router = PriceConsciousRouter(problem, 2000.0)
+        demand = np.full(problem.n_states, 1000.0)
+        flat = np.full(9, 60.0)
+        il = problem.deployment.index_of("IL")
+        discounted = flat.copy()
+        discounted[il] = 10.0
+        base_alloc = router.allocate(demand, flat, relaxed_limits(problem))
+        disc_alloc = router.allocate(demand, discounted, relaxed_limits(problem))
+        assert disc_alloc[:, il].sum() > base_alloc[:, il].sum()

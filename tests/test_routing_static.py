@@ -1,0 +1,46 @@
+"""Tests for repro.routing.static."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.base import RoutingProblem
+from repro.routing.static import StaticSingleHubRouter, cheapest_cluster_index
+from repro.traffic.clusters import akamai_like_deployment
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return RoutingProblem(akamai_like_deployment())
+
+
+class TestCheapestIndex:
+    def test_argmin(self, problem):
+        means = np.array([50.0, 40.0, 60.0, 55.0, 35.0, 70.0, 65.0, 45.0, 52.0])
+        assert cheapest_cluster_index(problem, means) == 4
+
+    def test_shape_validation(self, problem):
+        with pytest.raises(ConfigurationError):
+            cheapest_cluster_index(problem, np.array([1.0, 2.0]))
+
+
+class TestStaticRouter:
+    def test_all_demand_to_target(self, problem):
+        router = StaticSingleHubRouter(problem, 4)
+        demand = np.arange(float(problem.n_states))
+        alloc = router.allocate(demand, np.zeros(9), np.full(9, np.inf))
+        assert np.allclose(alloc[:, 4], demand)
+        assert np.allclose(np.delete(alloc, 4, axis=1), 0.0)
+
+    def test_ignores_prices_and_limits(self, problem):
+        router = StaticSingleHubRouter(problem, 0)
+        demand = np.full(problem.n_states, 10.0)
+        a = router.allocate(demand, np.zeros(9), np.full(9, np.inf))
+        b = router.allocate(demand, np.full(9, 1e9), np.zeros(9))
+        assert np.array_equal(a, b)
+
+    def test_index_validation(self, problem):
+        with pytest.raises(ConfigurationError):
+            StaticSingleHubRouter(problem, 9)
+        with pytest.raises(ConfigurationError):
+            StaticSingleHubRouter(problem, -1)

@@ -1,0 +1,90 @@
+"""Tests for repro.traffic.clusters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markets.hubs import CLUSTER_HUB_CODES
+from repro.traffic.clusters import (
+    HITS_PER_SERVER,
+    Cluster,
+    ClusterDeployment,
+    akamai_like_deployment,
+    uniform_deployment,
+)
+
+
+class TestCluster:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Cluster("X", "NYC", 0, 100.0)
+        with pytest.raises(ConfigurationError):
+            Cluster("X", "NYC", 10, 0.0)
+
+    def test_hub_resolution(self):
+        cluster = Cluster("NY", "NYC", 10, 1600.0)
+        assert cluster.hub.code == "NYC"
+        assert cluster.location == cluster.hub.location
+
+
+class TestAkamaiLikeDeployment:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return akamai_like_deployment()
+
+    def test_nine_clusters_fig19_order(self, deployment):
+        assert deployment.labels == ("CA1", "CA2", "MA", "NY", "IL", "VA", "NJ", "TX1", "TX2")
+        assert deployment.hub_codes == CLUSTER_HUB_CODES
+
+    def test_capacity_consistent_with_servers(self, deployment):
+        for cluster in deployment:
+            assert cluster.hits_capacity == pytest.approx(
+                cluster.n_servers * HITS_PER_SERVER
+            )
+
+    def test_total_capacity_exceeds_us_peak(self, deployment):
+        # The deployment must absorb the ~1.25-1.4M hits/s US peak.
+        assert deployment.total_capacity > 1.5e6
+
+    def test_heterogeneous_sizes(self, deployment):
+        sizes = {c.label: c.n_servers for c in deployment}
+        assert sizes["NY"] > sizes["TX2"]  # coastal skew
+
+    def test_capacities_read_only(self, deployment):
+        with pytest.raises(ValueError):
+            deployment.capacities[0] = 1.0
+
+    def test_index_of(self, deployment):
+        assert deployment.index_of("NY") == 3
+        with pytest.raises(ConfigurationError):
+            deployment.index_of("nope")
+
+
+class TestUniformDeployment:
+    def test_default_covers_cluster_hubs(self):
+        deployment = uniform_deployment()
+        assert deployment.n_clusters == 9
+        sizes = {c.n_servers for c in deployment}
+        assert len(sizes) == 1  # uniform
+
+    def test_custom_hub_subset(self):
+        deployment = uniform_deployment(("NYC", "CHI"), servers_per_cluster=100)
+        assert deployment.n_clusters == 2
+        assert deployment.total_capacity == pytest.approx(2 * 100 * HITS_PER_SERVER)
+
+    def test_all_29_hub_deployment(self):
+        from repro.markets.hubs import ALL_HUB_CODES
+
+        deployment = uniform_deployment(ALL_HUB_CODES)
+        assert deployment.n_clusters == 29
+
+
+class TestDeploymentValidation:
+    def test_duplicate_labels_rejected(self):
+        c = Cluster("A", "NYC", 10, 100.0)
+        with pytest.raises(ConfigurationError):
+            ClusterDeployment([c, c])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDeployment([])

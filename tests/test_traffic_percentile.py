@@ -1,0 +1,63 @@
+"""Tests for repro.traffic.percentile (95/5 billing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.percentile import Bandwidth95Tracker, billing_percentile, percentile_95
+
+
+class TestBillingPercentile:
+    def test_simple_percentile(self):
+        samples = np.tile(np.arange(100.0)[:, None], (1, 2))
+        p95 = percentile_95(samples)
+        assert p95 == pytest.approx([94.05, 94.05])
+
+    def test_top_five_percent_free(self):
+        # Bursting in <5% of intervals must not move the bill basis.
+        base = np.full((100, 1), 10.0)
+        burst = base.copy()
+        burst[:4] = 1000.0  # 4% of intervals
+        assert percentile_95(burst)[0] == pytest.approx(percentile_95(base)[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            billing_percentile(np.ones(5))
+        with pytest.raises(ConfigurationError):
+            billing_percentile(np.ones((5, 2)), percentile=0.0)
+
+
+class TestTracker:
+    def test_limits_are_caps(self):
+        tracker = Bandwidth95Tracker(np.array([10.0, 20.0]), n_steps=100)
+        assert np.allclose(tracker.limits(), [10.0, 20.0])
+
+    def test_burst_counting(self):
+        tracker = Bandwidth95Tracker(np.array([10.0, 20.0]), n_steps=100)
+        tracker.record(np.array([11.0, 5.0]))
+        tracker.record(np.array([9.0, 25.0]))
+        tracker.record(np.array([10.0, 20.0]))  # at cap: not a burst
+        assert list(tracker.bursts_used) == [1, 1]
+
+    def test_within_budget(self):
+        tracker = Bandwidth95Tracker(np.array([10.0]), n_steps=100)
+        for _ in range(5):
+            tracker.record(np.array([11.0]))
+        assert tracker.within_billing_budget()
+        tracker.record(np.array([11.0]))
+        assert not tracker.within_billing_budget()
+
+    def test_free_budget_size(self):
+        tracker = Bandwidth95Tracker(np.array([10.0]), n_steps=1000)
+        assert tracker.free_budget == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Bandwidth95Tracker(np.array([-1.0]), 10)
+        with pytest.raises(ConfigurationError):
+            Bandwidth95Tracker(np.array([1.0]), 0)
+        with pytest.raises(ConfigurationError):
+            Bandwidth95Tracker(np.ones((2, 2)), 10)
+        tracker = Bandwidth95Tracker(np.array([1.0]), 10)
+        with pytest.raises(ConfigurationError):
+            tracker.record(np.array([1.0, 2.0]))

@@ -1,0 +1,37 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    annual_hours,
+    mwh_cost,
+    watt_hours_to_mwh,
+    watt_seconds_to_mwh,
+    watts_to_megawatts,
+)
+
+
+class TestConversions:
+    def test_watts_to_megawatts(self):
+        assert watts_to_megawatts(2_500_000.0) == 2.5
+
+    def test_watt_hours_round_trip(self):
+        assert watt_hours_to_mwh(1_000_000.0) == 1.0
+
+    def test_watt_seconds(self):
+        # 1 MW for 1 hour = 1 MWh.
+        assert watt_seconds_to_mwh(1_000_000.0 * 3600.0) == pytest.approx(1.0)
+
+    def test_mwh_cost(self):
+        assert mwh_cost(10.0, 60.0) == 600.0
+
+    def test_annual_hours(self):
+        assert annual_hours() == 8760
+        assert annual_hours(leap=True) == 8784
+
+    def test_server_year_example(self):
+        # A 250 W server running a year: ~2.19 MWh, ~$131 at $60/MWh —
+        # the scale §2.1's fleet numbers are built from.
+        mwh = watt_hours_to_mwh(250.0 * annual_hours())
+        assert mwh == pytest.approx(2.19, rel=0.01)
+        assert mwh_cost(mwh, 60.0) == pytest.approx(131.4, rel=0.01)
