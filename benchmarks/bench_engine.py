@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Engine benchmark: batched pipeline vs the per-step reference loop.
+
+Times :func:`repro.sim.simulate` (the staged, vectorised pipeline)
+against :func:`repro.sim.simulate_per_step` (the original §6.1
+one-``allocate``-per-step loop) on a one-year hourly trace, verifies
+the two produce identical loads, and writes the wall-clock record to
+``BENCH_engine.json`` so the repository's performance trajectory is
+tracked in-tree.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--output PATH]
+
+``--quick`` shrinks the trace to 60 days for CI smoke runs; the
+committed BENCH_engine.json should come from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime
+
+import numpy as np
+
+from repro.markets.calendar import HourlyCalendar
+from repro.markets.generator import MarketConfig, generate_market
+from repro.routing import (
+    BaselineProximityRouter,
+    PriceConsciousRouter,
+    RoutingProblem,
+)
+from repro.sim import SimulationOptions, simulate, simulate_per_step
+from repro.traffic.clusters import akamai_like_deployment
+from repro.traffic.synthetic import TraceConfig, make_trace
+from repro.traffic.trace import HourOfWeekWorkload
+
+#: The market starts here; the benchmark trace starts one month in.
+MARKET_START = datetime(2008, 1, 1)
+
+
+def _time(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench(days: int, repeats: int) -> dict:
+    months = max(3, days // 30 + 2)
+    dataset = generate_market(
+        MarketConfig(start=MARKET_START, months=months, seed=2009)
+    )
+    base_trace = make_trace(TraceConfig(start=datetime(2008, 2, 1), seed=1224))
+    workload = HourOfWeekWorkload.from_trace(base_trace)
+    trace = workload.expand(HourlyCalendar(datetime(2008, 2, 1), days * 24))
+    problem = RoutingProblem(akamai_like_deployment())
+
+    baseline_router = BaselineProximityRouter(problem)
+    price_router = PriceConsciousRouter(problem, distance_threshold_km=1500.0)
+    caps = simulate(trace, dataset, problem, baseline_router).percentiles_95()
+
+    cases = {
+        "price_unconstrained": (price_router, None),
+        "price_followed_95_5": (
+            price_router,
+            SimulationOptions(bandwidth_caps=caps),
+        ),
+        "baseline_proximity": (baseline_router, None),
+    }
+
+    runs = {}
+    for name, (router, options) in cases.items():
+        batched = simulate(trace, dataset, problem, router, options)
+        reference = simulate_per_step(trace, dataset, problem, router, options)
+        max_err = float(np.abs(batched.loads - reference.loads).max())
+        t_batched = _time(
+            lambda: simulate(trace, dataset, problem, router, options), repeats
+        )
+        t_reference = _time(
+            lambda: simulate_per_step(trace, dataset, problem, router, options),
+            repeats,
+        )
+        runs[name] = {
+            "batched_seconds": round(t_batched, 4),
+            "per_step_seconds": round(t_reference, 4),
+            "speedup": round(t_reference / t_batched, 2),
+            "max_load_abs_err": max_err,
+        }
+        print(
+            f"{name:24s} batched {t_batched:7.3f}s  per-step {t_reference:7.3f}s  "
+            f"speedup {t_reference / t_batched:5.1f}x  max err {max_err:.2e}"
+        )
+
+    return {
+        "benchmark": "sim.engine batched pipeline vs per-step reference",
+        "generated_by": "benchmarks/bench_engine.py",
+        "trace": {
+            "kind": "hour-of-week hourly",
+            "days": days,
+            "n_steps": trace.n_steps,
+            "n_states": trace.n_states,
+            "n_clusters": problem.n_clusters,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "runs": runs,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="60-day trace for CI smoke runs"
+    )
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats (best-of)"
+    )
+    args = parser.parse_args()
+
+    days = 60 if args.quick else 365
+    record = bench(days, args.repeats)
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    unconstrained = record["runs"]["price_unconstrained"]
+    if unconstrained["max_load_abs_err"] > 1e-6:
+        print("FAIL: batched pipeline diverged from the per-step reference")
+        return 1
+    if not args.quick and unconstrained["speedup"] < 5.0:
+        print("FAIL: unconstrained price-optimizer speedup below 5x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

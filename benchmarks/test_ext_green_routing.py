@@ -12,6 +12,7 @@ import numpy as np
 from benchmarks.conftest import run_once
 from repro.energy import OPTIMISTIC_FUTURE
 from repro.ext.carbon import CarbonConsciousRouter, carbon_intensity_matrix
+from repro.ext.signal import hourly_signal_rows
 from repro.experiments.common import (
     baseline_24day,
     default_dataset,
@@ -19,22 +20,7 @@ from repro.experiments.common import (
     trace_24day,
 )
 from repro.routing.price import PriceConsciousRouter
-from repro.sim.engine import _hour_indices, simulate
-
-
-class _SignalRouter:
-    """Run a price-style router against a substitute hourly signal."""
-
-    def __init__(self, inner, signal_matrix, hours):
-        self._inner = inner
-        self._signal = signal_matrix
-        self._hours = hours
-        self._t = 0
-
-    def allocate(self, demand, prices, limits):
-        row = self._signal[self._hours[self._t]]
-        self._t += 1
-        return self._inner.allocate(demand, row, limits)
+from repro.sim.engine import simulate
 
 
 def compare():
@@ -43,10 +29,9 @@ def compare():
     trace = trace_24day()
     base = baseline_24day()
 
-    carbon = carbon_intensity_matrix(dataset)
-    hub_cols = [dataset.hub_column(c) for c in problem.deployment.hub_codes]
-    carbon_cols = carbon[:, hub_cols]
-    hours = _hour_indices(trace, dataset)
+    carbon_rows = hourly_signal_rows(
+        carbon_intensity_matrix(dataset), dataset, problem.deployment, trace
+    )
 
     dollars = simulate(
         trace, dataset, problem, PriceConsciousRouter(problem, 1500.0)
@@ -55,14 +40,15 @@ def compare():
         trace,
         dataset,
         problem,
-        _SignalRouter(CarbonConsciousRouter(problem, 1500.0), carbon_cols, hours),
+        CarbonConsciousRouter(problem, 1500.0),
+        router_prices=carbon_rows,
     )
 
     params = OPTIMISTIC_FUTURE
     rows = {}
     for name, result in (("baseline", base), ("dollars", dollars), ("carbon", green)):
         energy = result.energy_mwh(params)
-        tonnes = float(np.sum(energy * carbon_cols[hours]) / 1000.0)
+        tonnes = float(np.sum(energy * carbon_rows) / 1000.0)
         rows[name] = (result.total_cost(params), tonnes)
     return rows
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Billing structures: which contracts let routing savings through (§7).
 
-Runs baseline and price-aware routing once, then prices the identical
-consumption under four contract structures: wholesale-indexed (ComEd
-RTP style), a 70%-hedged blend, a fixed-price deal, and co-location
+Runs baseline and price-aware routing once (scenario derivations over
+a compact four-month market), then prices the identical consumption
+under four contract structures: wholesale-indexed (ComEd RTP style), a
+70%-hedged blend, a fixed-price deal, and co-location
 provisioned-capacity billing. §7's point, in numbers: the savings the
 simulator projects only reach the operator whose bill actually indexes
 to hourly wholesale prices.
@@ -15,26 +16,21 @@ from __future__ import annotations
 
 from datetime import datetime
 
+from repro import scenarios
 from repro.analysis import render_table
 from repro.energy import OPTIMISTIC_FUTURE
 from repro.ext import compare_plans
-from repro.markets import MarketConfig, generate_market
-from repro.routing import BaselineProximityRouter, PriceConsciousRouter, RoutingProblem
-from repro.sim import simulate
-from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
+from repro.scenarios import MarketSpec, TraceSpec
 
 
 def main() -> None:
     print("simulating baseline vs price-aware routing...")
-    dataset = generate_market(
-        MarketConfig(start=datetime(2008, 10, 1), months=4, seed=17)
+    scenario = scenarios.get("paper-default").derive(
+        market=MarketSpec(start=datetime(2008, 10, 1), months=4, seed=17),
+        trace=TraceSpec(kind="turn-of-year", seed=17),
     )
-    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=17))
-    problem = RoutingProblem(akamai_like_deployment())
-    baseline = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
-    priced = simulate(
-        trace, dataset, problem, PriceConsciousRouter(problem, 1500.0)
-    )
+    baseline = scenarios.baseline_result(scenario.market, scenario.trace)
+    priced = scenarios.run(scenario)
 
     rows = compare_plans(baseline, priced, OPTIMISTIC_FUTURE)
     table = [

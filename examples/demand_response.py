@@ -5,34 +5,23 @@ A geo-distributed operator can enrol clusters in triggered
 demand-response programs: when a hub's price spikes past the stress
 threshold, the cluster sheds load (requests reroute elsewhere) and the
 operator is paid for the negawatts. This example estimates that
-revenue stream on top of a price-aware routing run.
+revenue stream on top of the registered ``demand-response`` scenario
+(a 90-day baseline routing run).
 
 Run:  python examples/demand_response.py
 """
 
 from __future__ import annotations
 
-from datetime import datetime
-
+from repro import scenarios
 from repro.analysis import render_table
 from repro.energy import GOOGLE_LIKE
 from repro.ext import DemandResponseProgram, evaluate_demand_response
-from repro.markets import MarketConfig, generate_market
-from repro.routing import BaselineProximityRouter, RoutingProblem
-from repro.sim import simulate
-from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
 
 
 def main() -> None:
     print("simulating a quarter of operation...")
-    dataset = generate_market(
-        MarketConfig(start=datetime(2008, 10, 1), months=6, seed=33)
-    )
-    trace = make_trace(
-        TraceConfig(start=datetime(2008, 11, 1), n_steps=90 * 288, seed=33)
-    )
-    problem = RoutingProblem(akamai_like_deployment())
-    result = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
+    result = scenarios.run(scenarios.get("demand-response"))
 
     program = DemandResponseProgram(
         trigger_price=150.0, compensation_per_mwh=200.0, max_events_per_cluster=20

@@ -9,86 +9,50 @@ Compares three objective functions on the same trace:
 
 Reports cost, carbon, and distance for each, showing the trade-off
 surface the paper sketches ("a socially responsible service operator
-may instead choose an environmental impact cost function").
+may instead choose an environmental impact cost function"). The
+carbon- and weather-aware runs come straight from the registered
+``green-routing`` and ``weather-routing`` scenarios; the dollar run
+derives from the same market and trace with a plain price router.
 
 Run:  python examples/green_routing.py
 """
 
 from __future__ import annotations
 
-from datetime import datetime
-
 import numpy as np
 
+from repro import scenarios
 from repro.analysis import render_table
 from repro.energy import OPTIMISTIC_FUTURE
-from repro.ext import (
-    CarbonConsciousRouter,
-    carbon_intensity_matrix,
-    effective_price_matrix,
-)
-from repro.markets import MarketConfig, generate_market
-from repro.routing import BaselineProximityRouter, PriceConsciousRouter, RoutingProblem
-from repro.sim import simulate
-from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
-
-
-class MatrixRouter:
-    """Adapter: run a price-style router against any hourly cost matrix."""
-
-    def __init__(self, inner, matrix, dataset, deployment, trace):
-        from repro.sim.engine import _hour_indices
-
-        self._inner = inner
-        hub_cols = [dataset.hub_column(code) for code in deployment.hub_codes]
-        self._signal = matrix[:, hub_cols]
-        self._hours = _hour_indices(trace, dataset)
-        self._t = 0
-
-    def allocate(self, demand, prices, limits):
-        # Ignore the engine-provided prices; substitute our signal for
-        # the same step (engine steps sequentially).
-        row = self._signal[self._hours[self._t]]
-        self._t += 1
-        return self._inner.allocate(demand, row, limits)
+from repro.ext import carbon_intensity_matrix, hourly_signal_rows
+from repro.scenarios import RouterSpec
 
 
 def main() -> None:
     print("setting up market, intensity fields, and trace...")
-    dataset = generate_market(
-        MarketConfig(start=datetime(2008, 11, 1), months=4, seed=21)
-    )
-    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=21))
-    problem = RoutingProblem(akamai_like_deployment())
-    deployment = problem.deployment
+    green = scenarios.get("green-routing")
+    dataset = scenarios.dataset(green.market)
+    trace = scenarios.trace(green.trace, green.market)
+    deployment = scenarios.problem().deployment
 
-    carbon = carbon_intensity_matrix(dataset)
-    cooling_adjusted = effective_price_matrix(dataset)
-
-    routers = {
-        "baseline (proximity)": BaselineProximityRouter(problem),
-        "dollars (price-aware)": PriceConsciousRouter(problem, 1500.0),
-        "carbon-aware": MatrixRouter(
-            CarbonConsciousRouter(problem, 1500.0), carbon, dataset, deployment, trace
+    runs = {
+        "baseline (proximity)": scenarios.baseline_result(green.market, green.trace),
+        "dollars (price-aware)": scenarios.run(
+            green.derive(
+                router=RouterSpec.of("price", distance_threshold_km=1500.0)
+            )
         ),
-        "weather-aware": MatrixRouter(
-            PriceConsciousRouter(problem, 1500.0),
-            cooling_adjusted, dataset, deployment, trace,
-        ),
+        "carbon-aware": scenarios.run(green),
+        "weather-aware": scenarios.run(scenarios.get("weather-routing")),
     }
 
-    hub_cols = [dataset.hub_column(code) for code in deployment.hub_codes]
-    from repro.sim.engine import _hour_indices
-
-    hours = _hour_indices(trace, dataset)
-    carbon_rows = carbon[:, hub_cols][hours]
+    carbon_rows = hourly_signal_rows(
+        carbon_intensity_matrix(dataset), dataset, deployment, trace
+    )
 
     rows = []
     params = OPTIMISTIC_FUTURE
-    results = {}
-    for name, router in routers.items():
-        result = simulate(trace, dataset, problem, router)
-        results[name] = result
+    for name, result in runs.items():
         energy = result.energy_mwh(params)
         tonnes = float(np.sum(energy * carbon_rows) / 1000.0)
         rows.append(
@@ -104,8 +68,8 @@ def main() -> None:
         ("Objective", "Cost ($)", "CO2 (t)", "Mean dist (km)"),
         rows, title="Objective functions compared, 24-day trace"))
 
-    base = results["baseline (proximity)"]
-    dollars = results["dollars (price-aware)"]
+    base = runs["baseline (proximity)"]
+    dollars = runs["dollars (price-aware)"]
     print()
     print(f"price-aware saves {dollars.savings_vs(base, params):.1%} in dollars;")
     print("carbon-aware should show the lowest CO2 column;")

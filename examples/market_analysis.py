@@ -16,6 +16,7 @@ import sys
 
 import numpy as np
 
+from repro import scenarios
 from repro.analysis import (
     correlation_summary,
     differential_durations,
@@ -25,13 +26,13 @@ from repro.analysis import (
     pairwise_correlations,
     render_table,
 )
-from repro.markets import MarketConfig, generate_market
+from repro.scenarios import MarketSpec
 
 
 def main() -> None:
     months = 12 if "--fast" in sys.argv else 39
     print(f"generating {months} months of hourly prices for 29 hubs...")
-    dataset = generate_market(MarketConfig(months=months, seed=2009))
+    dataset = scenarios.dataset(MarketSpec(months=months, seed=2009))
 
     # Fig. 6: robust per-hub statistics.
     rows = []

@@ -1,50 +1,38 @@
 #!/usr/bin/env python3
 """Quickstart: price-aware routing end to end in under a minute.
 
-Generates a compact synthetic market (6 months, 29 hubs), a 24-day
-CDN trace, routes it with the price-blind baseline and the paper's
-price-conscious optimizer, and prints the electricity-cost comparison
-under two energy models.
+Runs the registered ``quickstart`` scenario — a compact synthetic
+market (6 months, 29 hubs) and a 24-day CDN trace — against the
+price-blind baseline and the paper's price-conscious optimizer, and
+prints the electricity-cost comparison under two energy models.
+Everything is wired through the scenario registry; the script only
+says *which* runs it wants.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from datetime import datetime
-
+from repro import scenarios
 from repro.energy import GOOGLE_LIKE, OPTIMISTIC_FUTURE
-from repro.markets import MarketConfig, generate_market
-from repro.routing import BaselineProximityRouter, PriceConsciousRouter, RoutingProblem
-from repro.sim import SimulationOptions, simulate
-from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
 
 
 def main() -> None:
+    scenario = scenarios.get("quickstart")
     print("generating 6 months of wholesale prices for 29 hubs...")
-    dataset = generate_market(
-        MarketConfig(start=datetime(2008, 10, 1), months=6, seed=7)
-    )
+    dataset = scenarios.dataset(scenario.market)
     print(f"  cheapest hub on average: {dataset.cheapest_hub()}")
 
     print("generating a 24-day five-minute CDN trace...")
-    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=7))
+    trace = scenarios.trace(scenario.trace, scenario.market)
     print(f"  {trace.n_steps} samples, US peak {trace.peak_us / 1e6:.2f} M hits/s")
 
-    problem = RoutingProblem(akamai_like_deployment())
     print("routing with the price-blind baseline...")
-    baseline = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
+    baseline = scenarios.baseline_result(scenario.market, scenario.trace)
 
     print("routing with the price-conscious optimizer (1500 km threshold)...")
-    router = PriceConsciousRouter(problem, distance_threshold_km=1500.0)
-    relaxed = simulate(trace, dataset, problem, router)
-    followed = simulate(
-        trace,
-        dataset,
-        problem,
-        router,
-        SimulationOptions(bandwidth_caps=baseline.percentiles_95()),
-    )
+    relaxed = scenarios.run(scenario)
+    followed = scenarios.run(scenario.derive(follow_95_5=True))
 
     print()
     print(f"{'energy model':28s} {'baseline $':>12s} {'priced $':>12s} "

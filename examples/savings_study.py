@@ -4,7 +4,9 @@
 The §6.2 experiment at example scale: sweep the price optimizer's
 distance threshold over a 24-day trace, cost every run under the
 Fig. 15 energy models, and show how elasticity and bandwidth
-constraints gate the achievable savings.
+constraints gate the achievable savings. Every run is a derivation of
+the registered ``price-optimizer-sweep`` scenario pointed at a
+compact four-month market.
 
 Run:  python examples/savings_study.py
 """
@@ -13,33 +15,27 @@ from __future__ import annotations
 
 from datetime import datetime
 
+from repro import scenarios
 from repro.analysis import render_table
-from repro.energy import FIG15_MODELS
-from repro.markets import MarketConfig, generate_market
-from repro.routing import BaselineProximityRouter, PriceConsciousRouter, RoutingProblem
-from repro.sim import SimulationOptions, simulate
-from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
+from repro.energy import FIG15_MODELS, OPTIMISTIC_FUTURE
+from repro.scenarios import MarketSpec, TraceSpec
 
 
 def main() -> None:
     print("setting up market, trace, and deployment...")
-    dataset = generate_market(
-        MarketConfig(start=datetime(2008, 11, 1), months=4, seed=11)
+    sweep = scenarios.get("price-optimizer-sweep").derive(
+        market=MarketSpec(start=datetime(2008, 11, 1), months=4, seed=11),
+        trace=TraceSpec(kind="turn-of-year", seed=11),
     )
-    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=11))
-    problem = RoutingProblem(akamai_like_deployment())
-    baseline = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
-    caps = baseline.percentiles_95()
+    baseline = scenarios.baseline_result(sweep.market, sweep.trace)
 
     # Sweep thresholds once; cost under every model afterwards.
     thresholds = (0.0, 500.0, 1000.0, 1500.0, 2500.0)
     runs = {}
     for threshold in thresholds:
-        router = PriceConsciousRouter(problem, distance_threshold_km=threshold)
-        runs[threshold, False] = simulate(trace, dataset, problem, router)
-        runs[threshold, True] = simulate(
-            trace, dataset, problem, router, SimulationOptions(bandwidth_caps=caps)
-        )
+        point = sweep.with_router(distance_threshold_km=threshold)
+        runs[threshold, False] = scenarios.run(point)
+        runs[threshold, True] = scenarios.run(point.derive(follow_95_5=True))
         print(f"  simulated threshold {threshold:.0f} km")
 
     print()
@@ -56,8 +52,6 @@ def main() -> None:
 
     print()
     rows = []
-    from repro.energy import OPTIMISTIC_FUTURE
-
     for threshold in thresholds:
         relaxed = runs[threshold, False]
         followed = runs[threshold, True]

@@ -18,6 +18,8 @@ The library provides every system the paper's evaluation rests on:
 * :mod:`repro.analysis` — the §3 market analytics,
 * :mod:`repro.ext` — §7/§8 extensions (demand response, carbon- and
   weather-aware routing),
+* :mod:`repro.scenarios` — named, frozen scenario specs and the
+  memoised runner that executes them,
 * :mod:`repro.experiments` — one driver per paper table/figure.
 
 Quickstart::
@@ -71,18 +73,23 @@ def quickstart(
     """
     from datetime import datetime
 
-    from repro.traffic.synthetic import TraceConfig, make_trace
+    from repro import scenarios
+    from repro.scenarios import MarketSpec, TraceSpec
 
     # The default trace runs 2008-12-16 .. 2009-01-09, so the market
     # calendar starting October 2008 must span at least four months.
-    dataset = generate_market(
-        MarketConfig(start=datetime(2008, 10, 1), months=max(4, months), seed=seed)
+    scenario = (
+        scenarios.get("quickstart")
+        .derive(
+            market=MarketSpec(
+                start=datetime(2008, 10, 1), months=max(4, months), seed=seed
+            ),
+            trace=TraceSpec(kind="turn-of-year", seed=seed),
+        )
+        .with_router(distance_threshold_km=distance_threshold_km)
     )
-    trace = make_trace(TraceConfig(start=datetime(2008, 12, 16), seed=seed))
-    problem = RoutingProblem(akamai_like_deployment())
-    baseline = simulate(trace, dataset, problem, BaselineProximityRouter(problem))
-    router = PriceConsciousRouter(problem, distance_threshold_km=distance_threshold_km)
-    priced = simulate(trace, dataset, problem, router)
+    baseline = scenarios.baseline_result(scenario.market, scenario.trace)
+    priced = scenarios.run(scenario)
     return {
         "baseline_cost_future_model": baseline.total_cost(OPTIMISTIC_FUTURE),
         "priced_cost_future_model": priced.total_cost(OPTIMISTIC_FUTURE),

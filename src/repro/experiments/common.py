@@ -1,35 +1,33 @@
 """Shared machinery for the per-figure experiment drivers.
 
-Experiments share one default market data set (29 hubs, Jan 2006 -
+All inputs and simulation runs are built through the scenario registry
+(:mod:`repro.scenarios`): one default market (29 hubs, Jan 2006 -
 Mar 2009, the paper's window), one 24-day turn-of-year trace, one
 Akamai-like deployment, and the §6.1 synthetic long workload derived
-from the trace. Everything heavy is memoised so the twenty drivers and
-their benchmarks never regenerate inputs.
+from the trace. The helpers here are thin, seed-parameterised views
+over the registry's ``paper-default`` family — memoisation lives in
+the scenario runner, so the twenty drivers and their benchmarks never
+regenerate inputs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
+from repro import scenarios
 from repro.energy.model import EnergyModelParams
-from repro.markets.calendar import HourlyCalendar
-from repro.markets.generator import MarketConfig, MarketDataset, generate_market
-from repro.routing.akamai import BaselineProximityRouter
+from repro.markets.generator import MarketDataset
 from repro.routing.base import RoutingProblem
-from repro.routing.price import PriceConsciousRouter
-from repro.routing.static import StaticSingleHubRouter, cheapest_cluster_index
-from repro.sim.engine import SimulationOptions, simulate
+from repro.scenarios import MarketSpec, TraceSpec
 from repro.sim.results import SimulationResult
-from repro.traffic.clusters import akamai_like_deployment
-from repro.traffic.synthetic import make_turn_of_year_trace
-from repro.traffic.trace import HourOfWeekWorkload, TrafficTrace
+from repro.traffic.trace import TrafficTrace
 
 __all__ = [
     "DEFAULT_SEED",
     "FigureResult",
+    "paper_market",
     "default_dataset",
     "default_problem",
     "trace_24day",
@@ -43,6 +41,12 @@ __all__ = [
 ]
 
 DEFAULT_SEED = 2009
+
+#: The paper's 24-day five-minute trace spec (trace seed 1224).
+TRACE_24DAY = TraceSpec(kind="turn-of-year")
+
+#: §6.3's synthetic hour-of-week workload over the whole calendar.
+TRACE_LONG = TraceSpec(kind="hour-of-week")
 
 
 @dataclass(frozen=True)
@@ -78,31 +82,29 @@ class FigureResult:
         return "\n".join(parts)
 
 
-@lru_cache(maxsize=2)
+def paper_market(seed: int = DEFAULT_SEED) -> MarketSpec:
+    """The paper-window market spec for a generator seed."""
+    return MarketSpec(seed=seed)
+
+
 def default_dataset(seed: int = DEFAULT_SEED) -> MarketDataset:
     """The 39-month, 29-hub market data set."""
-    return generate_market(MarketConfig(seed=seed))
+    return scenarios.dataset(paper_market(seed))
 
 
-@lru_cache(maxsize=1)
 def default_problem() -> RoutingProblem:
     """Akamai-like nine-cluster deployment with distances."""
-    return RoutingProblem(akamai_like_deployment())
+    return scenarios.problem()
 
 
-@lru_cache(maxsize=2)
 def trace_24day(seed: int = 1224) -> TrafficTrace:
     """The five-minute turn-of-year trace."""
-    return make_turn_of_year_trace(seed=seed)
+    return scenarios.trace(TraceSpec(kind="turn-of-year", seed=seed), MarketSpec())
 
 
-@lru_cache(maxsize=2)
 def baseline_24day(seed: int = DEFAULT_SEED) -> SimulationResult:
     """Baseline ("Akamai's original allocation") over the 24-day trace."""
-    problem = default_problem()
-    return simulate(
-        trace_24day(), default_dataset(seed), problem, BaselineProximityRouter(problem)
-    )
+    return scenarios.baseline_result(paper_market(seed), TRACE_24DAY)
 
 
 def caps_24day(seed: int = DEFAULT_SEED) -> np.ndarray:
@@ -110,37 +112,28 @@ def caps_24day(seed: int = DEFAULT_SEED) -> np.ndarray:
     return baseline_24day(seed).percentiles_95()
 
 
-@lru_cache(maxsize=2)
 def long_trace(seed: int = DEFAULT_SEED) -> TrafficTrace:
     """§6.3's synthetic hourly workload expanded over all 39 months."""
-    workload = HourOfWeekWorkload.from_trace(trace_24day())
-    calendar = default_dataset(seed).calendar
-    return workload.expand(HourlyCalendar(calendar.start, calendar.n_hours))
+    return scenarios.trace(TRACE_LONG, paper_market(seed))
 
 
-@lru_cache(maxsize=2)
 def baseline_long(seed: int = DEFAULT_SEED) -> SimulationResult:
     """Akamai-like baseline over the 39-month synthetic workload."""
-    problem = default_problem()
-    return simulate(
-        long_trace(seed), default_dataset(seed), problem, BaselineProximityRouter(problem)
-    )
+    return scenarios.baseline_result(paper_market(seed), TRACE_LONG)
 
 
-@lru_cache(maxsize=64)
 def price_run_24day(
     threshold_km: float, follow_95_5: bool, seed: int = DEFAULT_SEED
 ) -> SimulationResult:
     """Price-conscious run over the 24-day trace (memoised per config)."""
-    problem = default_problem()
-    router = PriceConsciousRouter(problem, distance_threshold_km=threshold_km)
-    options = SimulationOptions(
-        bandwidth_caps=caps_24day(seed) if follow_95_5 else None
+    scenario = (
+        scenarios.get("price-optimizer-sweep")
+        .derive(market=paper_market(seed), follow_95_5=follow_95_5)
+        .with_router(distance_threshold_km=threshold_km)
     )
-    return simulate(trace_24day(), default_dataset(seed), problem, router, options)
+    return scenarios.run(scenario)
 
 
-@lru_cache(maxsize=128)
 def price_run_long(
     threshold_km: float,
     follow_95_5: bool,
@@ -148,16 +141,18 @@ def price_run_long(
     seed: int = DEFAULT_SEED,
 ) -> SimulationResult:
     """Price-conscious run over the 39-month workload (memoised)."""
-    problem = default_problem()
-    router = PriceConsciousRouter(problem, distance_threshold_km=threshold_km)
-    caps = baseline_long(seed).percentiles_95() if follow_95_5 else None
-    options = SimulationOptions(
-        reaction_delay_hours=reaction_delay_hours, bandwidth_caps=caps
+    scenario = (
+        scenarios.get("longrun-price")
+        .derive(
+            market=paper_market(seed),
+            follow_95_5=follow_95_5,
+            reaction_delay_hours=reaction_delay_hours,
+        )
+        .with_router(distance_threshold_km=threshold_km)
     )
-    return simulate(long_trace(seed), default_dataset(seed), problem, router, options)
+    return scenarios.run(scenario)
 
 
-@lru_cache(maxsize=4)
 def static_run_long(seed: int = DEFAULT_SEED) -> SimulationResult:
     """The §6.3 static alternative: every server at the cheapest hub.
 
@@ -165,24 +160,7 @@ def static_run_long(seed: int = DEFAULT_SEED) -> SimulationResult:
     per-site capacity (the fleet notionally relocates), and accounts
     energy with the whole fleet's servers at that one site.
     """
-    problem = default_problem()
-    dataset = default_dataset(seed)
-    deployment = problem.deployment
-    hub_cols = [dataset.hub_column(code) for code in deployment.hub_codes]
-    mean_prices = dataset.price_matrix[:, hub_cols].mean(axis=0)
-    target = cheapest_cluster_index(problem, mean_prices)
-    router = StaticSingleHubRouter(problem, target)
-    total_servers = sum(c.n_servers for c in deployment.clusters)
-    counts = np.zeros(deployment.n_clusters)
-    counts[target] = total_servers
-    return simulate(
-        long_trace(seed),
-        dataset,
-        problem,
-        router,
-        SimulationOptions(relax_capacity=True),
-        server_counts=counts,
-    )
+    return scenarios.run(scenarios.get("static-hub").derive(market=paper_market(seed)))
 
 
 def energy_label(params: EnergyModelParams) -> str:

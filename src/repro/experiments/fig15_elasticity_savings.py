@@ -9,12 +9,9 @@ are costed under all seven models.
 
 from __future__ import annotations
 
+from repro import scenarios
 from repro.energy.params import FIG15_MODELS
-from repro.experiments.common import (
-    FigureResult,
-    baseline_24day,
-    price_run_24day,
-)
+from repro.experiments.common import FigureResult, paper_market
 from repro.markets.data import PAPER_FIG15_SAVINGS
 
 __all__ = ["run", "THRESHOLD_KM"]
@@ -23,9 +20,14 @@ THRESHOLD_KM = 1500.0
 
 
 def run(seed: int = 2009) -> FigureResult:
-    base = baseline_24day(seed)
-    relaxed = price_run_24day(THRESHOLD_KM, follow_95_5=False, seed=seed)
-    followed = price_run_24day(THRESHOLD_KM, follow_95_5=True, seed=seed)
+    sweep = (
+        scenarios.get("price-optimizer-sweep")
+        .derive(market=paper_market(seed))
+        .with_router(distance_threshold_km=THRESHOLD_KM)
+    )
+    base = scenarios.baseline_result(sweep.market, sweep.trace)
+    relaxed = scenarios.run(sweep)
+    followed = scenarios.run(sweep.derive(follow_95_5=True))
 
     rows = []
     for params in FIG15_MODELS:

@@ -9,12 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import scenarios
 from repro.energy.params import OPTIMISTIC_FUTURE
-from repro.experiments.common import (
-    FigureResult,
-    baseline_24day,
-    price_run_24day,
-)
+from repro.experiments.common import FigureResult, paper_market
 
 __all__ = ["run", "THRESHOLDS_KM"]
 
@@ -22,14 +19,17 @@ THRESHOLDS_KM = (0.0, 250.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.
 
 
 def run(seed: int = 2009) -> FigureResult:
-    base = baseline_24day(seed)
+    sweep = scenarios.get("price-optimizer-sweep").derive(market=paper_market(seed))
+    base = scenarios.baseline_result(sweep.market, sweep.trace)
     params = OPTIMISTIC_FUTURE
     rows = []
     relaxed_curve = []
     followed_curve = []
     for threshold in THRESHOLDS_KM:
-        relaxed = price_run_24day(threshold, follow_95_5=False, seed=seed)
-        followed = price_run_24day(threshold, follow_95_5=True, seed=seed)
+        relaxed = scenarios.run(sweep.with_router(distance_threshold_km=threshold))
+        followed = scenarios.run(
+            sweep.derive(follow_95_5=True).with_router(distance_threshold_km=threshold)
+        )
         nc_relaxed = relaxed.normalized_cost(base, params)
         nc_followed = followed.normalized_cost(base, params)
         relaxed_curve.append(nc_relaxed)

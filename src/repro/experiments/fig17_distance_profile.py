@@ -10,13 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import FigureResult, price_run_24day
+from repro import scenarios
+from repro.experiments.common import FigureResult, paper_market
 from repro.experiments.fig16_cost_vs_distance import THRESHOLDS_KM
 
 __all__ = ["run"]
 
 
 def run(seed: int = 2009) -> FigureResult:
+    sweep = scenarios.get("price-optimizer-sweep").derive(market=paper_market(seed))
     rows = []
     curves: dict[str, list[float]] = {
         "mean_relaxed": [],
@@ -25,8 +27,10 @@ def run(seed: int = 2009) -> FigureResult:
         "p99_followed": [],
     }
     for threshold in THRESHOLDS_KM:
-        relaxed = price_run_24day(threshold, follow_95_5=False, seed=seed)
-        followed = price_run_24day(threshold, follow_95_5=True, seed=seed)
+        relaxed = scenarios.run(sweep.with_router(distance_threshold_km=threshold))
+        followed = scenarios.run(
+            sweep.derive(follow_95_5=True).with_router(distance_threshold_km=threshold)
+        )
         curves["mean_relaxed"].append(relaxed.mean_distance_km)
         curves["p99_relaxed"].append(relaxed.distance_percentile_km(99.0))
         curves["mean_followed"].append(followed.mean_distance_km)

@@ -11,13 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import scenarios
 from repro.energy.params import OPTIMISTIC_FUTURE
-from repro.experiments.common import (
-    FigureResult,
-    baseline_long,
-    price_run_long,
-    static_run_long,
-)
+from repro.experiments.common import FigureResult, paper_market
 from repro.markets.data import PAPER_FIG18_DYNAMIC_RELAXED_COST, PAPER_FIG18_STATIC_COST
 
 __all__ = ["run", "THRESHOLDS_KM"]
@@ -26,16 +22,22 @@ THRESHOLDS_KM = (0.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3500.0, 5000.0)
 
 
 def run(seed: int = 2009) -> FigureResult:
-    base = baseline_long(seed)
+    market = paper_market(seed)
+    longrun = scenarios.get("longrun-price").derive(market=market)
+    base = scenarios.baseline_result(market, longrun.trace)
     params = OPTIMISTIC_FUTURE
-    static = static_run_long(seed)
+    static = scenarios.run(scenarios.get("static-hub").derive(market=market))
     static_cost = static.normalized_cost(base, params)
 
     rows = []
     relaxed_curve, followed_curve = [], []
     for threshold in THRESHOLDS_KM:
-        relaxed = price_run_long(threshold, follow_95_5=False, seed=seed)
-        followed = price_run_long(threshold, follow_95_5=True, seed=seed)
+        relaxed = scenarios.run(longrun.with_router(distance_threshold_km=threshold))
+        followed = scenarios.run(
+            longrun.derive(follow_95_5=True).with_router(
+                distance_threshold_km=threshold
+            )
+        )
         nc_relaxed = relaxed.normalized_cost(base, params)
         nc_followed = followed.normalized_cost(base, params)
         relaxed_curve.append(nc_relaxed)

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import scenarios
 from repro.energy.params import OPTIMISTIC_FUTURE
-from repro.experiments.common import FigureResult, baseline_long, price_run_long
+from repro.experiments.common import FigureResult, paper_market
 
 __all__ = ["run", "THRESHOLDS_KM"]
 
@@ -20,7 +21,10 @@ THRESHOLDS_KM = (500.0, 1000.0, 1500.0, 2000.0)
 
 
 def run(seed: int = 2009) -> FigureResult:
-    base = baseline_long(seed)
+    longrun = scenarios.get("longrun-price").derive(
+        market=paper_market(seed), follow_95_5=True
+    )
+    base = scenarios.baseline_result(longrun.market, longrun.trace)
     params = OPTIMISTIC_FUTURE
     base_by_cluster = base.cost_by_cluster(params)
     total_base = float(base_by_cluster.sum())
@@ -28,7 +32,9 @@ def run(seed: int = 2009) -> FigureResult:
     rows = []
     series = {}
     for threshold in THRESHOLDS_KM:
-        run_result = price_run_long(threshold, follow_95_5=True, seed=seed)
+        run_result = scenarios.run(
+            longrun.with_router(distance_threshold_km=threshold)
+        )
         delta = (run_result.cost_by_cluster(params) - base_by_cluster) / total_base
         series[f"<{int(threshold)}km"] = delta
         for label, change in zip(base.cluster_labels, delta):

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import scenarios
 from repro.energy.params import GOOGLE_LIKE
-from repro.experiments.common import FigureResult, price_run_long
+from repro.experiments.common import FigureResult, paper_market
 
 __all__ = ["run", "DELAYS_HOURS", "THRESHOLD_KM"]
 
@@ -20,12 +21,15 @@ THRESHOLD_KM = 1500.0
 
 
 def run(seed: int = 2009) -> FigureResult:
+    longrun = (
+        scenarios.get("longrun-price")
+        .derive(market=paper_market(seed))
+        .with_router(distance_threshold_km=THRESHOLD_KM)
+    )
     params = GOOGLE_LIKE
     costs = []
     for delay in DELAYS_HOURS:
-        result = price_run_long(
-            THRESHOLD_KM, follow_95_5=False, reaction_delay_hours=delay, seed=seed
-        )
+        result = scenarios.run(longrun.derive(reaction_delay_hours=delay))
         costs.append(result.total_cost(params))
     costs_arr = np.array(costs)
     increase = (costs_arr / costs_arr[0] - 1.0) * 100.0

@@ -23,6 +23,7 @@ from repro.ext.demand_response import (
     DemandResponseProgram,
     evaluate_demand_response,
 )
+from repro.ext.signal import hourly_signal_rows
 from repro.ext.weather import CoolingModel, TemperatureModel, effective_price_matrix
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "CoolingModel",
     "TemperatureModel",
     "effective_price_matrix",
+    "hourly_signal_rows",
 ]

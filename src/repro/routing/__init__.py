@@ -4,8 +4,10 @@ from repro.routing.akamai import BaselineProximityRouter
 from repro.routing.base import (
     Router,
     RoutingProblem,
+    batch_allocate,
     deployment_distance_table,
     greedy_fill,
+    greedy_fill_batch,
 )
 from repro.routing.joint import JointOptimizationRouter
 from repro.routing.price import (
@@ -19,8 +21,10 @@ __all__ = [
     "BaselineProximityRouter",
     "Router",
     "RoutingProblem",
+    "batch_allocate",
     "deployment_distance_table",
     "greedy_fill",
+    "greedy_fill_batch",
     "JointOptimizationRouter",
     "DEFAULT_PRICE_THRESHOLD",
     "METRO_RADIUS_KM",

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.routing.base import RoutingProblem, greedy_fill
+from repro.routing.base import RoutingProblem, greedy_fill, greedy_fill_batch
 
 __all__ = ["BaselineProximityRouter"]
 
@@ -66,6 +66,9 @@ class BaselineProximityRouter:
         self.min_target_fraction = min_target_fraction
         distances = problem.distances.matrix
         self._orders = [np.argsort(distances[s]) for s in range(problem.n_states)]
+        # Rectangular (n_states, n_clusters) view of the same orders
+        # for the batched greedy fill.
+        self._order_matrix = np.vstack(self._orders)
         capacities = problem.deployment.capacities
         self._shares = capacities / capacities.sum()
 
@@ -96,3 +99,29 @@ class BaselineProximityRouter:
         if float(np.sum(np.minimum(effective, 1e18))) < total:
             effective = limits
         return greedy_fill(demand, self._orders, effective)
+
+    def allocate_batch(
+        self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray
+    ) -> np.ndarray:
+        """Whole-run form of :meth:`allocate` via the batched greedy fill.
+
+        Balancing targets depend only on each step's total demand, so
+        the per-step effective limits vectorise directly; the greedy
+        spill then runs once over the whole batch.
+        """
+        del prices
+        demand = np.asarray(demand, dtype=float)
+        n_steps = demand.shape[0]
+        capacities = self._problem.deployment.capacities
+        limits = np.asarray(limits, dtype=float)
+        step_limits = np.broadcast_to(limits, (n_steps, capacities.shape[0]))
+        totals = demand.sum(axis=1)
+        targets = np.maximum(
+            self._shares[None, :] * totals[:, None] * self.balance_slack,
+            (capacities * self.min_target_fraction)[None, :],
+        )
+        effective = np.minimum(step_limits, targets)
+        infeasible = np.sum(np.minimum(effective, 1e18), axis=1) < totals
+        if np.any(infeasible):
+            effective[infeasible] = step_limits[infeasible]
+        return greedy_fill_batch(demand, self._order_matrix, effective)

@@ -5,6 +5,12 @@ the electricity prices it can currently see and the effective capacity
 limits. Routers are deliberately stateless across steps except through
 the limits they are handed (the 95/5 tracker lives in the simulation
 engine), which keeps every scheme replayable and comparable.
+
+Routers may additionally implement ``allocate_batch``, the vectorised
+form over a whole run of steps; :func:`batch_allocate` dispatches to it
+when present and otherwise falls back to sequential per-step
+``allocate`` calls, so the simulation engine can always hand routers
+maximal runs of steps at once.
 """
 
 from __future__ import annotations
@@ -18,7 +24,14 @@ from repro.geo.distance import DistanceTable
 from repro.geo.states import all_states
 from repro.traffic.clusters import ClusterDeployment
 
-__all__ = ["Router", "RoutingProblem", "greedy_fill", "deployment_distance_table"]
+__all__ = [
+    "Router",
+    "RoutingProblem",
+    "batch_allocate",
+    "greedy_fill",
+    "greedy_fill_batch",
+    "deployment_distance_table",
+]
 
 
 def deployment_distance_table(deployment: ClusterDeployment) -> DistanceTable:
@@ -57,6 +70,16 @@ class Router(Protocol):
     ``allocate`` returns a ``(n_states, n_clusters)`` matrix of hit
     rates; row sums must equal the demand vector (all demand is always
     served — §1's problem statement assumes full replication).
+
+    Routers may *additionally* provide an ``allocate_batch(demand,
+    prices, limits)`` method — the vectorised form over ``T`` steps,
+    taking ``(T, n_states)`` demand, ``(T, n_clusters)`` prices, and
+    shared ``(n_clusters,)`` or per-step ``(T, n_clusters)`` limits,
+    and returning a ``(T, n_states, n_clusters)`` tensor whose step
+    ``t`` slice equals ``allocate(demand[t], prices[t], limits[t])``
+    exactly. It is deliberately not part of this protocol (scalar-only
+    routers remain conformant); :func:`batch_allocate` discovers it by
+    duck typing and supplies the sequential fallback otherwise.
     """
 
     def allocate(
@@ -79,6 +102,34 @@ class Router(Protocol):
             and/or the 95/5 ceiling). ``inf`` means unconstrained.
         """
         ...
+
+
+def batch_allocate(
+    router: Router,
+    demand: np.ndarray,
+    prices: np.ndarray,
+    limits: np.ndarray,
+) -> np.ndarray:
+    """Allocate a whole run of steps, vectorised when the router can.
+
+    Dispatches to ``router.allocate_batch`` when the router defines it;
+    otherwise runs the generic shim — sequential ``allocate`` calls in
+    step order (preserving per-step semantics for any router that only
+    implements the scalar protocol).
+    """
+    demand = np.asarray(demand, dtype=float)
+    if demand.ndim != 2:
+        raise ConfigurationError(f"batch demand must be 2-D, got shape {demand.shape}")
+    batch = getattr(router, "allocate_batch", None)
+    if batch is not None:
+        return batch(demand, prices, limits)
+    n_steps = demand.shape[0]
+    limits = np.asarray(limits, dtype=float)
+    step_limits = np.broadcast_to(limits, (n_steps, limits.shape[-1]))
+    allocations = np.empty((n_steps, demand.shape[1], limits.shape[-1]))
+    for t in range(n_steps):
+        allocations[t] = router.allocate(demand[t], prices[t], step_limits[t])
+    return allocations
 
 
 def greedy_fill(
@@ -144,16 +195,181 @@ def greedy_fill(
             headroom[c] -= take
             remaining -= take
         if remaining > 1e-9:
-            # Fallback: any cluster with room, fullest preference first.
-            for c in np.argsort(-headroom):
+            for c in _fallback_order(preference_orders[s], headroom):
                 take = min(remaining, headroom[c])
                 if take <= 0.0:
-                    break
+                    continue
                 allocation[s, c] += take
                 headroom[c] -= take
                 remaining -= take
+                if remaining <= 0.0:
+                    break
         if remaining > 1e-6:
             raise InfeasibleAllocationError(
                 f"could not place {remaining:.1f} hits/s for state index {s}"
             )
     return allocation
+
+
+def _fallback_order(prefs: np.ndarray, headroom: np.ndarray) -> np.ndarray:
+    """Visit order for demand that overflowed a partial preference list.
+
+    The state's own preference order is honoured first — any listed
+    cluster that still has headroom is preferred over an unlisted one —
+    and only then do the unlisted clusters follow, by descending
+    headroom. Ties in headroom break toward the lower cluster index
+    (stable sort), so spill is deterministic and independent of the
+    sort algorithm's internals.
+    """
+    prefs = np.asarray(prefs)
+    listed = np.zeros(headroom.shape[0], dtype=bool)
+    listed[prefs] = True
+    rest = np.flatnonzero(~listed)
+    rest = rest[np.argsort(-headroom[rest], kind="stable")]
+    return np.concatenate([prefs, rest])
+
+
+def greedy_fill_batch(
+    demand: np.ndarray,
+    preference_orders: np.ndarray,
+    limits: np.ndarray,
+    state_order: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vectorised-over-time :func:`greedy_fill` for a run of steps.
+
+    Runs the same greedy spill as :func:`greedy_fill` on every step of
+    a batch, but loops over (state rank x preference position) instead
+    of time, so each inner operation is an O(T) array op. The result is
+    numerically identical, step for step, to calling
+    :func:`greedy_fill` once per step: every take performs the same
+    ``min``/subtract sequence on the same operands in the same order.
+
+    Parameters
+    ----------
+    demand:
+        ``(T, n_states)`` hit rates.
+    preference_orders:
+        ``(n_states, k)`` cluster preference matrix shared by all
+        steps, or ``(T, n_states, k)`` per-step orders, most preferred
+        first. Unlike :func:`greedy_fill`'s per-state lists this must
+        be rectangular; partial preference lists are expressed by
+        padding a row with repeats of an already-listed cluster
+        (revisits are no-ops — a visited cluster has either been
+        drained or fully served the state).
+    limits:
+        ``(n_clusters,)`` shared or ``(T, n_clusters)`` per-step
+        ceilings.
+    state_order:
+        ``(T, n_states)`` processing order per step; defaults to
+        descending demand per step, matching :func:`greedy_fill`.
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        If any step's total demand exceeds its summed limits.
+    """
+    demand = np.asarray(demand, dtype=float)
+    n_steps, n_states = demand.shape
+    preference_orders = np.asarray(preference_orders)
+    limits = np.asarray(limits, dtype=float)
+    n_clusters = limits.shape[-1]
+    headroom = np.array(np.broadcast_to(limits, (n_steps, n_clusters)), dtype=float)
+
+    finite = np.isfinite(headroom)
+    totals = demand.sum(axis=1)
+    total_limits = np.where(
+        np.all(finite, axis=1), np.sum(np.where(finite, headroom, 0.0), axis=1), np.inf
+    )
+    infeasible = totals > total_limits + 1e-6
+    if np.any(infeasible):
+        t = int(np.argmax(infeasible))
+        raise InfeasibleAllocationError(
+            f"demand {totals[t]:.0f} hits/s exceeds total limit "
+            f"{total_limits[t]:.0f} at step {t}"
+        )
+
+    allocation = np.zeros((n_steps, n_states, n_clusters))
+    order = state_order if state_order is not None else np.argsort(-demand, axis=1)
+    rows = np.arange(n_steps)
+    per_step_prefs = preference_orders.ndim == 3
+    for rank in range(n_states):
+        s_t = order[:, rank]
+        remaining = demand[rows, s_t].copy()
+        prefs = preference_orders[rows, s_t] if per_step_prefs else preference_orders[s_t]
+        # Most steps are fully served by the state's first preference;
+        # after it, only the rows that still have demand stay active,
+        # so every further preference position touches a shrinking
+        # subset instead of the whole batch.
+        first = prefs[:, 0]
+        take = np.minimum(remaining, headroom[rows, first])
+        np.maximum(take, 0.0, out=take)
+        allocation[rows, s_t, first] += take
+        headroom[rows, first] -= take
+        remaining -= take
+        active = np.flatnonzero(remaining > 0.0)
+        for k in range(1, prefs.shape[1]):
+            if active.size == 0:
+                break
+            c_t = prefs[active, k]
+            take = np.minimum(remaining[active], headroom[active, c_t])
+            np.maximum(take, 0.0, out=take)
+            allocation[active, s_t[active], c_t] += take
+            headroom[active, c_t] -= take
+            left = remaining[active] - take
+            remaining[active] = left
+            active = active[left > 0.0]
+        leftover = active[remaining[active] > 1e-9] if active.size else active
+        if leftover.size:
+            _fallback_spill_batch(
+                allocation, headroom, remaining, leftover, s_t,
+                preference_orders, per_step_prefs,
+            )
+        if np.any(remaining > 1e-6):
+            t = int(np.argmax(remaining))
+            raise InfeasibleAllocationError(
+                f"could not place {remaining[t]:.1f} hits/s for state index "
+                f"{int(s_t[t])} at step {t}"
+            )
+    return allocation
+
+
+def _fallback_spill_batch(
+    allocation: np.ndarray,
+    headroom: np.ndarray,
+    remaining: np.ndarray,
+    leftover: np.ndarray,
+    s_t: np.ndarray,
+    preference_orders: np.ndarray,
+    per_step_prefs: bool,
+) -> None:
+    """Vectorised fallback pass for rows that overflowed their list.
+
+    A row only reaches the fallback after draining every listed
+    cluster to exactly zero headroom, so revisiting listed clusters is
+    a guaranteed no-op; the pass therefore visits only the unlisted
+    clusters, in :func:`_fallback_order`'s order (descending headroom,
+    ties toward the lower index), which reproduces the scalar fallback
+    take for take.
+    """
+    n_clusters = headroom.shape[1]
+    m = leftover.size
+    if per_step_prefs:
+        prefs_l = preference_orders[leftover, s_t[leftover]]
+    else:
+        prefs_l = preference_orders[s_t[leftover]]
+    listed = np.zeros((m, n_clusters), dtype=bool)
+    listed[np.arange(m)[:, None], prefs_l] = True
+    head_l = headroom[leftover]
+    key = np.where(listed, -np.inf, head_l)
+    fb_order = np.argsort(-key, axis=1, kind="stable")
+    rem = remaining[leftover]
+    lrows = np.arange(m)
+    for k in range(n_clusters):
+        c = fb_order[:, k]
+        take = np.minimum(rem, head_l[lrows, c])
+        np.maximum(take, 0.0, out=take)
+        allocation[leftover, s_t[leftover], c] += take
+        head_l[lrows, c] -= take
+        rem -= take
+    headroom[leftover] = head_l
+    remaining[leftover] = rem

@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.routing.base import RoutingProblem, greedy_fill
+from repro.routing.base import RoutingProblem, greedy_fill, greedy_fill_batch
 
 __all__ = ["PriceConsciousRouter", "DEFAULT_PRICE_THRESHOLD", "METRO_RADIUS_KM"]
 
@@ -73,6 +73,7 @@ class PriceConsciousRouter:
         for s, cands in enumerate(self._candidates):
             self._mask[s, cands] = True
         self._masked_distance = np.where(self._mask, distances, np.inf)
+        self._candidate_counts = np.array([c.size for c in self._candidates])
 
     @property
     def candidate_sets(self) -> list[np.ndarray]:
@@ -120,3 +121,78 @@ class PriceConsciousRouter:
 
         orders = [self._preference(s, prices) for s in range(n_states)]
         return greedy_fill(demand, orders, limits)
+
+    def allocate_batch(
+        self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray
+    ) -> np.ndarray:
+        """Whole-run form of :meth:`allocate`.
+
+        The fast path generalises directly: the cheap-bucket /
+        closest-within-bucket choice is computed for every step at once
+        as a ``(T, n_states, n_clusters)`` tensor and the per-step
+        loads via one flat bincount over time. Steps whose single-best
+        choice would overflow a limit drop back to the scalar greedy
+        spill, so each step's slice equals ``allocate`` on that step.
+        """
+        demand = np.asarray(demand, dtype=float)
+        prices = np.asarray(prices, dtype=float)
+        n_steps = demand.shape[0]
+        n_states, n_clusters = self._mask.shape
+        limits = np.asarray(limits, dtype=float)
+        step_limits = np.broadcast_to(limits, (n_steps, n_clusters))
+
+        masked_prices = np.where(self._mask[None, :, :], prices[:, None, :], np.inf)
+        cheapest = masked_prices.min(axis=2)
+        cheap = masked_prices <= (cheapest + self.price_threshold)[:, :, None]
+        choice_key = np.where(cheap, self._masked_distance[None, :, :], np.inf)
+        preferred = np.argmin(choice_key, axis=2)
+
+        flat = (np.arange(n_steps)[:, None] * n_clusters + preferred).ravel()
+        loads = np.bincount(
+            flat, weights=demand.ravel(), minlength=n_steps * n_clusters
+        ).reshape(n_steps, n_clusters)
+        fits = np.all(loads <= step_limits + 1e-9, axis=1)
+
+        allocation = np.zeros((n_steps, n_states, n_clusters))
+        fast = np.flatnonzero(fits)
+        allocation[
+            fast[:, None], np.arange(n_states)[None, :], preferred[fast]
+        ] = demand[fast]
+        spill = np.flatnonzero(~fits)
+        if spill.size:
+            allocation[spill] = greedy_fill_batch(
+                demand[spill],
+                self._preference_batch(prices[spill]),
+                step_limits[spill],
+            )
+        return allocation
+
+    def _preference_batch(self, prices: np.ndarray) -> np.ndarray:
+        """Per-step :meth:`_preference` orders as a ``(T, S, C)`` tensor.
+
+        The scalar method lexsorts each state's candidate list by
+        (price bucket, price-within-bucket, distance); here the same
+        stable sort runs over the full cluster axis with non-candidates
+        forced into a trailing bucket, which preserves the candidates'
+        relative order exactly. Trailing non-candidate positions are
+        then replaced by repeats of the state's top candidate — no-op
+        revisits for the batched greedy fill — so spill beyond the
+        candidate set is left to the fill's fallback pass, as in the
+        scalar path.
+        """
+        n_states, n_clusters = self._mask.shape
+        masked_prices = np.where(self._mask[None, :, :], prices[:, None, :], np.inf)
+        cheapest = masked_prices.min(axis=2)
+        cheap_cutoff = (cheapest + self.price_threshold)[:, :, None]
+        bucket = np.where(
+            self._mask[None, :, :], (masked_prices > cheap_cutoff).astype(np.int8), 2
+        )
+        within_bucket_price = np.where(bucket == 0, 0.0, masked_prices)
+        distance_key = np.broadcast_to(
+            self._distances[None, :, :], masked_prices.shape
+        )
+        order = np.lexsort((distance_key, within_bucket_price, bucket), axis=2)
+        padded = np.arange(n_clusters)[None, None, :] >= self._candidate_counts[
+            None, :, None
+        ]
+        return np.where(padded, order[:, :, :1], order)

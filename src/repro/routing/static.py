@@ -54,3 +54,14 @@ class StaticSingleHubRouter:
         allocation = np.zeros((self._problem.n_states, self._problem.n_clusters))
         allocation[:, self.cluster_index] = demand
         return allocation
+
+    def allocate_batch(
+        self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray
+    ) -> np.ndarray:
+        """Whole-run form: every step's demand lands on the fixed cluster."""
+        del prices, limits
+        demand = np.asarray(demand, dtype=float)
+        n_steps, n_states = demand.shape
+        allocation = np.zeros((n_steps, n_states, self._problem.n_clusters))
+        allocation[:, :, self.cluster_index] = demand
+        return allocation

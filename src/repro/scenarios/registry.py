@@ -1,0 +1,167 @@
+"""Named scenarios: the runs the paper (and the examples) care about.
+
+The registry maps stable names to frozen :class:`Scenario` specs.
+Experiment drivers fetch a base scenario by name and derive sweep
+points from it (``get("price-optimizer-sweep").with_router(
+distance_threshold_km=500.0)``), so the wiring for "which market,
+which trace, which policy" lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
+
+__all__ = ["REGISTRY", "register", "get", "names"]
+
+#: The paper's default distance threshold, km (§6.2's headline sweep point).
+_PAPER_THRESHOLD_KM = 1500.0
+
+#: 24-day five-minute trace + 39-month market: §6.1/§6.2's setting.
+_PAPER_MARKET = MarketSpec()
+_PAPER_TRACE = TraceSpec(kind="turn-of-year")
+
+#: §6.3's setting: hour-of-week workload over the whole calendar.
+_LONG_TRACE = TraceSpec(kind="hour-of-week")
+
+#: Compact example setting: a six-month market around the trace window.
+_EXAMPLE_MARKET = MarketSpec(start=datetime(2008, 10, 1), months=6, seed=7)
+
+
+def _builtin_scenarios() -> tuple[Scenario, ...]:
+    return (
+        Scenario(
+            name="paper-default",
+            description=(
+                "§6.1 default: price-conscious optimizer, 1500 km distance "
+                "threshold, 24-day trace, 95/5 relaxed"
+            ),
+            market=_PAPER_MARKET,
+            trace=_PAPER_TRACE,
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
+        Scenario(
+            name="paper-default-followed",
+            description="paper-default constrained by the baseline's 95/5 ceilings",
+            market=_PAPER_MARKET,
+            trace=_PAPER_TRACE,
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+            follow_95_5=True,
+        ),
+        Scenario(
+            name="akamai-baseline",
+            description="price-blind proximity baseline over the 24-day trace",
+            market=_PAPER_MARKET,
+            trace=_PAPER_TRACE,
+            router=RouterSpec.of("baseline"),
+        ),
+        Scenario(
+            name="price-optimizer-sweep",
+            description=(
+                "base point for Figs. 16/17 threshold sweeps; derive with "
+                "with_router(distance_threshold_km=...)"
+            ),
+            market=_PAPER_MARKET,
+            trace=_PAPER_TRACE,
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
+        Scenario(
+            name="longrun-price",
+            description=(
+                "§6.3 39-month hour-of-week workload under the price "
+                "optimizer; base for Figs. 18-20"
+            ),
+            market=_PAPER_MARKET,
+            trace=_LONG_TRACE,
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
+        Scenario(
+            name="longrun-baseline",
+            description="proximity baseline over the 39-month workload",
+            market=_PAPER_MARKET,
+            trace=_LONG_TRACE,
+            router=RouterSpec.of("baseline"),
+        ),
+        Scenario(
+            name="static-hub",
+            description=(
+                "§6.3 static alternative: the whole fleet parked at the "
+                "cheapest-mean-price hub (oracle choice, capacity relaxed)"
+            ),
+            market=_PAPER_MARKET,
+            trace=_LONG_TRACE,
+            router=RouterSpec.of("static-cheapest"),
+            relax_capacity=True,
+            relocate_fleet=True,
+        ),
+        Scenario(
+            name="green-routing",
+            description=(
+                "§8 future work: route to the cleanest grid region each hour "
+                "(carbon intensity in place of prices)"
+            ),
+            market=MarketSpec(start=datetime(2008, 11, 1), months=4, seed=21),
+            trace=TraceSpec(kind="turn-of-year", seed=21),
+            router=RouterSpec.of("carbon", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
+        Scenario(
+            name="weather-routing",
+            description="§8 future work: route on cooling-adjusted effective prices",
+            market=MarketSpec(start=datetime(2008, 11, 1), months=4, seed=21),
+            trace=TraceSpec(kind="turn-of-year", seed=21),
+            router=RouterSpec.of("weather", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
+        Scenario(
+            name="demand-response",
+            description=(
+                "§7 demand response substrate: a 90-day baseline run whose "
+                "price spikes a DR program can monetise"
+            ),
+            market=MarketSpec(start=datetime(2008, 10, 1), months=6, seed=33),
+            trace=TraceSpec(
+                kind="five-minute",
+                start=datetime(2008, 11, 1),
+                n_steps=90 * 288,
+                seed=33,
+            ),
+            router=RouterSpec.of("baseline"),
+        ),
+        Scenario(
+            name="quickstart",
+            description="compact end-to-end demo: six-month market, 24-day trace",
+            market=_EXAMPLE_MARKET,
+            trace=TraceSpec(kind="turn-of-year", seed=7),
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
+    )
+
+
+REGISTRY: dict[str, Scenario] = {s.name: s for s in _builtin_scenarios()}
+
+
+def register(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Add a scenario to the registry under its own name."""
+    if scenario.name in REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} already registered"
+        )
+    REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    """Fetch a registered scenario by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(REGISTRY))

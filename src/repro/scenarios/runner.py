@@ -1,0 +1,207 @@
+"""Scenario execution: specs in, memoised simulation results out.
+
+The runner materialises each ingredient of a
+:class:`~repro.scenarios.spec.Scenario` (market data set, trace,
+routing problem, router) and drives the batched simulation engine.
+Every stage is memoised on its frozen spec, so twenty experiment
+drivers sweeping thresholds against the same market regenerate
+nothing — the scenario *is* the cache key.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.markets.calendar import HourlyCalendar
+from repro.markets.generator import MarketConfig, MarketDataset, generate_market
+from repro.routing.akamai import BaselineProximityRouter
+from repro.routing.base import Router, RoutingProblem
+from repro.routing.joint import JointOptimizationRouter
+from repro.routing.price import PriceConsciousRouter
+from repro.routing.static import StaticSingleHubRouter, cheapest_cluster_index
+from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
+from repro.sim.engine import SimulationOptions, simulate
+from repro.sim.results import SimulationResult
+from repro.traffic.clusters import akamai_like_deployment
+from repro.traffic.synthetic import TraceConfig, make_trace, make_turn_of_year_trace
+from repro.traffic.trace import HourOfWeekWorkload, TrafficTrace
+
+__all__ = [
+    "dataset",
+    "problem",
+    "trace",
+    "build_router",
+    "baseline_result",
+    "run",
+]
+
+
+@lru_cache(maxsize=8)
+def dataset(market: MarketSpec) -> MarketDataset:
+    """The market data set a spec describes (memoised per spec)."""
+    return generate_market(
+        MarketConfig(start=market.start, months=market.months, seed=market.seed)
+    )
+
+
+@lru_cache(maxsize=1)
+def problem() -> RoutingProblem:
+    """The shared Akamai-like nine-cluster routing problem."""
+    return RoutingProblem(akamai_like_deployment())
+
+
+@lru_cache(maxsize=8)
+def trace(spec: TraceSpec, market: MarketSpec) -> TrafficTrace:
+    """The traffic trace a spec describes (memoised per spec pair).
+
+    ``market`` matters only for ``hour-of-week`` traces, whose length
+    is the market calendar's; it is part of the key regardless so the
+    cache never aliases traces across calendars.
+    """
+    if spec.kind == "turn-of-year":
+        return make_turn_of_year_trace(seed=spec.seed)
+    if spec.kind == "five-minute":
+        return make_trace(
+            TraceConfig(start=spec.start, n_steps=spec.n_steps, seed=spec.seed)
+        )
+    # hour-of-week: the 24-day trace's averages over the whole calendar.
+    workload = HourOfWeekWorkload.from_trace(
+        make_turn_of_year_trace(seed=spec.seed)
+    )
+    calendar = dataset(market).calendar
+    return workload.expand(HourlyCalendar(calendar.start, calendar.n_hours))
+
+
+def _static_cheapest_index(scenario: Scenario) -> int:
+    """Oracle choice: the cluster whose hub has the lowest mean price."""
+    data = dataset(scenario.market)
+    prob = problem()
+    hub_cols = [data.hub_column(code) for code in prob.deployment.hub_codes]
+    mean_prices = data.price_matrix[:, hub_cols].mean(axis=0)
+    return cheapest_cluster_index(prob, mean_prices)
+
+
+def build_router(scenario: Scenario) -> Router:
+    """Construct the scenario's routing policy.
+
+    Signal-driven kinds (``carbon``, ``weather``) build the price
+    machinery with the intensity threshold; their substitute signal is
+    supplied separately to the engine as a ``router_prices`` override
+    (see :func:`_signal_rows`).
+    """
+    kind = scenario.router.kind
+    kwargs = scenario.router.kwargs
+    prob = problem()
+    if kind == "baseline":
+        return BaselineProximityRouter(prob, **kwargs)
+    if kind in ("price", "weather"):
+        return PriceConsciousRouter(prob, **kwargs)
+    if kind == "joint":
+        return JointOptimizationRouter(prob, **kwargs)
+    if kind == "static":
+        return StaticSingleHubRouter(prob, **kwargs)
+    if kind == "static-cheapest":
+        return StaticSingleHubRouter(prob, _static_cheapest_index(scenario))
+    if kind == "carbon":
+        from repro.ext.carbon import CarbonConsciousRouter
+
+        return CarbonConsciousRouter(prob, **kwargs)
+    raise ConfigurationError(f"unknown router kind {kind!r}")
+
+
+def _signal_rows(scenario: Scenario) -> np.ndarray | None:
+    """Per-step ``router_prices`` override for signal-driven kinds."""
+    kind = scenario.router.kind
+    if kind not in ("carbon", "weather"):
+        return None
+    from repro.ext.carbon import carbon_intensity_matrix
+    from repro.ext.signal import hourly_signal_rows
+    from repro.ext.weather import effective_price_matrix
+
+    data = dataset(scenario.market)
+    run_trace = trace(scenario.trace, scenario.market)
+    signal = (
+        carbon_intensity_matrix(data)
+        if kind == "carbon"
+        else effective_price_matrix(data)
+    )
+    return hourly_signal_rows(signal, data, problem().deployment, run_trace)
+
+
+@lru_cache(maxsize=16)
+def baseline_result(market: MarketSpec, trace_spec: TraceSpec) -> SimulationResult:
+    """The price-blind baseline run over a market/trace pair.
+
+    This is both the normalisation denominator for savings figures and
+    the source of the 95/5 caps for ``follow_95_5`` scenarios.
+    """
+    scenario = Scenario(
+        name="baseline",
+        description="Akamai-like proximity baseline",
+        market=market,
+        trace=trace_spec,
+        router=RouterSpec.of("baseline"),
+    )
+    return run(scenario)
+
+
+def run(scenario: Scenario) -> SimulationResult:
+    """Execute a scenario through the batched engine (memoised).
+
+    Memoisation ignores ``name`` and ``description``: two scenarios
+    that describe the same physical run share one result no matter
+    what they are called.
+
+    ``follow_95_5`` scenarios first obtain the memoised baseline run
+    over the same market and trace and constrain themselves to its
+    95th percentiles; ``relocate_fleet`` scenarios account energy with
+    the whole fleet's servers at the router's target cluster.
+    """
+    return _run_cached(scenario.derive(name="", description=""))
+
+
+@lru_cache(maxsize=256)
+def _run_cached(scenario: Scenario) -> SimulationResult:
+    data = dataset(scenario.market)
+    prob = problem()
+    run_trace = trace(scenario.trace, scenario.market)
+
+    caps = None
+    if scenario.follow_95_5:
+        caps = baseline_result(scenario.market, scenario.trace).percentiles_95()
+
+    options = SimulationOptions(
+        reaction_delay_hours=scenario.reaction_delay_hours,
+        capacity_margin=scenario.capacity_margin,
+        relax_capacity=scenario.relax_capacity,
+        bandwidth_caps=caps,
+    )
+
+    server_counts = None
+    if scenario.relocate_fleet:
+        if scenario.router.kind == "static-cheapest":
+            target = _static_cheapest_index(scenario)
+        elif scenario.router.kind == "static":
+            target = int(scenario.router.kwargs["cluster_index"])
+        else:
+            raise ConfigurationError(
+                "relocate_fleet requires a static router kind"
+            )
+        deployment = prob.deployment
+        counts = np.zeros(deployment.n_clusters)
+        counts[target] = sum(c.n_servers for c in deployment.clusters)
+        server_counts = counts
+
+    router = build_router(scenario)
+    return simulate(
+        run_trace,
+        data,
+        prob,
+        router,
+        options,
+        server_counts=server_counts,
+        router_prices=_signal_rows(scenario),
+    )

@@ -1,6 +1,12 @@
 """Discrete-time routing simulator and result accounting."""
 
-from repro.sim.engine import SimulationOptions, simulate
+from repro.sim.engine import SimulationOptions, simulate, simulate_per_step
 from repro.sim.results import DistanceProfile, SimulationResult
 
-__all__ = ["SimulationOptions", "simulate", "DistanceProfile", "SimulationResult"]
+__all__ = [
+    "SimulationOptions",
+    "simulate",
+    "simulate_per_step",
+    "DistanceProfile",
+    "SimulationResult",
+]

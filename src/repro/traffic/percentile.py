@@ -99,6 +99,21 @@ class Bandwidth95Tracker:
             raise ConfigurationError("loads shape mismatch")
         self._bursts += (loads > self._caps * (1.0 + 1e-9)).astype(int)
 
+    def record_batch(self, loads: np.ndarray) -> None:
+        """Account a whole run's realised loads at once.
+
+        Equivalent to calling :meth:`record` on every row of a
+        ``(n_steps, n_clusters)`` matrix; burst counting is
+        order-independent, so the batched engine accounts the full run
+        in one reduction.
+        """
+        loads = np.asarray(loads, dtype=float)
+        if loads.ndim != 2 or loads.shape[1] != self._caps.shape[0]:
+            raise ConfigurationError("loads must be (n_steps, n_clusters)")
+        self._bursts += np.sum(
+            loads > self._caps[None, :] * (1.0 + 1e-9), axis=0, dtype=int
+        )
+
     def within_billing_budget(self) -> bool:
         """True if no cluster burst more than the free 5% of intervals."""
         return bool(np.all(self._bursts <= self._free_budget))

@@ -1,0 +1,181 @@
+"""Tests for repro.scenarios (specs, registry, runner)."""
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.errors import ConfigurationError
+from repro.scenarios import MarketSpec, RouterSpec, Scenario, TraceSpec
+
+
+class TestSpecs:
+    def test_router_spec_roundtrip(self):
+        spec = RouterSpec.of("price", distance_threshold_km=1500.0, price_threshold=5.0)
+        assert spec.kwargs == {
+            "distance_threshold_km": 1500.0,
+            "price_threshold": 5.0,
+        }
+        assert spec.updated(distance_threshold_km=500.0).kwargs[
+            "distance_threshold_km"
+        ] == 500.0
+
+    def test_unknown_router_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RouterSpec.of("teleport")
+
+    def test_unknown_trace_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec(kind="minute-by-minute")
+
+    def test_five_minute_needs_start_and_steps(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec(kind="five-minute")
+
+    def test_scenarios_are_hashable_and_derivable(self):
+        base = scenarios.get("paper-default")
+        derived = base.derive(follow_95_5=True)
+        assert base != derived
+        assert hash(base) != hash(derived)
+        assert derived.with_router(distance_threshold_km=500.0).router.kwargs[
+            "distance_threshold_km"
+        ] == 500.0
+
+
+class TestRegistry:
+    def test_builtin_names_present(self):
+        for name in (
+            "paper-default",
+            "price-optimizer-sweep",
+            "static-hub",
+            "green-routing",
+            "demand-response",
+            "quickstart",
+        ):
+            assert name in scenarios.names()
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(ConfigurationError, match="paper-default"):
+            scenarios.get("no-such-scenario")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            scenarios.register(scenarios.get("paper-default"))
+
+
+class TestRunner:
+    # The compact quickstart scenario keeps these tests fast; its
+    # ingredients are shared session-wide through the runner's caches.
+
+    def test_run_is_memoised(self):
+        scenario = scenarios.get("quickstart")
+        assert scenarios.run(scenario) is scenarios.run(scenario)
+
+    def test_memoisation_ignores_naming(self):
+        scenario = scenarios.get("quickstart")
+        renamed = scenario.derive(name="whatever", description="different words")
+        assert scenarios.run(scenario) is scenarios.run(renamed)
+
+    def test_followed_runs_use_baseline_caps(self):
+        scenario = scenarios.get("quickstart").derive(follow_95_5=True)
+        followed = scenarios.run(scenario)
+        baseline = scenarios.baseline_result(scenario.market, scenario.trace)
+        caps = baseline.percentiles_95()
+        assert np.all(followed.percentiles_95() <= caps * 1.02 + 1e-6)
+
+    def test_derived_threshold_changes_allocation(self):
+        base = scenarios.get("quickstart")
+        near = scenarios.run(base.with_router(distance_threshold_km=0.0))
+        far = scenarios.run(base.with_router(distance_threshold_km=2500.0))
+        assert far.mean_distance_km > near.mean_distance_km
+
+    def test_static_hub_relocates_fleet(self):
+        scenario = scenarios.get("static-hub").derive(
+            market=scenarios.get("quickstart").market,
+            trace=scenarios.get("quickstart").trace,
+        )
+        result = scenarios.run(scenario)
+        counts = result.server_counts
+        assert np.count_nonzero(counts) == 1
+        deployment = scenarios.problem().deployment
+        assert counts.sum() == sum(c.n_servers for c in deployment.clusters)
+
+    def test_relocate_fleet_requires_static_router(self):
+        scenario = scenarios.get("quickstart").derive(relocate_fleet=True)
+        with pytest.raises(ConfigurationError):
+            scenarios.run(scenario)
+
+    def test_trace_is_memoised(self):
+        spec = scenarios.get("quickstart")
+        assert scenarios.trace(spec.trace, spec.market) is scenarios.trace(
+            spec.trace, spec.market
+        )
+
+    def test_build_router_kinds(self):
+        from repro.routing import (
+            BaselineProximityRouter,
+            JointOptimizationRouter,
+            PriceConsciousRouter,
+            StaticSingleHubRouter,
+        )
+
+        quick = scenarios.get("quickstart")
+        assert isinstance(
+            scenarios.build_router(quick), PriceConsciousRouter
+        )
+        assert isinstance(
+            scenarios.build_router(quick.derive(router=RouterSpec.of("baseline"))),
+            BaselineProximityRouter,
+        )
+        assert isinstance(
+            scenarios.build_router(
+                quick.derive(router=RouterSpec.of("static", cluster_index=2))
+            ),
+            StaticSingleHubRouter,
+        )
+        assert isinstance(
+            scenarios.build_router(
+                quick.derive(router=RouterSpec.of("joint"))
+            ),
+            JointOptimizationRouter,
+        )
+
+    def test_signal_scenario_follow_95_5_respects_caps(self):
+        # The signal override is step-indexed, so even the burst-split
+        # batched pipeline routes green traffic under 95/5 caps.
+        scenario = scenarios.get("green-routing").derive(follow_95_5=True)
+        followed = scenarios.run(scenario)
+        caps = scenarios.baseline_result(
+            scenario.market, scenario.trace
+        ).percentiles_95()
+        assert np.all(followed.percentiles_95() <= caps * 1.02 + 1e-6)
+
+    def test_green_scenario_runs_and_differs_from_price(self):
+        green = scenarios.get("green-routing")
+        carbon = scenarios.run(green)
+        dollars = scenarios.run(
+            green.derive(router=RouterSpec.of("price", distance_threshold_km=1500.0))
+        )
+        assert carbon.n_steps == dollars.n_steps
+        assert not np.allclose(carbon.loads, dollars.loads)
+
+
+class TestScenarioEquivalence:
+    def test_scenario_run_matches_direct_simulate(self):
+        """The registry path reproduces hand-wired simulate() exactly."""
+        from repro.routing import PriceConsciousRouter
+        from repro.sim import simulate
+
+        scenario = scenarios.get("quickstart")
+        via_registry = scenarios.run(scenario)
+        direct = simulate(
+            scenarios.trace(scenario.trace, scenario.market),
+            scenarios.dataset(scenario.market),
+            scenarios.problem(),
+            PriceConsciousRouter(scenarios.problem(), distance_threshold_km=1500.0),
+        )
+        np.testing.assert_allclose(via_registry.loads, direct.loads, atol=1e-9)
+        np.testing.assert_allclose(
+            via_registry.distance_profile.histogram,
+            direct.distance_profile.histogram,
+            rtol=1e-12,
+        )

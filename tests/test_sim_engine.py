@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.routing import BaselineProximityRouter, PriceConsciousRouter
-from repro.sim import SimulationOptions, simulate
+from repro.sim import SimulationOptions, simulate, simulate_per_step
 from repro.traffic.synthetic import TraceConfig, make_trace
 
 
@@ -17,6 +17,40 @@ class TestOptions:
             SimulationOptions(reaction_delay_hours=-1)
         with pytest.raises(ConfigurationError):
             SimulationOptions(capacity_margin=0.0)
+
+    def test_bandwidth_caps_normalised_to_readonly_float(self):
+        opts = SimulationOptions(bandwidth_caps=[100, 200, 300])
+        assert isinstance(opts.bandwidth_caps, np.ndarray)
+        assert opts.bandwidth_caps.dtype == np.float64
+        assert not opts.bandwidth_caps.flags.writeable
+
+    def test_bandwidth_caps_must_be_1d(self):
+        with pytest.raises(ConfigurationError):
+            SimulationOptions(bandwidth_caps=np.ones((3, 2)))
+        with pytest.raises(ConfigurationError):
+            SimulationOptions(bandwidth_caps=np.array(5.0))
+
+    def test_bandwidth_caps_must_be_finite_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            SimulationOptions(bandwidth_caps=np.array([1.0, -2.0]))
+        with pytest.raises(ConfigurationError):
+            SimulationOptions(bandwidth_caps=np.array([1.0, np.nan]))
+        with pytest.raises(ConfigurationError):
+            SimulationOptions(bandwidth_caps=np.array([1.0, np.inf]))
+
+    def test_bandwidth_caps_must_be_numeric(self):
+        with pytest.raises(ConfigurationError):
+            SimulationOptions(bandwidth_caps=np.array(["a", "b"]))
+
+    def test_bandwidth_caps_wrong_length_rejected_by_engine(
+        self, short_trace, small_dataset, problem
+    ):
+        options = SimulationOptions(bandwidth_caps=np.ones(3))
+        with pytest.raises(ConfigurationError, match="one entry per cluster"):
+            simulate(
+                short_trace, small_dataset, problem,
+                BaselineProximityRouter(problem), options,
+            )
 
 
 class TestSimulate:
@@ -128,3 +162,142 @@ class TestBandwidthConstraints:
         assert followed.total_cost(OPTIMISTIC_FUTURE) >= relaxed.total_cost(
             OPTIMISTIC_FUTURE
         ) * 0.999
+
+
+class TestBatchedPipelineEquivalence:
+    """The batched engine must reproduce the per-step reference loop."""
+
+    def _assert_equivalent(self, batched, reference):
+        np.testing.assert_allclose(batched.loads, reference.loads, atol=1e-9)
+        np.testing.assert_allclose(
+            batched.paid_prices, reference.paid_prices, atol=0.0
+        )
+        np.testing.assert_allclose(
+            batched.distance_profile.histogram,
+            reference.distance_profile.histogram,
+            rtol=1e-12,
+        )
+        from repro.energy import OPTIMISTIC_FUTURE
+
+        assert batched.total_cost(OPTIMISTIC_FUTURE) == pytest.approx(
+            reference.total_cost(OPTIMISTIC_FUTURE), rel=1e-9
+        )
+
+    def test_baseline_router(self, short_trace, small_dataset, problem):
+        router = BaselineProximityRouter(problem)
+        self._assert_equivalent(
+            simulate(short_trace, small_dataset, problem, router),
+            simulate_per_step(short_trace, small_dataset, problem, router),
+        )
+
+    def test_price_router_relaxed(self, short_trace, small_dataset, problem):
+        router = PriceConsciousRouter(problem, 1500.0)
+        self._assert_equivalent(
+            simulate(short_trace, small_dataset, problem, router),
+            simulate_per_step(short_trace, small_dataset, problem, router),
+        )
+
+    def test_price_router_followed_95_5(
+        self, trace24, small_dataset, problem, baseline24
+    ):
+        # Constrained steps exercise burst detection and the greedy
+        # spill; this is the regime where per-step and batched paths
+        # diverge if anything is off.
+        options = SimulationOptions(bandwidth_caps=baseline24.percentiles_95())
+        router = PriceConsciousRouter(problem, 1500.0)
+        self._assert_equivalent(
+            simulate(trace24, small_dataset, problem, router, options),
+            simulate_per_step(trace24, small_dataset, problem, router, options),
+        )
+
+    def test_static_router_relaxed_capacity(self, short_trace, small_dataset, problem):
+        from repro.routing.static import StaticSingleHubRouter
+
+        router = StaticSingleHubRouter(problem, 1)
+        options = SimulationOptions(relax_capacity=True)
+        self._assert_equivalent(
+            simulate(short_trace, small_dataset, problem, router, options),
+            simulate_per_step(short_trace, small_dataset, problem, router, options),
+        )
+
+    def test_reaction_delay(self, short_trace, small_dataset, problem):
+        router = PriceConsciousRouter(problem, 1500.0)
+        options = SimulationOptions(reaction_delay_hours=6)
+        self._assert_equivalent(
+            simulate(short_trace, small_dataset, problem, router, options),
+            simulate_per_step(short_trace, small_dataset, problem, router, options),
+        )
+
+    def test_router_prices_override_with_caps(
+        self, trace24, small_dataset, problem, baseline24
+    ):
+        # A §8 signal override under 95/5 caps: rows are step-indexed,
+        # so burst reordering must not desynchronise routing, and the
+        # batched/per-step paths must still agree exactly.
+        from repro.ext import carbon_intensity_matrix, hourly_signal_rows
+
+        rows = hourly_signal_rows(
+            carbon_intensity_matrix(small_dataset),
+            small_dataset,
+            problem.deployment,
+            trace24,
+        )
+        router = PriceConsciousRouter(problem, 1500.0)
+        options = SimulationOptions(bandwidth_caps=baseline24.percentiles_95())
+        batched = simulate(
+            trace24, small_dataset, problem, router, options, router_prices=rows
+        )
+        reference = simulate_per_step(
+            trace24, small_dataset, problem, router, options, router_prices=rows
+        )
+        self._assert_equivalent(batched, reference)
+        # And the signal actually changed the routing vs market prices.
+        plain = simulate(trace24, small_dataset, problem, router, options)
+        assert not np.allclose(batched.loads, plain.loads)
+
+    def test_burst_retry_for_router_raising_on_cluster_overflow(
+        self, short_trace, small_dataset, problem
+    ):
+        # A scalar-only router that raises whenever its single target
+        # cluster is over its limit — per-cluster infeasibility the
+        # engine's total-demand burst predicate cannot anticipate.
+        # The engine must keep the original contract: catch, retry
+        # the step against plain capacity limits.
+        from repro.errors import InfeasibleAllocationError
+
+        class StrictSingleCluster:
+            def __init__(self, prob, index):
+                self._prob = prob
+                self._index = index
+
+            def allocate(self, demand, prices, limits):
+                if demand.sum() > limits[self._index]:
+                    raise InfeasibleAllocationError("target cluster full")
+                out = np.zeros((self._prob.n_states, self._prob.n_clusters))
+                out[:, self._index] = demand
+                return out
+
+        router = StrictSingleCluster(problem, 0)
+        # Caps below the target cluster's demand force the raise while
+        # national totals still fit under the summed caps.
+        caps = np.full(9, short_trace.total_us().max())
+        caps[0] = float(short_trace.total_us().min()) / 2.0
+        options = SimulationOptions(
+            bandwidth_caps=caps, relax_capacity=True
+        )
+        batched = simulate(short_trace, small_dataset, problem, router, options)
+        reference = simulate_per_step(
+            short_trace, small_dataset, problem, router, options
+        )
+        self._assert_equivalent(batched, reference)
+        assert np.allclose(batched.loads[:, 0], short_trace.total_us())
+
+    def test_router_prices_wrong_shape_rejected(
+        self, short_trace, small_dataset, problem
+    ):
+        router = PriceConsciousRouter(problem, 1500.0)
+        with pytest.raises(ConfigurationError, match="router_prices"):
+            simulate(
+                short_trace, small_dataset, problem, router,
+                router_prices=np.ones((3, 9)),
+            )
