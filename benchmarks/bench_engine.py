@@ -51,9 +51,7 @@ def _time(fn, repeats: int) -> float:
 
 def bench(days: int, repeats: int) -> dict:
     months = max(3, days // 30 + 2)
-    dataset = generate_market(
-        MarketConfig(start=MARKET_START, months=months, seed=2009)
-    )
+    dataset = generate_market(MarketConfig(start=MARKET_START, months=months, seed=2009))
     base_trace = make_trace(TraceConfig(start=datetime(2008, 2, 1), seed=1224))
     workload = HourOfWeekWorkload.from_trace(base_trace)
     trace = workload.expand(HourlyCalendar(datetime(2008, 2, 1), days * 24))
@@ -77,9 +75,7 @@ def bench(days: int, repeats: int) -> dict:
         batched = simulate(trace, dataset, problem, router, options)
         reference = simulate_per_step(trace, dataset, problem, router, options)
         max_err = float(np.abs(batched.loads - reference.loads).max())
-        t_batched = _time(
-            lambda: simulate(trace, dataset, problem, router, options), repeats
-        )
+        t_batched = _time(lambda: simulate(trace, dataset, problem, router, options), repeats)
         t_reference = _time(
             lambda: simulate_per_step(trace, dataset, problem, router, options),
             repeats,
@@ -116,13 +112,9 @@ def bench(days: int, repeats: int) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--quick", action="store_true", help="60-day trace for CI smoke runs"
-    )
+    parser.add_argument("--quick", action="store_true", help="60-day trace for CI smoke runs")
     parser.add_argument("--output", default="BENCH_engine.json")
-    parser.add_argument(
-        "--repeats", type=int, default=2, help="timing repeats (best-of)"
-    )
+    parser.add_argument("--repeats", type=int, default=2, help="timing repeats (best-of)")
     args = parser.parse_args()
 
     days = 60 if args.quick else 365

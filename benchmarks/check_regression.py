@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: fresh engine timings vs the committed record.
+
+Compares a fresh ``bench_engine.py`` run against the committed
+``BENCH_engine.json``. Absolute wall-clock is machine-dependent (the
+committed record is a full 365-day run; CI does ``--quick`` 60-day
+runs on shared runners), so the gate is on each case's *speedup* —
+batched pipeline vs per-step reference on the same machine and trace —
+which is a scale- and machine-robust proxy for the batched engine's
+health. A case fails when its fresh speedup falls more than
+``--max-regression`` (default 25%) below the committed speedup.
+
+Also re-asserts the correctness invariant recorded in the fresh run:
+the batched pipeline must not have diverged from the reference.
+
+Run:  python benchmarks/check_regression.py \
+          --baseline BENCH_engine.json --fresh BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
+    """Every violated gate, as human-readable failure messages."""
+    failures = []
+    base_runs = baseline.get("runs", {})
+    fresh_runs = fresh.get("runs", {})
+    shared = sorted(set(base_runs) & set(fresh_runs))
+    if not shared:
+        return ["no benchmark cases shared between baseline and fresh record"]
+    for name in shared:
+        base_speedup = float(base_runs[name]["speedup"])
+        fresh_speedup = float(fresh_runs[name]["speedup"])
+        floor = base_speedup * (1.0 - max_regression)
+        status = "ok" if fresh_speedup >= floor else "FAIL"
+        print(
+            f"{name:24s} committed {base_speedup:6.2f}x  fresh {fresh_speedup:6.2f}x  "
+            f"floor {floor:6.2f}x  {status}"
+        )
+        if fresh_speedup < floor:
+            failures.append(
+                f"{name}: speedup {fresh_speedup:.2f}x is more than "
+                f"{max_regression:.0%} below the committed {base_speedup:.2f}x"
+            )
+        max_err = float(fresh_runs[name].get("max_load_abs_err", 0.0))
+        if max_err > 1e-6:
+            failures.append(
+                f"{name}: batched pipeline diverged from reference "
+                f"(max abs err {max_err:.2e})"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_engine.json")
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup loss vs the committed record",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+
+    failures = check(baseline, fresh, args.max_regression)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,10 +22,16 @@ def sweep():
     rows = []
     for slack in (1.05, 1.15, 1.6, 4.0):
         baseline = simulate(
-            trace, dataset, problem, BaselineProximityRouter(problem, balance_slack=slack)
+            trace,
+            dataset,
+            problem,
+            BaselineProximityRouter(problem, balance_slack=slack),
         )
         followed = simulate(
-            trace, dataset, problem, router,
+            trace,
+            dataset,
+            problem,
+            router,
             SimulationOptions(bandwidth_caps=baseline.percentiles_95()),
         )
         rows.append((slack, followed.savings_vs(baseline, OPTIMISTIC_FUTURE) * 100.0))

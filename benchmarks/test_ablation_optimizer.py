@@ -7,7 +7,6 @@ capacity or 95/5 limits and with *today's* (undelayed) prices — a cost
 no feasible policy can beat.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.energy import FULLY_ELASTIC
@@ -23,9 +22,7 @@ def compare():
     router = PriceConsciousRouter(problem, distance_threshold_km=2500.0)
     greedy = simulate(trace, dataset, problem, router)
 
-    clairvoyant = PriceConsciousRouter(
-        problem, distance_threshold_km=2500.0, price_threshold=0.0
-    )
+    clairvoyant = PriceConsciousRouter(problem, distance_threshold_km=2500.0, price_threshold=0.0)
     oracle = simulate(
         trace,
         dataset,

@@ -5,7 +5,6 @@ threshold the router ignores most differentials and degenerates toward
 nearest-cluster routing; with zero threshold it chases noise.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once
@@ -23,7 +22,9 @@ def sweep():
     rows = []
     for price_threshold in (0.0, 5.0, 20.0, 60.0, 1000.0):
         router = PriceConsciousRouter(
-            problem, distance_threshold_km=1500.0, price_threshold=price_threshold
+            problem,
+            distance_threshold_km=1500.0,
+            price_threshold=price_threshold,
         )
         result = simulate(trace, dataset, problem, router)
         rows.append(
@@ -40,7 +41,10 @@ def test_ablation_price_threshold(benchmark, warm):
     rows = run_once(benchmark, sweep)
     print()
     for threshold, savings, dist in rows:
-        print(f"  price threshold {threshold:7.1f} $/MWh -> savings {savings:5.1f}%, mean dist {dist:5.0f} km")
+        print(
+            f"  price threshold {threshold:7.1f} $/MWh -> "
+            f"savings {savings:5.1f}%, mean dist {dist:5.0f} km"
+        )
     savings = [r[1] for r in rows]
     # The paper's $5 threshold costs almost nothing vs threshold 0.
     assert savings[1] == pytest.approx(savings[0], abs=3.0)

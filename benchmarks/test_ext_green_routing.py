@@ -30,12 +30,13 @@ def compare():
     base = baseline_24day()
 
     carbon_rows = hourly_signal_rows(
-        carbon_intensity_matrix(dataset), dataset, problem.deployment, trace
+        carbon_intensity_matrix(dataset),
+        dataset,
+        problem.deployment,
+        trace,
     )
 
-    dollars = simulate(
-        trace, dataset, problem, PriceConsciousRouter(problem, 1500.0)
-    )
+    dollars = simulate(trace, dataset, problem, PriceConsciousRouter(problem, 1500.0))
     green = simulate(
         trace,
         dataset,

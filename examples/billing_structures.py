@@ -43,9 +43,13 @@ def main() -> None:
         for r in rows
     ]
     print()
-    print(render_table(
-        ("Billing plan", "Baseline bill ($)", "Price-aware bill ($)", "Savings"),
-        table, title="Routing savings under different contracts (24 days)"))
+    print(
+        render_table(
+            ("Billing plan", "Baseline bill ($)", "Price-aware bill ($)", "Savings"),
+            table,
+            title="Routing savings under different contracts (24 days)",
+        )
+    )
     print()
     print("wholesale-indexed plans pass the full opportunity through;")
     print("hedged blends keep a fraction; fixed-price and provisioned-")

@@ -24,25 +24,29 @@ def main() -> None:
     result = scenarios.run(scenarios.get("demand-response"))
 
     program = DemandResponseProgram(
-        trigger_price=150.0, compensation_per_mwh=200.0, max_events_per_cluster=20
+        trigger_price=150.0,
+        compensation_per_mwh=200.0,
+        max_events_per_cluster=20,
     )
     outcome = evaluate_demand_response(result, GOOGLE_LIKE, program)
 
     per_cluster: dict[str, tuple[int, float, float]] = {}
     for event in outcome.events:
         n, mwh, rev = per_cluster.get(event.cluster_label, (0, 0.0, 0.0))
-        per_cluster[event.cluster_label] = (
-            n + 1, mwh + event.curtailed_mwh, rev + event.revenue
-        )
+        per_cluster[event.cluster_label] = (n + 1, mwh + event.curtailed_mwh, rev + event.revenue)
 
     rows = [
         (label, n, round(mwh, 1), round(rev, 0))
         for label, (n, mwh, rev) in sorted(per_cluster.items())
     ]
     print()
-    print(render_table(
-        ("Cluster", "Events", "Curtailed MWh", "Revenue ($)"),
-        rows, title="Demand-response participation, 90 days"))
+    print(
+        render_table(
+            ("Cluster", "Events", "Curtailed MWh", "Revenue ($)"),
+            rows,
+            title="Demand-response participation, 90 days",
+        )
+    )
     print()
     electricity_cost = result.total_cost(GOOGLE_LIKE)
     print(f"events: {outcome.n_events}; total curtailed "

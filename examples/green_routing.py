@@ -38,17 +38,13 @@ def main() -> None:
     runs = {
         "baseline (proximity)": scenarios.baseline_result(green.market, green.trace),
         "dollars (price-aware)": scenarios.run(
-            green.derive(
-                router=RouterSpec.of("price", distance_threshold_km=1500.0)
-            )
+            green.derive(router=RouterSpec.of("price", distance_threshold_km=1500.0))
         ),
         "carbon-aware": scenarios.run(green),
         "weather-aware": scenarios.run(scenarios.get("weather-routing")),
     }
 
-    carbon_rows = hourly_signal_rows(
-        carbon_intensity_matrix(dataset), dataset, deployment, trace
-    )
+    carbon_rows = hourly_signal_rows(carbon_intensity_matrix(dataset), dataset, deployment, trace)
 
     rows = []
     params = OPTIMISTIC_FUTURE
@@ -64,9 +60,13 @@ def main() -> None:
             )
         )
     print()
-    print(render_table(
-        ("Objective", "Cost ($)", "CO2 (t)", "Mean dist (km)"),
-        rows, title="Objective functions compared, 24-day trace"))
+    print(
+        render_table(
+            ("Objective", "Cost ($)", "CO2 (t)", "Mean dist (km)"),
+            rows,
+            title="Objective functions compared, 24-day trace",
+        )
+    )
 
     base = runs["baseline (proximity)"]
     dollars = runs["dollars (price-aware)"]

@@ -40,8 +40,13 @@ def main() -> None:
         stats = dataset.real_time(code).stats()
         rows.append((code, round(stats.mean, 1), round(stats.std, 1), round(stats.kurtosis, 1)))
     print()
-    print(render_table(("Hub", "Mean", "StDev", "Kurtosis"), rows,
-                       title="Trimmed hourly price statistics (Fig. 6 analogue)"))
+    print(
+        render_table(
+            ("Hub", "Mean", "StDev", "Kurtosis"),
+            rows,
+            title="Trimmed hourly price statistics (Fig. 6 analogue)",
+        )
+    )
 
     # Fig. 8: correlation structure.
     pairs = pairwise_correlations(dataset)
@@ -61,11 +66,22 @@ def main() -> None:
         diff = dataset.real_time(a) - dataset.real_time(b)
         stats = differential_stats(diff)
         frac = favourable_fractions(diff)
-        rows.append((f"{a}-{b}", round(stats.mean, 1), round(stats.std, 1),
-                     round(frac["b_cheaper"], 2), round(frac["b_saves_over_threshold"], 2)))
-    print(render_table(
-        ("Pair", "Mean", "StDev", "P(B cheaper)", "P(save > $10)"),
-        rows, title="Differential distributions (Fig. 10 analogue)"))
+        rows.append(
+            (
+                f"{a}-{b}",
+                round(stats.mean, 1),
+                round(stats.std, 1),
+                round(frac["b_cheaper"], 2),
+                round(frac["b_saves_over_threshold"], 2),
+            )
+        )
+    print(
+        render_table(
+            ("Pair", "Mean", "StDev", "P(B cheaper)", "P(save > $10)"),
+            rows,
+            title="Differential distributions (Fig. 10 analogue)",
+        )
+    )
 
     # Fig. 12: hour-of-day structure for the coast-to-coast pair.
     diff = dataset.real_time("NP15") - dataset.real_time("DOM")

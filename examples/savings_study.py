@@ -43,12 +43,14 @@ def main() -> None:
     for params in FIG15_MODELS:
         relaxed = runs[1500.0, False].savings_vs(baseline, params)
         followed = runs[1500.0, True].savings_vs(baseline, params)
-        rows.append(
-            (params.describe(), round(relaxed * 100, 1), round(followed * 100, 1))
+        rows.append((params.describe(), round(relaxed * 100, 1), round(followed * 100, 1)))
+    print(
+        render_table(
+            ("Energy model", "Relax 95/5 (%)", "Follow 95/5 (%)"),
+            rows,
+            title="Savings at 1500 km by energy elasticity (Fig. 15 analogue)",
         )
-    print(render_table(
-        ("Energy model", "Relax 95/5 (%)", "Follow 95/5 (%)"),
-        rows, title="Savings at 1500 km by energy elasticity (Fig. 15 analogue)"))
+    )
 
     print()
     rows = []
@@ -64,9 +66,13 @@ def main() -> None:
                 round(relaxed.distance_percentile_km(99), 0),
             )
         )
-    print(render_table(
-        ("Threshold km", "Cost (relax)", "Cost (follow)", "Mean dist km", "p99 dist km"),
-        rows, title="Cost and distance vs threshold (Figs. 16/17 analogue)"))
+    print(
+        render_table(
+            ("Threshold km", "Cost (relax)", "Cost (follow)", "Mean dist km", "p99 dist km"),
+            rows,
+            title="Cost and distance vs threshold (Figs. 16/17 analogue)",
+        )
+    )
 
     print()
     print("reading: savings rise with elasticity and threshold;")

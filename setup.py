@@ -3,7 +3,8 @@
 The offline evaluation environment lacks the `wheel` package that
 PEP 660 editable installs require; `python setup.py develop` (and
 therefore `pip install -e . --no-build-isolation`) works without it.
-Configuration lives in pyproject.toml.
+Configuration — including the `repro` console entry point — lives in
+pyproject.toml.
 """
 
 from setuptools import setup

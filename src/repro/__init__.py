@@ -81,9 +81,7 @@ def quickstart(
     scenario = (
         scenarios.get("quickstart")
         .derive(
-            market=MarketSpec(
-                start=datetime(2008, 10, 1), months=max(4, months), seed=seed
-            ),
+            market=MarketSpec(start=datetime(2008, 10, 1), months=max(4, months), seed=seed),
             trace=TraceSpec(kind="turn-of-year", seed=seed),
         )
         .with_router(distance_threshold_km=distance_threshold_km)

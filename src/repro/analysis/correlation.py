@@ -31,7 +31,8 @@ class PairCorrelation:
 
 
 def pairwise_correlations(
-    dataset: MarketDataset, with_mutual_information: bool = False
+    dataset: MarketDataset,
+    with_mutual_information: bool = False,
 ) -> list[PairCorrelation]:
     """All hub-pair correlations of hourly real-time prices.
 
@@ -45,9 +46,7 @@ def pairwise_correlations(
         for j in range(i + 1, len(hubs)):
             mi = None
             if with_mutual_information:
-                mi = mutual_information(
-                    dataset.price_matrix[:, i], dataset.price_matrix[:, j]
-                )
+                mi = mutual_information(dataset.price_matrix[:, i], dataset.price_matrix[:, j])
             pairs.append(
                 PairCorrelation(
                     hub_a=hubs[i].code,

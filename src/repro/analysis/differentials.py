@@ -114,9 +114,7 @@ def monthly_profile(diff: PriceSeries) -> list[dict[str, float]]:
     return rows
 
 
-def differential_durations(
-    diff: PriceSeries, threshold: float = DURATION_THRESHOLD
-) -> list[int]:
+def differential_durations(diff: PriceSeries, threshold: float = DURATION_THRESHOLD) -> list[int]:
     """Lengths (hours) of sustained one-sided differentials (§3.3).
 
     A differential *starts* when one location is favoured by more than
@@ -142,7 +140,9 @@ def differential_durations(
 
 
 def duration_histogram(
-    durations: list[int], max_hours: int = 36, total_hours: int | None = None
+    durations: list[int],
+    max_hours: int = 36,
+    total_hours: int | None = None,
 ) -> np.ndarray:
     """Fraction of *time* spent in differentials of each duration (Fig. 13).
 

@@ -43,9 +43,7 @@ def render_table(
         raise ConfigurationError("table needs headers")
     for row in rows:
         if len(row) != len(headers):
-            raise ConfigurationError(
-                f"row has {len(row)} cells for {len(headers)} headers"
-            )
+            raise ConfigurationError(f"row has {len(row)} cells for {len(headers)} headers")
 
     def cell_text(value: object) -> str:
         return f"{value:.2f}" if isinstance(value, float) else str(value)

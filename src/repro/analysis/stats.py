@@ -46,9 +46,7 @@ def pearson_kurtosis(values: np.ndarray) -> float:
     return float(np.mean(((arr - mean) / std) ** 4))
 
 
-def histogram_fractions(
-    values: np.ndarray, bin_edges: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+def histogram_fractions(values: np.ndarray, bin_edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Histogram normalised to fractions of the total sample.
 
     Returns ``(fractions, edges)``; out-of-range samples are excluded

@@ -1,0 +1,161 @@
+"""JSON codec for artifacts: frozen specs in, bit-identical values out.
+
+Three layers, each building on the one below:
+
+``canonical``
+    Turns a frozen spec (any :mod:`dataclasses` dataclass, datetimes,
+    numpy scalars, tuples) into a plain, deterministic JSON document.
+    Dataclasses are tagged with their class name so two spec types
+    whose fields happen to coincide never collide.
+``spec_key``
+    SHA-256 of the canonical document — the content address a spec's
+    artifact is stored under.
+``encode_* / decode_*``
+    Lossless value codecs. Arrays travel as base64 of their raw bytes
+    plus dtype and shape, so a decoded :class:`SimulationResult` is
+    bit-identical to the one that was written — the property the
+    golden-figure regression gate rests on.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+from datetime import datetime
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "canonical",
+    "canonical_json",
+    "spec_key",
+    "encode_array",
+    "decode_array",
+    "encode_value",
+    "decode_value",
+    "encode_simulation_result",
+    "decode_simulation_result",
+]
+
+#: Bump when the on-disk encoding changes shape; old entries are
+#: simply cache misses, never misreads.
+FORMAT_VERSION = 1
+
+
+# -- canonical spec documents -------------------------------------------------
+
+
+def canonical(obj: Any) -> Any:
+    """A plain, deterministic JSON-able view of a frozen spec."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+        return {"__spec__": type(obj).__name__, **fields}
+    if isinstance(obj, datetime):
+        return {"__datetime__": obj.isoformat()}
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, (tuple, list)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise ConfigurationError(f"cannot canonicalise {type(obj).__name__!r} into an artifact key")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical document as compact, key-sorted JSON."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def spec_key(obj: Any) -> str:
+    """Content address of a spec: SHA-256 of its canonical JSON."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+# -- arrays -------------------------------------------------------------------
+
+
+def encode_array(arr: np.ndarray) -> dict:
+    """Lossless array encoding: dtype + shape + base64 raw bytes."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "__ndarray__": {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+        }
+    }
+
+
+def decode_array(obj: dict) -> np.ndarray:
+    spec = obj["__ndarray__"]
+    raw = base64.b64decode(spec["data"])
+    return np.frombuffer(raw, dtype=np.dtype(spec["dtype"])).reshape(spec["shape"])
+
+
+# -- general values (figure rows, notes, summaries) ---------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """JSON encoding for heterogeneous figure data (rows, series)."""
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, datetime):
+        return {"__datetime__": value.isoformat()}
+    if isinstance(value, (tuple, list)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigurationError(f"cannot encode {type(value).__name__!r} into an artifact")
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return decode_array(value)
+        if "__datetime__" in value:
+            return datetime.fromisoformat(value["__datetime__"])
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+# -- simulation results -------------------------------------------------------
+
+
+def encode_simulation_result(result: SimulationResult) -> dict:
+    return {
+        "start": result.start.isoformat(),
+        "step_seconds": result.step_seconds,
+        "cluster_labels": list(result.cluster_labels),
+        "capacities": encode_array(result.capacities),
+        "server_counts": encode_array(result.server_counts),
+        "loads": encode_array(result.loads),
+        "paid_prices": encode_array(result.paid_prices),
+        "distance_histogram": encode_array(result.distance_profile.histogram),
+    }
+
+
+def decode_simulation_result(payload: dict) -> SimulationResult:
+    return SimulationResult(
+        start=datetime.fromisoformat(payload["start"]),
+        step_seconds=int(payload["step_seconds"]),
+        cluster_labels=tuple(payload["cluster_labels"]),
+        capacities=decode_array(payload["capacities"]),
+        server_counts=decode_array(payload["server_counts"]),
+        loads=decode_array(payload["loads"]),
+        paid_prices=decode_array(payload["paid_prices"]),
+        distance_histogram=decode_array(payload["distance_histogram"]),
+    )

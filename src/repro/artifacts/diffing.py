@@ -1,0 +1,108 @@
+"""Tolerance-aware comparison of figure artifacts.
+
+``repro diff`` checks freshly generated figure payloads against the
+committed goldens under ``tests/goldens/``. Strings (ids, headers, row
+labels) must match exactly; numbers — row values, summary scalars,
+series arrays — are compared with ``isclose``-style relative/absolute
+tolerances so a legitimate platform wobble does not read as a
+regression while a real numeric drift does.
+
+``notes`` are deliberately *not* compared: they interpolate formatted
+numbers into prose, so they would re-flag every numeric wobble the
+tolerances were chosen to absorb.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.artifacts.codec import decode_array
+
+__all__ = ["DEFAULT_RTOL", "DEFAULT_ATOL", "compare_figure_payloads"]
+
+DEFAULT_RTOL = 1e-6
+DEFAULT_ATOL = 1e-9
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _close(a: float, b: float, rtol: float, atol: float) -> bool:
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=atol)
+
+
+def compare_figure_payloads(
+    golden: dict,
+    fresh: dict,
+    *,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> list[str]:
+    """Every way ``fresh`` drifts from ``golden``, as human messages.
+
+    An empty list means the figure regenerated within tolerance.
+    """
+    drifts: list[str] = []
+
+    for field in ("figure_id", "title"):
+        if golden.get(field) != fresh.get(field):
+            drifts.append(f"{field}: {golden.get(field)!r} -> {fresh.get(field)!r}")
+    if list(golden.get("headers", [])) != list(fresh.get("headers", [])):
+        drifts.append("headers changed")
+
+    drifts.extend(_compare_rows(golden.get("rows", []), fresh.get("rows", []), rtol, atol))
+    drifts.extend(_compare_summary(golden.get("summary", {}), fresh.get("summary", {}), rtol, atol))
+    drifts.extend(_compare_series(golden.get("series", {}), fresh.get("series", {}), rtol, atol))
+    return drifts
+
+
+def _compare_rows(golden: list, fresh: list, rtol: float, atol: float) -> list[str]:
+    if len(golden) != len(fresh):
+        return [f"row count: {len(golden)} -> {len(fresh)}"]
+    drifts = []
+    for i, (grow, frow) in enumerate(zip(golden, fresh)):
+        if len(grow) != len(frow):
+            drifts.append(f"row {i}: width {len(grow)} -> {len(frow)}")
+            continue
+        for j, (g, f) in enumerate(zip(grow, frow)):
+            if _is_number(g) and _is_number(f):
+                if not _close(g, f, rtol, atol):
+                    drifts.append(f"row {i} col {j}: {g!r} -> {f!r}")
+            elif g != f:
+                drifts.append(f"row {i} col {j}: {g!r} -> {f!r}")
+    return drifts
+
+
+def _compare_summary(golden: dict, fresh: dict, rtol: float, atol: float) -> list[str]:
+    drifts = []
+    for name in sorted(set(golden) | set(fresh)):
+        if name not in fresh:
+            drifts.append(f"summary {name}: missing from fresh run")
+        elif name not in golden:
+            drifts.append(f"summary {name}: not in golden")
+        elif not _close(golden[name], fresh[name], rtol, atol):
+            drifts.append(f"summary {name}: {golden[name]!r} -> {fresh[name]!r}")
+    return drifts
+
+
+def _compare_series(golden: dict, fresh: dict, rtol: float, atol: float) -> list[str]:
+    drifts = []
+    for name in sorted(set(golden) | set(fresh)):
+        if name not in fresh:
+            drifts.append(f"series {name}: missing from fresh run")
+            continue
+        if name not in golden:
+            drifts.append(f"series {name}: not in golden")
+            continue
+        g = decode_array(golden[name])
+        f = decode_array(fresh[name])
+        if g.shape != f.shape:
+            drifts.append(f"series {name}: shape {g.shape} -> {f.shape}")
+            continue
+        if g.size and not np.allclose(g, f, rtol=rtol, atol=atol, equal_nan=True):
+            worst = float(np.nanmax(np.abs(np.asarray(f, float) - np.asarray(g, float))))
+            drifts.append(f"series {name}: max abs deviation {worst:.3e}")
+    return drifts

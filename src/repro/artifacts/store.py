@@ -1,0 +1,155 @@
+"""Content-addressed on-disk artifact store.
+
+Layout (one JSON file per artifact, addressed by its spec's hash)::
+
+    <root>/
+      simulations/<sha256>.json   # SimulationResult keyed on Scenario
+      figures/<sha256>.json       # FigureResult keyed on FigureSpec
+
+Every record carries the canonical spec document next to the payload,
+so entries are self-describing: ``repro list`` and ``repro diff`` can
+tell what a file is without re-deriving its key, and a hash collision
+(or a stale format) is detected rather than silently trusted.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory),
+which is what makes the store safe under the process-pool executor:
+two workers racing to publish the same scenario both write identical
+bytes and the last rename wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.artifacts.codec import (
+    FORMAT_VERSION,
+    canonical_json,
+    decode_simulation_result,
+    encode_simulation_result,
+    spec_key,
+)
+from repro.sim.results import SimulationResult
+
+__all__ = ["ArtifactStore", "StoreEntry", "KIND_SIMULATION", "KIND_FIGURE"]
+
+KIND_SIMULATION = "simulations"
+KIND_FIGURE = "figures"
+
+_KINDS = (KIND_SIMULATION, KIND_FIGURE)
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One artifact on disk, as surfaced by :meth:`ArtifactStore.entries`."""
+
+    kind: str
+    key: str
+    path: Path
+    spec: Any
+    size_bytes: int
+
+
+class ArtifactStore:
+    """Persistent, content-addressed cache of simulation and figure runs."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- raw record access ----------------------------------------------------
+
+    def path_for(self, kind: str, spec: Any) -> Path:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        return self.root / kind / f"{spec_key(spec)}.json"
+
+    def save(self, kind: str, spec: Any, payload: Any) -> Path:
+        """Atomically publish ``payload`` under ``spec``'s address."""
+        path = self.path_for(kind, spec)
+        record = {
+            "format": FORMAT_VERSION,
+            "kind": kind,
+            "spec": json.loads(canonical_json(spec)),
+            "payload": payload,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=path.stem, suffix=".tmp", dir=path.parent)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, kind: str, spec: Any) -> Any | None:
+        """The payload stored under ``spec``, or None on miss/mismatch."""
+        path = self.path_for(kind, spec)
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if record.get("format") != FORMAT_VERSION or record.get("kind") != kind:
+            return None
+        return record.get("payload")
+
+    def has(self, kind: str, spec: Any) -> bool:
+        return self.path_for(kind, spec).exists()
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """Every readable artifact under the root, sorted per kind."""
+        for kind in _KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                try:
+                    with open(path) as fh:
+                        record = json.load(fh)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                yield StoreEntry(
+                    kind=kind,
+                    key=path.stem,
+                    path=path,
+                    spec=record.get("spec"),
+                    size_bytes=path.stat().st_size,
+                )
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number of files removed."""
+        removed = 0
+        for kind in _KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    # -- typed conveniences ---------------------------------------------------
+
+    def load_simulation(self, scenario: Any) -> SimulationResult | None:
+        payload = self.load(KIND_SIMULATION, scenario)
+        if payload is None:
+            return None
+        return decode_simulation_result(payload)
+
+    def save_simulation(self, scenario: Any, result: SimulationResult) -> Path:
+        return self.save(KIND_SIMULATION, scenario, encode_simulation_result(result))
+
+    def load_figure(self, figure_spec: Any) -> dict | None:
+        payload = self.load(KIND_FIGURE, figure_spec)
+        return payload if isinstance(payload, dict) else None
+
+    def save_figure(self, figure_spec: Any, figure_payload: dict) -> Path:
+        return self.save(KIND_FIGURE, figure_spec, figure_payload)

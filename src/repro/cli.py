@@ -1,0 +1,291 @@
+"""The unified ``repro`` command line.
+
+Four subcommands over one artifact store::
+
+    repro run fig06 fig16 --jobs 4   # regenerate figures (parallel)
+    repro run --all                  # the paper's whole figure set
+    repro list                       # figure ids + artifact status
+    repro diff                       # fresh artifacts vs committed goldens
+    repro diff --update              # refresh the goldens from fresh runs
+    repro clean                      # drop the on-disk artifact store
+
+The store lives at ``--artifacts DIR`` (default ``.repro-artifacts``,
+or ``REPRO_ARTIFACT_DIR`` from the environment); ``--no-store``
+disables persistence for one invocation. Exit codes: 0 success,
+1 golden drift, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import artifacts
+from repro.artifacts.diffing import DEFAULT_ATOL, DEFAULT_RTOL, compare_figure_payloads
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY
+from repro.experiments.orchestrator import (
+    FigureSpec,
+    resolve_figure_ids,
+    run_figures,
+)
+
+__all__ = ["main"]
+
+#: Where `repro diff` looks for committed goldens.
+DEFAULT_GOLDENS_DIR = Path("tests") / "goldens"
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help=f"artifact store directory (default {artifacts.DEFAULT_STORE_DIR})",
+    )
+    group.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run without persisting artifacts to disk",
+    )
+
+
+def _add_figure_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("figures", nargs="*", help="figure ids, e.g. fig06 fig16")
+    parser.add_argument("--all", action="store_true", help="every registered figure")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool width (1 = serial, in-process)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="market seed override for every driver",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute figures and simulations even when artifacts exist",
+    )
+
+
+def _activate_store(args: argparse.Namespace) -> None:
+    if getattr(args, "no_store", False):
+        artifacts.configure(None)
+    elif args.artifacts:
+        artifacts.configure(args.artifacts)
+    elif artifacts.get_store() is None:
+        # No explicit flag, no environment: the CLI defaults to a
+        # local store so warm re-invocations skip the simulations.
+        artifacts.configure(artifacts.DEFAULT_STORE_DIR)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate, cache, and regression-check the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="regenerate figures into the artifact store")
+    _add_figure_options(run_p)
+    _add_store_options(run_p)
+    run_p.add_argument("--quiet", action="store_true", help="suppress figure text on stdout")
+
+    list_p = sub.add_parser("list", help="list figure ids and artifact status")
+    _add_store_options(list_p)
+
+    diff_p = sub.add_parser("diff", help="compare fresh figures against goldens")
+    _add_figure_options(diff_p)
+    _add_store_options(diff_p)
+    diff_p.add_argument(
+        "--goldens",
+        metavar="DIR",
+        default=str(DEFAULT_GOLDENS_DIR),
+        help="directory of golden figure artifacts",
+    )
+    diff_p.add_argument("--rtol", type=float, default=DEFAULT_RTOL)
+    diff_p.add_argument("--atol", type=float, default=DEFAULT_ATOL)
+    diff_p.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the goldens from the fresh results instead of comparing",
+    )
+
+    clean_p = sub.add_parser("clean", help="delete the on-disk artifact store")
+    _add_store_options(clean_p)
+
+    return parser
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        figure_ids = resolve_figure_ids(args.figures, args.all)
+    except ConfigurationError as exc:
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 2
+    if not figure_ids:
+        print("repro run: no figures requested (try --all)", file=sys.stderr)
+        return 2
+    _activate_store(args)
+
+    t0 = time.perf_counter()
+    results = run_figures(figure_ids, jobs=args.jobs, seed=args.seed, force=args.force)
+    elapsed = time.perf_counter() - t0
+
+    if not args.quiet:
+        for result in results:
+            print(result.to_text())
+            print()
+    root = artifacts.active_root()
+    store_note = str(root) if root is not None else "disabled"
+    print(
+        f"repro run: {len(results)} figure(s) in {elapsed:.1f}s "
+        f"(jobs={args.jobs}, store={store_note})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    _activate_store(args)
+    store = artifacts.get_store()
+    for figure_id, module in sorted(REGISTRY.items()):
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        cached = store is not None and store.has(artifacts.KIND_FIGURE, FigureSpec(figure_id))
+        marker = "*" if cached else " "
+        print(f"{figure_id} {marker} {doc}")
+    if store is not None:
+        entries = list(store.entries())
+        total = sum(e.size_bytes for e in entries)
+        print(
+            f"store {store.root}: {len(entries)} artifact(s), {total / 1e6:.1f} MB "
+            "(* = figure artifact present)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _golden_path(goldens_dir: Path, figure_id: str) -> Path:
+    return goldens_dir / f"{figure_id}.json"
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    goldens_dir = Path(args.goldens)
+    if args.all or args.figures:
+        try:
+            figure_ids = resolve_figure_ids(args.figures, args.all)
+        except ConfigurationError as exc:
+            print(f"repro diff: {exc}", file=sys.stderr)
+            return 2
+    else:
+        figure_ids = sorted(
+            path.stem
+            for path in goldens_dir.glob("fig*.json")
+            if path.stem in REGISTRY
+        )
+        if not figure_ids:
+            print(
+                f"repro diff: no goldens under {goldens_dir} "
+                "(generate with `repro diff --all --update`)",
+                file=sys.stderr,
+            )
+            return 2
+    _activate_store(args)
+
+    # --update must publish truly fresh numbers: regenerating goldens
+    # through warm artifacts would freeze pre-change results in place.
+    results = run_figures(
+        figure_ids,
+        jobs=args.jobs,
+        seed=args.seed,
+        force=args.force or args.update,
+    )
+    payloads = {r.figure_id: r.to_json_dict() for r in results}
+
+    if args.update:
+        goldens_dir.mkdir(parents=True, exist_ok=True)
+        for figure_id in figure_ids:
+            path = _golden_path(goldens_dir, figure_id)
+            with open(path, "w") as fh:
+                json.dump(payloads[figure_id], fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"updated {path}", file=sys.stderr)
+        return 0
+
+    failed = []
+    for figure_id in figure_ids:
+        path = _golden_path(goldens_dir, figure_id)
+        if not path.exists():
+            failed.append(figure_id)
+            print(f"{figure_id}: FAIL (no golden at {path})")
+            continue
+        with open(path) as fh:
+            golden = json.load(fh)
+        drifts = compare_figure_payloads(
+            golden,
+            payloads[figure_id],
+            rtol=args.rtol,
+            atol=args.atol,
+        )
+        if drifts:
+            failed.append(figure_id)
+            print(f"{figure_id}: FAIL ({len(drifts)} drift(s))")
+            for drift in drifts[:10]:
+                print(f"  {drift}")
+            if len(drifts) > 10:
+                print(f"  ... and {len(drifts) - 10} more")
+        else:
+            print(f"{figure_id}: ok")
+    if failed:
+        print(
+            f"repro diff: {len(failed)}/{len(figure_ids)} figure(s) drifted "
+            f"beyond rtol={args.rtol:g} atol={args.atol:g}: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"repro diff: {len(figure_ids)} figure(s) match the goldens", file=sys.stderr)
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    if getattr(args, "no_store", False):
+        print("repro clean: nothing to do with --no-store", file=sys.stderr)
+        return 0
+    _activate_store(args)
+    store = artifacts.get_store()
+    removed = store.clear() if store is not None else 0
+    root = store.root if store is not None else "-"
+    print(f"repro clean: removed {removed} artifact(s) from {root}", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "list": _cmd_list,
+    "diff": _cmd_diff,
+    "clean": _cmd_clean,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -82,7 +82,8 @@ def annual_energy_mwh(
 
 
 def estimate_fleet(
-    assumptions: FleetAssumptions, price_per_mwh: float = DEFAULT_WHOLESALE_PRICE
+    assumptions: FleetAssumptions,
+    price_per_mwh: float = DEFAULT_WHOLESALE_PRICE,
 ) -> FleetEstimate:
     """Annual MWh and dollar cost for a fleet at a wholesale rate."""
     mwh = annual_energy_mwh(
@@ -113,7 +114,8 @@ PAPER_FLEETS: tuple[FleetAssumptions, ...] = (
 
 
 def google_search_energy_mwh(
-    searches_per_day: float = 1.2e9, joules_per_search: float = 1_000.0
+    searches_per_day: float = 1.2e9,
+    joules_per_search: float = 1_000.0,
 ) -> float:
     """The §2.1 cross-check: annual search energy at 1 kJ/query.
 

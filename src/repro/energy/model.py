@@ -114,7 +114,11 @@ class ClusterPowerModel:
         variable = self.variable_power_watts(utilization)
         return fixed + variable
 
-    def energy_mwh(self, utilization: float | np.ndarray, duration_seconds: float) -> float | np.ndarray:
+    def energy_mwh(
+        self,
+        utilization: float | np.ndarray,
+        duration_seconds: float,
+    ) -> float | np.ndarray:
         """Energy consumed over ``duration_seconds`` at a utilization."""
         power = self.power_watts(utilization)
         return watt_seconds_to_mwh(power * duration_seconds) if np.isscalar(power) else (

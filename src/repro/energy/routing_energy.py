@@ -72,7 +72,9 @@ CISCO_GSR_12008 = RouterEnergyProfile(
 
 
 def path_energy_joules(
-    n_packets: float, extra_hops: int, profile: RouterEnergyProfile = CISCO_GSR_12008
+    n_packets: float,
+    extra_hops: int,
+    profile: RouterEnergyProfile = CISCO_GSR_12008,
 ) -> float:
     """Average-cost energy of pushing packets through extra core hops."""
     if extra_hops < 0:
@@ -81,7 +83,9 @@ def path_energy_joules(
 
 
 def incremental_path_energy_joules(
-    n_packets: float, extra_hops: int, profile: RouterEnergyProfile = CISCO_GSR_12008
+    n_packets: float,
+    extra_hops: int,
+    profile: RouterEnergyProfile = CISCO_GSR_12008,
 ) -> float:
     """Marginal-cost energy of the same path expansion."""
     if extra_hops < 0:

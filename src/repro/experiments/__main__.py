@@ -1,24 +1,29 @@
-"""Console entry: run experiment drivers by figure id.
+"""Legacy console entry: run experiment drivers by figure id.
 
-Usage::
+Kept as a thin shim over the unified :mod:`repro.cli` so existing
+invocations keep working::
 
-    python -m repro.experiments fig06 fig08      # specific figures
-    python -m repro.experiments --list           # show available ids
-    python -m repro.experiments --all            # everything (slow)
+    python -m repro.experiments fig06 fig08      # -> repro run fig06 fig08
+    python -m repro.experiments --list           # -> repro list
+    python -m repro.experiments --all            # -> repro run --all
+
+Unlike ``repro run``, the shim does not persist artifacts (the legacy
+interface never wrote files); use the ``repro`` CLI for the cached,
+parallel workflow.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
-from repro.experiments import REGISTRY
+from repro.cli import main as cli_main
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate tables/figures from the paper.",
+        description="Regenerate tables/figures from the paper (legacy shim).",
+        epilog="Superseded by the `repro` CLI (python -m repro).",
     )
     parser.add_argument("figures", nargs="*", help="figure ids, e.g. fig06 fig15")
     parser.add_argument("--list", action="store_true", help="list available figure ids")
@@ -26,25 +31,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for figure_id, module in sorted(REGISTRY.items()):
-            doc = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"{figure_id}  {doc}")
-        return 0
-
-    chosen = sorted(REGISTRY) if args.all else args.figures
-    if not chosen:
+        return cli_main(["list", "--no-store"])
+    if not args.all and not args.figures:
         parser.print_help()
         return 2
-    unknown = [f for f in chosen if f not in REGISTRY]
-    if unknown:
-        print(f"unknown figure ids: {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
-        return 2
-    for figure_id in chosen:
-        result = REGISTRY[figure_id].run()
-        print(result.to_text())
-        print()
-    return 0
+    forwarded = ["run", "--no-store"]
+    if args.all:
+        forwarded.append("--all")
+    return cli_main(forwarded + args.figures)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -51,12 +51,14 @@ TRACE_LONG = TraceSpec(kind="hour-of-week")
 
 @dataclass(frozen=True)
 class FigureResult:
-    """Output of one experiment driver.
+    """Structured, JSON-serialisable output of one experiment driver.
 
     ``rows``/``headers`` carry the table the paper prints; ``series``
     carries plottable line data (x -> y arrays) for figure-shaped
-    results; ``notes`` records substitutions or deviations worth
-    surfacing next to the numbers.
+    results; ``summary`` carries the figure's headline scalars (the
+    quantities the golden-figure regression gate compares first);
+    ``notes`` records substitutions or deviations worth surfacing next
+    to the numbers.
     """
 
     figure_id: str
@@ -64,6 +66,7 @@ class FigureResult:
     headers: tuple[str, ...] = ()
     rows: tuple[tuple, ...] = ()
     series: dict[str, np.ndarray] = field(default_factory=dict)
+    summary: dict[str, float] = field(default_factory=dict)
     notes: tuple[str, ...] = ()
 
     def to_text(self) -> str:
@@ -71,15 +74,52 @@ class FigureResult:
 
         parts = []
         if self.rows:
-            parts.append(render_table(self.headers, self.rows, title=f"{self.figure_id}: {self.title}"))
+            parts.append(
+                render_table(self.headers, self.rows, title=f"{self.figure_id}: {self.title}")
+            )
         else:
             parts.append(f"{self.figure_id}: {self.title}")
         for name, values in self.series.items():
             arr = np.asarray(values)
             parts.append(f"series {name}: n={arr.size} min={arr.min():.2f} max={arr.max():.2f}")
+        for name, value in self.summary.items():
+            parts.append(f"summary {name}: {value:g}")
         for note in self.notes:
             parts.append(f"note: {note}")
         return "\n".join(parts)
+
+    # -- artifact round-trip -------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """A plain-JSON artifact payload (arrays base64-encoded)."""
+        from repro.artifacts.codec import encode_array, encode_value
+
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [encode_value(row) for row in self.rows],
+            "series": {
+                name: encode_array(np.asarray(values))
+                for name, values in self.series.items()
+            },
+            "summary": {name: float(value) for name, value in self.summary.items()},
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "FigureResult":
+        from repro.artifacts.codec import decode_array, decode_value
+
+        return cls(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            headers=tuple(payload.get("headers", ())),
+            rows=tuple(tuple(decode_value(row)) for row in payload.get("rows", ())),
+            series={name: decode_array(arr) for name, arr in payload.get("series", {}).items()},
+            summary=dict(payload.get("summary", {})),
+            notes=tuple(payload.get("notes", ())),
+        )
 
 
 def paper_market(seed: int = DEFAULT_SEED) -> MarketSpec:
@@ -123,7 +163,9 @@ def baseline_long(seed: int = DEFAULT_SEED) -> SimulationResult:
 
 
 def price_run_24day(
-    threshold_km: float, follow_95_5: bool, seed: int = DEFAULT_SEED
+    threshold_km: float,
+    follow_95_5: bool,
+    seed: int = DEFAULT_SEED,
 ) -> SimulationResult:
     """Price-conscious run over the 24-day trace (memoised per config)."""
     scenario = (

@@ -32,6 +32,10 @@ def run(price_per_mwh: float = DEFAULT_WHOLESALE_PRICE) -> FigureResult:
         title="Estimated annual electricity cost @ $%.0f/MWh" % price_per_mwh,
         headers=("Company", "Servers", "Energy (1e5 MWh)", "Cost ($M)"),
         rows=tuple(rows),
+        summary={
+            **{f"cost_musd_{row[0]}": float(row[3]) for row in rows},
+            "google_search_1e5_mwh": search_mwh / 1e5,
+        },
         notes=(
             f"Google search cross-check: 1.2B searches/day @ 1 kJ = "
             f"{search_mwh / 1e5:.2f}e5 MWh/yr (paper quotes ~1e5)",

@@ -49,7 +49,9 @@ def run(seed: int = 2009) -> FigureResult:
         axis = daily.time_axis()
         mean_2007 = _year_mean(daily.values, axis, 2007)
         mean_2008 = _year_mean(daily.values, axis, 2008)
-        rows.append((code, round(mean_2007, 1), round(mean_2008, 1), round(mean_2008 / mean_2007, 2)))
+        rows.append(
+            (code, round(mean_2007, 1), round(mean_2008, 1), round(mean_2008 / mean_2007, 2))
+        )
 
     # Northwest spring dip: April mean vs annual mean.
     months = np.array([d.month for d in midc.time_axis()])
@@ -61,6 +63,10 @@ def run(seed: int = 2009) -> FigureResult:
         headers=("Hub", "2007 mean", "2008 mean", "2008/2007"),
         rows=tuple(rows),
         series=series,
+        summary={
+            **{f"ratio_2008_2007_{row[0]}": float(row[3]) for row in rows},
+            "midc_april_over_annual": april_ratio,
+        },
         notes=(
             f"MID-C April mean / annual mean = {april_ratio:.2f} (spring run-off dip)",
             "2008/2007 ratio should be markedly above 1 for gas-coupled hubs "

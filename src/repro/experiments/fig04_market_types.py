@@ -51,6 +51,11 @@ def run(seed: int = 2009, hub: str = "NYC") -> FigureResult:
         headers=("Window", "RT 5-min sigma", "RT hourly sigma", "Day-ahead sigma"),
         rows=tuple(rows),
         series=series,
+        summary={
+            f"window{w}_{kind}_sigma": float(row[col])
+            for w, row in enumerate(rows, start=1)
+            for col, kind in ((1, "rt_5min"), (2, "rt_hourly"), (3, "day_ahead"))
+        },
         notes=("expect RT 5-min >= RT hourly >= day-ahead within each window",),
     )
 

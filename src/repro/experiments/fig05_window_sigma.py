@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from datetime import datetime
 
+import numpy as np
+
 from repro.experiments.common import FigureResult, default_dataset
 from repro.markets.data import PAPER_FIG5_WINDOW_SIGMA
 
@@ -27,6 +29,8 @@ def run(seed: int = 2009, hub: str = "NYC") -> FigureResult:
     five_min = dataset.five_minute(hub, start_hour, len(rt))
 
     rows = []
+    rt_curve = []
+    da_curve = []
     for window in WINDOW_HOURS:
         if window < 1.0:
             rt_sigma = five_min.windowed_std(window)
@@ -34,6 +38,10 @@ def run(seed: int = 2009, hub: str = "NYC") -> FigureResult:
         else:
             rt_sigma = rt.windowed_std(window)
             da_sigma = da.windowed_std(window)
+        rt_curve.append(rt_sigma)
+        # Keep da_sigma aligned with the window_hours axis: the
+        # day-ahead market has no sub-hour feed, so that point is NaN.
+        da_curve.append(np.nan if da_sigma is None else da_sigma)
         paper_rt = PAPER_FIG5_WINDOW_SIGMA["real_time"].get(window)
         paper_da = PAPER_FIG5_WINDOW_SIGMA["day_ahead"].get(window)
         rows.append(
@@ -50,6 +58,16 @@ def run(seed: int = 2009, hub: str = "NYC") -> FigureResult:
         title=f"Window-averaged sigma, {hub} Q1 2009 ($/MWh)",
         headers=("Window", "RT (ours)", "RT (paper)", "DA (ours)", "DA (paper)"),
         rows=tuple(rows),
+        series={
+            "window_hours": np.array(WINDOW_HOURS),
+            "rt_sigma": np.array(rt_curve),
+            "da_sigma": np.array(da_curve),
+        },
+        summary={
+            "rt_5min_sigma": float(rt_curve[0]),
+            "rt_24h_sigma": float(rt_curve[-1]),
+            "da_24h_sigma": float(da_curve[-1]),
+        },
         notes=(
             "RT sigma should fall as the window grows and exceed DA at "
             "short windows, converging near 24 h",

@@ -11,8 +11,12 @@ __all__ = ["run"]
 def run(seed: int = 2009) -> FigureResult:
     dataset = default_dataset(seed)
     rows = []
+    summary = {}
     for paper in PAPER_FIG6_STATS:
         stats = dataset.real_time(paper.hub_code).stats(trim_fraction=0.01)
+        summary[f"mean_{paper.hub_code}"] = stats.mean
+        summary[f"std_{paper.hub_code}"] = stats.std
+        summary[f"kurtosis_{paper.hub_code}"] = stats.kurtosis
         rows.append(
             (
                 paper.city,
@@ -39,6 +43,7 @@ def run(seed: int = 2009) -> FigureResult:
             "Kurt (paper)",
         ),
         rows=tuple(rows),
+        summary=summary,
         notes=(
             "ordering checks: NYC most expensive, Chicago cheapest; "
             "Palo Alto has the heaviest tails",

@@ -54,6 +54,11 @@ def run(seed: int = 2009) -> FigureResult:
         ),
         rows=tuple(rows),
         series=series,
+        summary={
+            f"{row[0]}_{name}": float(row[col])
+            for row in rows
+            for col, name in ((2, "sigma"), (4, "kurtosis"), (6, "p_within_20"))
+        },
         notes=("zero-mean with heavy tails; ~20% of hours move $20+",),
     )
 

@@ -28,9 +28,7 @@ def run(seed: int = 2009) -> FigureResult:
         "cross_rto_coefficient": np.array([c for _, c in cross]),
     }
 
-    caiso = next(
-        p for p in pairs if {p.hub_a, p.hub_b} == {"NP15", "SP15"}
-    )
+    caiso = next(p for p in pairs if {p.hub_a, p.hub_b} == {"NP15", "SP15"})
     rows = (
         ("total pairs", int(summary["n_pairs"])),
         ("same-RTO pairs", int(summary["n_same_rto"])),
@@ -48,6 +46,13 @@ def run(seed: int = 2009) -> FigureResult:
         headers=("Quantity", "Value"),
         rows=rows,
         series=series,
+        summary={
+            "n_pairs": float(summary["n_pairs"]),
+            "same_rto_median": float(summary["same_rto_median"]),
+            "cross_rto_median": float(summary["cross_rto_median"]),
+            "min_correlation": float(summary["min_correlation"]),
+            "caiso_coefficient": float(caiso.coefficient),
+        },
         notes=(
             "paper: no negative pairs; all cross-RTO pairs below 0.6; "
             "LA/PaloAlto at 0.94",

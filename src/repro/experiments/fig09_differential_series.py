@@ -55,6 +55,14 @@ def run(seed: int = 2009) -> FigureResult:
         headers=("Pair", "Mean", "Min", "Max", "Sign flips (>|$5|)"),
         rows=tuple(rows),
         series=series,
+        summary={
+            **{
+                f"{row[0]}_{name}": float(row[col])
+                for row in rows[:-1]
+                for col, name in ((1, "mean"), (2, "min"), (3, "max"), (4, "sign_flips"))
+            },
+            "full_horizon_max": float(rows[-1][3]),
+        },
         notes=(
             "expect spikes far off the +/-$100 scale and repeated sign "
             "changes within the fortnight",

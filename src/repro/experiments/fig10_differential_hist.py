@@ -62,6 +62,11 @@ def run(seed: int = 2009) -> FigureResult:
         ),
         rows=tuple(rows),
         series=series,
+        summary={
+            f"{row[0]}_{name}": float(row[col])
+            for row in rows
+            for col, name in ((1, "mean"), (3, "sigma"), (6, "p_b_cheaper"))
+        },
         notes=(
             "NP15-DOM and ERCOT-S-DOM near zero-mean with high variance; "
             "MA-BOS-NYC skewed toward Boston; CHI-DOM one-sided",

@@ -38,6 +38,11 @@ def run(seed: int = 2009, pair: tuple[str, str] = ("NP15", "DOM")) -> FigureResu
         headers=("Month", "Median", "Q25", "Q75", "IQR"),
         rows=rows,
         series={"monthly_median": medians, "monthly_iqr": iqrs},
+        summary={
+            "median_sign_flips": float(flips),
+            "max_abs_median": float(np.max(np.abs(medians))),
+            "max_iqr": float(iqrs.max()),
+        },
         notes=(
             f"median sign flips across months: {flips} (sustained "
             "asymmetries exist and reverse)",

@@ -44,6 +44,7 @@ def run(seed: int = 2009) -> FigureResult:
         headers=("Pair", "Min med", "@hour", "Max med", "@hour", "Swing"),
         rows=tuple(rows),
         series=series,
+        summary={f"{row[0]}_swing": float(row[5]) for row in rows},
         notes=(
             "NP15-DOM should swing strongly with hour (time-zone offset); "
             "CHI-IL should swing least",

@@ -6,8 +6,6 @@ dominate, medium ones (<9 h) are common, day-plus differentials rare.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.differentials import (
     differential_durations,
     duration_histogram,
@@ -25,15 +23,19 @@ def run(seed: int = 2009, pair: tuple[str, str] = ("NP15", "DOM")) -> FigureResu
     short = float(hist[:3].sum())
     medium = float(hist[:9].sum())
     over_24 = float(hist[24:].sum())
-    rows = tuple(
-        (f"{d + 1} h", round(float(hist[d]), 4)) for d in range(36) if hist[d] > 0
-    )
+    rows = tuple((f"{d + 1} h", round(float(hist[d]), 4)) for d in range(36) if hist[d] > 0)
     return FigureResult(
         figure_id="fig13",
         title=f"{pair[0]}-{pair[1]} differential durations (fraction of time)",
         headers=("Duration", "Fraction of total time"),
         rows=rows,
         series={"duration_fraction": hist},
+        summary={
+            "frac_under_3h": short,
+            "frac_under_9h": medium,
+            "frac_over_24h": over_24,
+            "n_differentials": float(len(durations)),
+        },
         notes=(
             f"time in <3 h differentials: {short:.2f}; in <9 h: {medium:.2f}; "
             f"in >24 h: {over_24:.3f} (short should dominate, day-plus rare)",

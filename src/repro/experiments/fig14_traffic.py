@@ -12,8 +12,6 @@ the US series; we additionally report the demand originating within
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.common import (
     FigureResult,
     default_problem,
@@ -49,6 +47,12 @@ def run(seed: int = 1224) -> FigureResult:
             "global": total_global,
             "usa": total_us,
             "nine_region": nine_region,
+        },
+        summary={
+            "global_peak_mhps": float(total_global.max()) / 1e6,
+            "us_peak_mhps": float(total_us.max()) / 1e6,
+            "nine_region_peak_mhps": float(nine_region.max()) / 1e6,
+            "us_mean_over_peak": float(total_us.mean() / total_us.max()),
         },
         notes=(
             "paper peaks: >2 M global, ~1.25 M US",

@@ -9,6 +9,8 @@ are costed under all seven models.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import scenarios
 from repro.energy.params import FIG15_MODELS
 from repro.experiments.common import FigureResult, paper_market
@@ -30,15 +32,19 @@ def run(seed: int = 2009) -> FigureResult:
     followed = scenarios.run(sweep.derive(follow_95_5=True))
 
     rows = []
+    relaxed_pct = []
+    followed_pct = []
     for params in FIG15_MODELS:
         key = (params.idle_fraction, params.pue)
         paper = PAPER_FIG15_SAVINGS.get(key, {})
+        relaxed_pct.append(relaxed.savings_vs(base, params) * 100.0)
+        followed_pct.append(followed.savings_vs(base, params) * 100.0)
         rows.append(
             (
                 params.describe(),
-                round(relaxed.savings_vs(base, params) * 100.0, 1),
+                round(relaxed_pct[-1], 1),
                 paper.get("relaxed", "-"),
-                round(followed.savings_vs(base, params) * 100.0, 1),
+                round(followed_pct[-1], 1),
                 paper.get("followed", "-"),
             )
         )
@@ -53,6 +59,15 @@ def run(seed: int = 2009) -> FigureResult:
             "Follow (paper)",
         ),
         rows=tuple(rows),
+        series={
+            "relaxed_savings_pct": np.array(relaxed_pct),
+            "followed_savings_pct": np.array(followed_pct),
+        },
+        summary={
+            "max_relaxed_savings_pct": max(relaxed_pct),
+            "max_followed_savings_pct": max(followed_pct),
+            "min_relaxed_savings_pct": min(relaxed_pct),
+        },
         notes=(
             "savings must decrease monotonically with idle power and PUE",
             "following 95/5 must cut but not eliminate savings",

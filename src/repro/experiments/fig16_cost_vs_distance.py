@@ -45,6 +45,11 @@ def run(seed: int = 2009) -> FigureResult:
             "relaxed": np.array(relaxed_curve),
             "followed": np.array(followed_curve),
         },
+        summary={
+            "min_relaxed_cost": min(relaxed_curve),
+            "min_followed_cost": min(followed_curve),
+            "relaxed_cost_at_0km": relaxed_curve[0],
+        },
         notes=(
             "curves must be (weakly) decreasing in the threshold; the "
             "relaxed curve must lie at or below the followed curve",

@@ -46,12 +46,14 @@ def run(seed: int = 2009) -> FigureResult:
         )
     series = {"thresholds_km": np.array(THRESHOLDS_KM)}
     series.update({k: np.array(v) for k, v in curves.items()})
+    summary = {f"max_{name}_km": float(max(values)) for name, values in curves.items()}
     return FigureResult(
         figure_id="fig17",
         title="Client-server distance vs distance threshold (km)",
         headers=("Threshold", "Mean", "99th pct", "Mean (ignore 95/5)", "99th pct (ignore 95/5)"),
         rows=tuple(rows),
         series=series,
+        summary=summary,
         notes=(
             "mean distance grows with the threshold as clients chase "
             "cheaper, further clusters",

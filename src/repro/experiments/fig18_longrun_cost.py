@@ -34,9 +34,7 @@ def run(seed: int = 2009) -> FigureResult:
     for threshold in THRESHOLDS_KM:
         relaxed = scenarios.run(longrun.with_router(distance_threshold_km=threshold))
         followed = scenarios.run(
-            longrun.derive(follow_95_5=True).with_router(
-                distance_threshold_km=threshold
-            )
+            longrun.derive(follow_95_5=True).with_router(distance_threshold_km=threshold)
         )
         nc_relaxed = relaxed.normalized_cost(base, params)
         nc_followed = followed.normalized_cost(base, params)
@@ -55,6 +53,11 @@ def run(seed: int = 2009) -> FigureResult:
             "relaxed": np.array(relaxed_curve),
             "followed": np.array(followed_curve),
             "static_cheapest_hub": np.array([static_cost]),
+        },
+        summary={
+            "min_relaxed_cost": min(relaxed_curve),
+            "min_followed_cost": min(followed_curve),
+            "static_cheapest_cost": static_cost,
         },
         notes=(
             f"paper: dynamic relaxed bottoms out near "

@@ -9,8 +9,6 @@ still flows there at the right hours.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import scenarios
 from repro.energy.params import OPTIMISTIC_FUTURE
 from repro.experiments.common import FigureResult, paper_market
@@ -21,9 +19,7 @@ THRESHOLDS_KM = (500.0, 1000.0, 1500.0, 2000.0)
 
 
 def run(seed: int = 2009) -> FigureResult:
-    longrun = scenarios.get("longrun-price").derive(
-        market=paper_market(seed), follow_95_5=True
-    )
+    longrun = scenarios.get("longrun-price").derive(market=paper_market(seed), follow_95_5=True)
     base = scenarios.baseline_result(longrun.market, longrun.trace)
     params = OPTIMISTIC_FUTURE
     base_by_cluster = base.cost_by_cluster(params)
@@ -31,12 +27,12 @@ def run(seed: int = 2009) -> FigureResult:
 
     rows = []
     series = {}
+    summary = {}
     for threshold in THRESHOLDS_KM:
-        run_result = scenarios.run(
-            longrun.with_router(distance_threshold_km=threshold)
-        )
+        run_result = scenarios.run(longrun.with_router(distance_threshold_km=threshold))
         delta = (run_result.cost_by_cluster(params) - base_by_cluster) / total_base
         series[f"<{int(threshold)}km"] = delta
+        summary[f"total_saving_pct_{int(threshold)}km"] = float(-delta.sum() * 100.0)
         for label, change in zip(base.cluster_labels, delta):
             rows.append((f"<{int(threshold)}km", label, round(change * 100.0, 2)))
     return FigureResult(
@@ -45,6 +41,7 @@ def run(seed: int = 2009) -> FigureResult:
         headers=("Threshold", "Cluster", "Cost change (%)"),
         rows=tuple(rows),
         series=series,
+        summary=summary,
         notes=(
             "cluster order: " + ", ".join(base.cluster_labels),
             "NY should show the largest reduction (highest peak prices)",

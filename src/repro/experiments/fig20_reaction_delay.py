@@ -33,15 +33,21 @@ def run(seed: int = 2009) -> FigureResult:
         costs.append(result.total_cost(params))
     costs_arr = np.array(costs)
     increase = (costs_arr / costs_arr[0] - 1.0) * 100.0
-    rows = tuple(
-        (delay, round(float(pct), 3)) for delay, pct in zip(DELAYS_HOURS, increase)
-    )
+    rows = tuple((delay, round(float(pct), 3)) for delay, pct in zip(DELAYS_HOURS, increase))
     return FigureResult(
         figure_id="fig20",
         title="Cost increase vs reaction delay, (65% idle, 1.3 PUE), 1500 km",
         headers=("Delay (hours)", "Cost increase (%)"),
         rows=rows,
-        series={"delays_hours": np.array(DELAYS_HOURS, dtype=float), "increase_pct": increase},
+        series={
+            "delays_hours": np.array(DELAYS_HOURS, dtype=float),
+            "increase_pct": increase,
+        },
+        summary={
+            "increase_at_1h_pct": float(increase[1]),
+            "increase_at_24h_pct": float(increase[DELAYS_HOURS.index(24)]),
+            "max_increase_pct": float(increase.max()),
+        },
         notes=(
             "expect a jump from 0 to 1 hour and lower cost at 24 h than "
             "at neighbouring delays (day-to-day price correlation)",

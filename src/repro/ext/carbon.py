@@ -90,7 +90,9 @@ def _mix_intensity(mix: GenerationMix) -> tuple[float, float]:
 
 
 def carbon_intensity_matrix(
-    dataset: MarketDataset, wind_sigma: float = 0.25, seed: int = 4242
+    dataset: MarketDataset,
+    wind_sigma: float = 0.25,
+    seed: int = 4242,
 ) -> np.ndarray:
     """Hourly carbon intensity per hub, kg CO2/MWh, aligned to prices.
 

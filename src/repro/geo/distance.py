@@ -59,7 +59,9 @@ class DistanceTable:
 
     @classmethod
     def for_deployment(
-        cls, site_locations: Sequence[LatLon], states: Iterable[StateInfo] | None = None
+        cls,
+        site_locations: Sequence[LatLon],
+        states: Iterable[StateInfo] | None = None,
     ) -> "DistanceTable":
         """Build a table for the default contiguous-US client states."""
         chosen = list(states) if states is not None else all_states(contiguous_only=True)

@@ -81,13 +81,12 @@ def _state(
         name=name,
         population=population_thousands * 1000,
         utc_offset_hours=utc_offset_hours,
-        centers=tuple(
-            PopulationCenter(n, LatLon(lat, lon), w) for (n, lat, lon, w) in centers
-        ),
+        centers=tuple(PopulationCenter(n, LatLon(lat, lon), w) for (n, lat, lon, w) in centers),
     )
 
 
 # UTC offsets are standard-time offsets of the state's dominant zone.
+# fmt: off
 _STATE_TABLE: tuple[StateInfo, ...] = (
     _state("AL", "Alabama", 4_700, -6, [("Birmingham", 33.52, -86.80, 0.6), ("Mobile", 30.69, -88.04, 0.4)]),
     _state("AK", "Alaska", 690, -9, [("Anchorage", 61.22, -149.90, 1.0)]),
@@ -176,6 +175,7 @@ _STATE_TABLE: tuple[StateInfo, ...] = (
     _state("WI", "Wisconsin", 5_600, -6, [("Milwaukee", 43.04, -87.91, 0.7), ("Madison", 43.07, -89.40, 0.3)]),
     _state("WY", "Wyoming", 530, -7, [("Cheyenne", 41.14, -104.82, 1.0)]),
 )
+# fmt: on
 
 #: Mapping of state code to :class:`StateInfo`, for all 50 states + DC.
 US_STATES: dict[str, StateInfo] = {s.code: s for s in _STATE_TABLE}

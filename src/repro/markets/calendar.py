@@ -60,7 +60,11 @@ class HourlyCalendar:
             raise ConfigurationError("calendar must start on an hour boundary")
 
     @classmethod
-    def for_months(cls, start: datetime = PAPER_START, months: int = PAPER_MONTHS) -> "HourlyCalendar":
+    def for_months(
+        cls,
+        start: datetime = PAPER_START,
+        months: int = PAPER_MONTHS,
+    ) -> "HourlyCalendar":
         """Calendar covering whole calendar months, paper range by default."""
         return cls(start=start, n_hours=month_range_hours(start, months))
 
@@ -121,7 +125,11 @@ class HourlyCalendar:
             hod = np.fromiter((d.hour for d in dts), dtype=np.int64, count=self.n_hours)
             dow = np.fromiter((d.weekday() for d in dts), dtype=np.int64, count=self.n_hours)
             mon = np.fromiter((d.month for d in dts), dtype=np.int64, count=self.n_hours)
-            doy = np.fromiter((d.timetuple().tm_yday for d in dts), dtype=np.int64, count=self.n_hours)
+            doy = np.fromiter(
+                (d.timetuple().tm_yday for d in dts),
+                dtype=np.int64,
+                count=self.n_hours,
+            )
             midx = np.fromiter(
                 ((d.year - self.start.year) * 12 + (d.month - self.start.month) for d in dts),
                 dtype=np.int64,

@@ -138,7 +138,10 @@ class MarketDataset:
         """Day-ahead hourly price series for one hub."""
         j = self.hub_column(code)
         return PriceSeries(
-            self._calendar.start, self._da[:, j], SECONDS_PER_HOUR, label=f"{code}/DA"
+            self._calendar.start,
+            self._da[:, j],
+            SECONDS_PER_HOUR,
+            label=f"{code}/DA",
         )
 
     def five_minute(self, code: str, start_hour: int, n_hours: int) -> PriceSeries:
@@ -239,7 +242,8 @@ def generate_market(config: MarketConfig | None = None) -> MarketDataset:
     for j, hub in enumerate(hubs):
         level = deterministic_level(calendar, hub, fuel, cfg.model)
         real_time[:, j] = np.maximum(
-            PRICE_FLOOR, level + noise[:, j] + anomalies[:, j] + spikes[:, j]
+            PRICE_FLOOR,
+            level + noise[:, j] + anomalies[:, j] + spikes[:, j],
         )
 
         # Day-ahead: same level (with premium) + the *forecastable*
@@ -256,17 +260,13 @@ def generate_market(config: MarketConfig | None = None) -> MarketDataset:
         forecast = 0.85 * daily_residual[day_ids]
         day_shock_daily = rng.standard_normal(n_days) * hub.price_sigma * 0.18
         day_shock = forecast + day_shock_daily[day_ids]
-        small = ar1_filter(
-            rng.standard_normal(n), phi=0.6, sigma=hub.price_sigma * 0.22
-        )
+        small = ar1_filter(rng.standard_normal(n), phi=0.6, sigma=hub.price_sigma * 0.22)
         # Anchor the day-ahead level to the *realised* RT mean (the
         # skew and spike components lift RT above the deterministic
         # level), then apply the premium: §3.1 observes the RT market
         # clears lower on average than day-ahead.
         uplift = float(real_time[:, j].mean()) / float(level.mean())
         da_level = cfg.day_ahead_premium * uplift * level
-        day_ahead[:, j] = np.maximum(
-            PRICE_FLOOR, da_level + anomalies[:, j] + day_shock + small
-        )
+        day_ahead[:, j] = np.maximum(PRICE_FLOOR, da_level + anomalies[:, j] + day_shock + small)
 
     return MarketDataset(cfg, calendar, hubs, real_time, day_ahead)

@@ -106,6 +106,7 @@ def _hub(
 # trimmed statistics; the rest are plausible zonal values interpolated
 # within each RTO's range. Spikiness is tuned so generated kurtosis
 # reproduces the Fig. 6 ordering (Palo Alto highest, Chicago lowest).
+# fmt: off
 _HUB_TABLE: tuple[Hub, ...] = (
     # --- ISONE (New England): 5 hubs ---
     _hub("MA-BOS", "NEMA/Boston", "Boston, MA", RTO.ISONE, 42.36, -71.06, -5, 66.5, 25.8, 0.9, cluster="MA"),
@@ -143,6 +144,7 @@ _HUB_TABLE: tuple[Hub, ...] = (
     _hub("ERCOT-H", "Houston", "Houston, TX", RTO.ERCOT, 29.76, -95.37, -6, 55.0, 34.0, 1.3),
     _hub("ERCOT-W", "West Texas", "Abilene, TX", RTO.ERCOT, 32.45, -99.73, -6, 47.0, 31.0, 1.1),
 )
+# fmt: on
 
 #: Hub registry keyed by code.
 HUBS: dict[str, Hub] = {h.code: h for h in _HUB_TABLE}
@@ -153,7 +155,15 @@ ALL_HUB_CODES: tuple[str, ...] = tuple(h.code for h in _HUB_TABLE)
 #: The nine hubs hosting server clusters, in Fig. 19 label order:
 #: CA1 CA2 MA NY IL VA NJ TX1 TX2.
 CLUSTER_HUB_CODES: tuple[str, ...] = (
-    "NP15", "SP15", "MA-BOS", "NYC", "CHI", "DOM", "NJ", "ERCOT-N", "ERCOT-S",
+    "NP15",
+    "SP15",
+    "MA-BOS",
+    "NYC",
+    "CHI",
+    "DOM",
+    "NJ",
+    "ERCOT-N",
+    "ERCOT-S",
 )
 
 

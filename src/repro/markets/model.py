@@ -133,7 +133,9 @@ class PriceModelConfig:
 
 
 def fuel_multiplier(
-    calendar: HourlyCalendar, rng: np.random.Generator, config: PriceModelConfig | None = None
+    calendar: HourlyCalendar,
+    rng: np.random.Generator,
+    config: PriceModelConfig | None = None,
 ) -> np.ndarray:
     """Shared fuel-price multiplier, one value per hour.
 
@@ -151,13 +153,16 @@ def fuel_multiplier(
     downturn = cfg.fuel_downturn / (1.0 + np.exp(-(years - 2008.95) / 0.07))
     base = 1.0 + hump - downturn
     wander = ar1_filter(
-        rng.standard_normal(calendar.n_hours), phi=0.9995, sigma=cfg.fuel_wander_sigma
+        rng.standard_normal(calendar.n_hours),
+        phi=0.9995,
+        sigma=cfg.fuel_wander_sigma,
     )
     return np.maximum(0.4, base + wander)
 
 
 def seasonal_multiplier(
-    calendar: HourlyCalendar, config: PriceModelConfig | None = None
+    calendar: HourlyCalendar,
+    config: PriceModelConfig | None = None,
 ) -> np.ndarray:
     """Annual seasonality: summer cooling peak, smaller winter shoulder."""
     cfg = config or PriceModelConfig()
@@ -168,7 +173,9 @@ def seasonal_multiplier(
 
 
 def diurnal_multiplier(
-    calendar: HourlyCalendar, hub: Hub, config: PriceModelConfig | None = None
+    calendar: HourlyCalendar,
+    hub: Hub,
+    config: PriceModelConfig | None = None,
 ) -> np.ndarray:
     """Local-time daily demand curve for one hub.
 
@@ -190,7 +197,8 @@ def diurnal_multiplier(
 
 
 def weekly_multiplier(
-    calendar: HourlyCalendar, config: PriceModelConfig | None = None
+    calendar: HourlyCalendar,
+    config: PriceModelConfig | None = None,
 ) -> np.ndarray:
     """Weekend discount: commercial demand drops on Saturday/Sunday."""
     cfg = config or PriceModelConfig()
@@ -294,9 +302,7 @@ def daily_anomaly_matrix(
     day_ids = np.arange(n) // 24
     levels: dict[object, np.ndarray] = {}
     for rto in sorted({h.rto for h in hubs}, key=lambda r: r.value):
-        levels[rto] = ar1_filter(
-            rng.standard_normal(n_days), phi=cfg.daily_anomaly_phi, sigma=1.0
-        )
+        levels[rto] = ar1_filter(rng.standard_normal(n_days), phi=cfg.daily_anomaly_phi, sigma=1.0)
     out = np.empty((n, len(hubs)))
     for j, hub in enumerate(hubs):
         local = calendar.local_hour_of_day(hub.utc_offset_hours).astype(float)

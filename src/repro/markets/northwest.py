@@ -29,9 +29,7 @@ __all__ = ["MIDC_MEAN_PRICE", "northwest_daily_series"]
 MIDC_MEAN_PRICE = 48.0
 
 
-def northwest_daily_series(
-    start: datetime, months: int, seed: int = 2009
-) -> PriceSeries:
+def northwest_daily_series(start: datetime, months: int, seed: int = 2009) -> PriceSeries:
     """Daily average prices for the hydro-dominated MID-C hub.
 
     Structure: a mild summer/winter shape, a *deep April-May dip*

@@ -60,6 +60,7 @@ class RTOInfo:
     gas_coupling: float
 
 
+# fmt: off
 RTO_INFO: dict[RTO, RTOInfo] = {
     RTO.ISONE: RTOInfo(RTO.ISONE, "New England", cohesion=0.06, spike_rate_per_kh=1.5, gas_coupling=0.9),
     RTO.NYISO: RTOInfo(RTO.NYISO, "New York", cohesion=0.14, spike_rate_per_kh=2.5, gas_coupling=0.8),
@@ -68,3 +69,4 @@ RTO_INFO: dict[RTO, RTOInfo] = {
     RTO.CAISO: RTOInfo(RTO.CAISO, "California", cohesion=0.02, spike_rate_per_kh=2.0, gas_coupling=0.8),
     RTO.ERCOT: RTOInfo(RTO.ERCOT, "Texas", cohesion=0.13, spike_rate_per_kh=2.8, gas_coupling=1.0),
 }
+# fmt: on

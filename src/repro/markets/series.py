@@ -212,9 +212,7 @@ class PriceSeries:
         """
         steps = int(round(window_hours * SECONDS_PER_HOUR / self.step_seconds))
         if steps < 1:
-            raise ConfigurationError(
-                f"window of {window_hours}h is finer than the series step"
-            )
+            raise ConfigurationError(f"window of {window_hours}h is finer than the series step")
         if steps == 1:
             return float(np.std(self.values))
         return float(np.std(self.resample_mean(steps).values))

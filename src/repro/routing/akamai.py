@@ -101,7 +101,10 @@ class BaselineProximityRouter:
         return greedy_fill(demand, self._orders, effective)
 
     def allocate_batch(
-        self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray
+        self,
+        demand: np.ndarray,
+        prices: np.ndarray,
+        limits: np.ndarray,
     ) -> np.ndarray:
         """Whole-run form of :meth:`allocate` via the batched greedy fill.
 

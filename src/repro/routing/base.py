@@ -46,13 +46,15 @@ class RoutingProblem:
     the state ordering so routers can precompute whatever they need.
     """
 
-    def __init__(self, deployment: ClusterDeployment, distances: DistanceTable | None = None) -> None:
+    def __init__(
+        self,
+        deployment: ClusterDeployment,
+        distances: DistanceTable | None = None,
+    ) -> None:
         self.deployment = deployment
         self.distances = distances or deployment_distance_table(deployment)
         if self.distances.n_sites != deployment.n_clusters:
-            raise ConfigurationError(
-                "distance table columns must match deployment clusters"
-            )
+            raise ConfigurationError("distance table columns must match deployment clusters")
         self.state_codes = tuple(s.code for s in self.distances.states)
 
     @property
@@ -278,7 +280,9 @@ def greedy_fill_batch(
     finite = np.isfinite(headroom)
     totals = demand.sum(axis=1)
     total_limits = np.where(
-        np.all(finite, axis=1), np.sum(np.where(finite, headroom, 0.0), axis=1), np.inf
+        np.all(finite, axis=1),
+        np.sum(np.where(finite, headroom, 0.0), axis=1),
+        np.inf,
     )
     infeasible = totals > total_limits + 1e-6
     if np.any(infeasible):
@@ -321,8 +325,13 @@ def greedy_fill_batch(
         leftover = active[remaining[active] > 1e-9] if active.size else active
         if leftover.size:
             _fallback_spill_batch(
-                allocation, headroom, remaining, leftover, s_t,
-                preference_orders, per_step_prefs,
+                allocation,
+                headroom,
+                remaining,
+                leftover,
+                s_t,
+                preference_orders,
+                per_step_prefs,
             )
         if np.any(remaining > 1e-6):
             t = int(np.argmax(remaining))

@@ -92,9 +92,7 @@ class JointOptimizationRouter:
         for _ in range(2):
             scores = self._scores(prices, utilization)
             preferred = np.argmin(scores, axis=1)
-            loads = np.bincount(
-                preferred, weights=demand, minlength=self._problem.n_clusters
-            )
+            loads = np.bincount(preferred, weights=demand, minlength=self._problem.n_clusters)
             utilization = loads / capacities
 
         scores = self._scores(prices, utilization)

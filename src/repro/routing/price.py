@@ -62,9 +62,7 @@ class PriceConsciousRouter:
             within = np.flatnonzero(distances[s] <= distance_threshold_km)
             if within.size == 0:
                 nearest = int(np.argmin(distances[s]))
-                metro = np.flatnonzero(
-                    distances[s] <= distances[s, nearest] + METRO_RADIUS_KM
-                )
+                metro = np.flatnonzero(distances[s] <= distances[s, nearest] + METRO_RADIUS_KM)
                 within = np.union1d(np.array([nearest]), metro)
             self._candidates.append(within)
         # Dense candidate mask and masked-distance matrix for the
@@ -123,7 +121,10 @@ class PriceConsciousRouter:
         return greedy_fill(demand, orders, limits)
 
     def allocate_batch(
-        self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray
+        self,
+        demand: np.ndarray,
+        prices: np.ndarray,
+        limits: np.ndarray,
     ) -> np.ndarray:
         """Whole-run form of :meth:`allocate`.
 
@@ -149,15 +150,15 @@ class PriceConsciousRouter:
 
         flat = (np.arange(n_steps)[:, None] * n_clusters + preferred).ravel()
         loads = np.bincount(
-            flat, weights=demand.ravel(), minlength=n_steps * n_clusters
+            flat,
+            weights=demand.ravel(),
+            minlength=n_steps * n_clusters,
         ).reshape(n_steps, n_clusters)
         fits = np.all(loads <= step_limits + 1e-9, axis=1)
 
         allocation = np.zeros((n_steps, n_states, n_clusters))
         fast = np.flatnonzero(fits)
-        allocation[
-            fast[:, None], np.arange(n_states)[None, :], preferred[fast]
-        ] = demand[fast]
+        allocation[fast[:, None], np.arange(n_states)[None, :], preferred[fast]] = demand[fast]
         spill = np.flatnonzero(~fits)
         if spill.size:
             allocation[spill] = greedy_fill_batch(
@@ -184,15 +185,9 @@ class PriceConsciousRouter:
         masked_prices = np.where(self._mask[None, :, :], prices[:, None, :], np.inf)
         cheapest = masked_prices.min(axis=2)
         cheap_cutoff = (cheapest + self.price_threshold)[:, :, None]
-        bucket = np.where(
-            self._mask[None, :, :], (masked_prices > cheap_cutoff).astype(np.int8), 2
-        )
+        bucket = np.where(self._mask[None, :, :], (masked_prices > cheap_cutoff).astype(np.int8), 2)
         within_bucket_price = np.where(bucket == 0, 0.0, masked_prices)
-        distance_key = np.broadcast_to(
-            self._distances[None, :, :], masked_prices.shape
-        )
+        distance_key = np.broadcast_to(self._distances[None, :, :], masked_prices.shape)
         order = np.lexsort((distance_key, within_bucket_price, bucket), axis=2)
-        padded = np.arange(n_clusters)[None, None, :] >= self._candidate_counts[
-            None, :, None
-        ]
+        padded = np.arange(n_clusters)[None, None, :] >= self._candidate_counts[None, :, None]
         return np.where(padded, order[:, :, :1], order)

@@ -56,7 +56,10 @@ class StaticSingleHubRouter:
         return allocation
 
     def allocate_batch(
-        self, demand: np.ndarray, prices: np.ndarray, limits: np.ndarray
+        self,
+        demand: np.ndarray,
+        prices: np.ndarray,
+        limits: np.ndarray,
     ) -> np.ndarray:
         """Whole-run form: every step's demand lands on the fixed cluster."""
         del prices, limits

@@ -31,6 +31,7 @@ from repro.scenarios.registry import REGISTRY, get, names, register
 from repro.scenarios.runner import (
     baseline_result,
     build_router,
+    clear_caches,
     dataset,
     problem,
     run,
@@ -49,6 +50,7 @@ __all__ = [
     "TraceSpec",
     "baseline_result",
     "build_router",
+    "clear_caches",
     "dataset",
     "problem",
     "run",

@@ -144,9 +144,7 @@ REGISTRY: dict[str, Scenario] = {s.name: s for s in _builtin_scenarios()}
 def register(scenario: Scenario, overwrite: bool = False) -> Scenario:
     """Add a scenario to the registry under its own name."""
     if scenario.name in REGISTRY and not overwrite:
-        raise ConfigurationError(
-            f"scenario {scenario.name!r} already registered"
-        )
+        raise ConfigurationError(f"scenario {scenario.name!r} already registered")
     REGISTRY[scenario.name] = scenario
     return scenario
 
@@ -157,9 +155,7 @@ def get(name: str) -> Scenario:
         return REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(REGISTRY))
-        raise ConfigurationError(
-            f"unknown scenario {name!r}; registered: {known}"
-        ) from None
+        raise ConfigurationError(f"unknown scenario {name!r}; registered: {known}") from None
 
 
 def names() -> tuple[str, ...]:

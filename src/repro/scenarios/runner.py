@@ -6,6 +6,13 @@ routing problem, router) and drives the batched simulation engine.
 Every stage is memoised on its frozen spec, so twenty experiment
 drivers sweeping thresholds against the same market regenerate
 nothing — the scenario *is* the cache key.
+
+Memoisation is two-layered. In front sits the in-process ``lru_cache``
+(cheap, per-interpreter); beneath it, when :mod:`repro.artifacts` has
+an active store, finished runs are published to the content-addressed
+on-disk store and looked up there first, so sweeps survive process
+boundaries: pool workers and warm re-invocations of the ``repro`` CLI
+load results instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import artifacts
 from repro.errors import ConfigurationError
 from repro.markets.calendar import HourlyCalendar
 from repro.markets.generator import MarketConfig, MarketDataset, generate_market
@@ -36,15 +44,18 @@ __all__ = [
     "build_router",
     "baseline_result",
     "run",
+    "clear_caches",
 ]
 
 
-@lru_cache(maxsize=8)
+# Cache sizes are sized for a full twenty-figure parallel sweep, which
+# touches a handful of markets (paper seed, example seeds, ablation
+# seeds) but must never evict the shared paper market mid-sweep: a
+# dataset miss costs tens of seconds, so these are generous.
+@lru_cache(maxsize=32)
 def dataset(market: MarketSpec) -> MarketDataset:
     """The market data set a spec describes (memoised per spec)."""
-    return generate_market(
-        MarketConfig(start=market.start, months=market.months, seed=market.seed)
-    )
+    return generate_market(MarketConfig(start=market.start, months=market.months, seed=market.seed))
 
 
 @lru_cache(maxsize=1)
@@ -53,7 +64,7 @@ def problem() -> RoutingProblem:
     return RoutingProblem(akamai_like_deployment())
 
 
-@lru_cache(maxsize=8)
+@lru_cache(maxsize=32)
 def trace(spec: TraceSpec, market: MarketSpec) -> TrafficTrace:
     """The traffic trace a spec describes (memoised per spec pair).
 
@@ -64,13 +75,9 @@ def trace(spec: TraceSpec, market: MarketSpec) -> TrafficTrace:
     if spec.kind == "turn-of-year":
         return make_turn_of_year_trace(seed=spec.seed)
     if spec.kind == "five-minute":
-        return make_trace(
-            TraceConfig(start=spec.start, n_steps=spec.n_steps, seed=spec.seed)
-        )
+        return make_trace(TraceConfig(start=spec.start, n_steps=spec.n_steps, seed=spec.seed))
     # hour-of-week: the 24-day trace's averages over the whole calendar.
-    workload = HourOfWeekWorkload.from_trace(
-        make_turn_of_year_trace(seed=spec.seed)
-    )
+    workload = HourOfWeekWorkload.from_trace(make_turn_of_year_trace(seed=spec.seed))
     calendar = dataset(market).calendar
     return workload.expand(HourlyCalendar(calendar.start, calendar.n_hours))
 
@@ -123,15 +130,11 @@ def _signal_rows(scenario: Scenario) -> np.ndarray | None:
 
     data = dataset(scenario.market)
     run_trace = trace(scenario.trace, scenario.market)
-    signal = (
-        carbon_intensity_matrix(data)
-        if kind == "carbon"
-        else effective_price_matrix(data)
-    )
+    signal = (carbon_intensity_matrix(data) if kind == "carbon" else effective_price_matrix(data))
     return hourly_signal_rows(signal, data, problem().deployment, run_trace)
 
 
-@lru_cache(maxsize=16)
+@lru_cache(maxsize=32)
 def baseline_result(market: MarketSpec, trace_spec: TraceSpec) -> SimulationResult:
     """The price-blind baseline run over a market/trace pair.
 
@@ -165,6 +168,18 @@ def run(scenario: Scenario) -> SimulationResult:
 
 @lru_cache(maxsize=256)
 def _run_cached(scenario: Scenario) -> SimulationResult:
+    store = artifacts.get_store()
+    if store is not None and not artifacts.refresh_mode():
+        cached = store.load_simulation(scenario)
+        if cached is not None:
+            return cached
+    result = _execute(scenario)
+    if store is not None:
+        store.save_simulation(scenario, result)
+    return result
+
+
+def _execute(scenario: Scenario) -> SimulationResult:
     data = dataset(scenario.market)
     prob = problem()
     run_trace = trace(scenario.trace, scenario.market)
@@ -187,9 +202,7 @@ def _run_cached(scenario: Scenario) -> SimulationResult:
         elif scenario.router.kind == "static":
             target = int(scenario.router.kwargs["cluster_index"])
         else:
-            raise ConfigurationError(
-                "relocate_fleet requires a static router kind"
-            )
+            raise ConfigurationError("relocate_fleet requires a static router kind")
         deployment = prob.deployment
         counts = np.zeros(deployment.n_clusters)
         counts[target] = sum(c.n_servers for c in deployment.clusters)
@@ -205,3 +218,15 @@ def _run_cached(scenario: Scenario) -> SimulationResult:
         server_counts=server_counts,
         router_prices=_signal_rows(scenario),
     )
+
+
+def clear_caches() -> None:
+    """Drop every in-process memo (datasets, traces, runs).
+
+    Long-lived processes sweeping many markets — or tests that need a
+    cold runner — call this instead of poking at individual
+    ``cache_clear`` handles. The on-disk artifact store is *not*
+    touched; that is ``repro clean``'s job.
+    """
+    for memo in (dataset, problem, trace, baseline_result, _run_cached):
+        memo.cache_clear()

@@ -105,9 +105,7 @@ class SimulationOptions:
                     f"got shape {caps.shape}"
                 )
             if not np.all(np.isfinite(caps)) or np.any(caps < 0):
-                raise ConfigurationError(
-                    "bandwidth caps must be finite and non-negative"
-                )
+                raise ConfigurationError("bandwidth caps must be finite and non-negative")
             caps = caps.copy()
             caps.setflags(write=False)
             object.__setattr__(self, "bandwidth_caps", caps)
@@ -190,9 +188,7 @@ def _prepare(
         # billing-free 5% — the tracker verifies). The predicate
         # mirrors greedy_fill's infeasibility test.
         finite = np.isfinite(limits)
-        total_limit = float(np.sum(limits[finite])) + (
-            np.inf if np.any(~finite) else 0.0
-        )
+        total_limit = float(np.sum(limits[finite])) + (np.inf if np.any(~finite) else 0.0)
         burst_steps = trace.demand.sum(axis=1) > total_limit + 1e-6
 
     distances = problem.distances.matrix
@@ -310,9 +306,7 @@ def simulate(
         out = np.empty((steps.size, problem.n_states, n_clusters))
         for i, t in enumerate(steps):
             try:
-                out[i] = router.allocate(
-                    trace.demand[t], prepared.seen_prices[t], prepared.limits
-                )
+                out[i] = router.allocate(trace.demand[t], prepared.seen_prices[t], prepared.limits)
             except InfeasibleAllocationError:
                 out[i] = router.allocate(
                     trace.demand[t],
@@ -390,21 +384,23 @@ def simulate_per_step(
     loads = np.empty((trace.n_steps, n_clusters))
     for t in range(trace.n_steps):
         try:
-            allocation = router.allocate(
-                trace.demand[t], prepared.seen_prices[t], prepared.limits
-            )
+            allocation = router.allocate(trace.demand[t], prepared.seen_prices[t], prepared.limits)
         except InfeasibleAllocationError:
             if prepared.tracker is None:
                 raise
             # Demand cannot fit under the 95/5 caps this step: burst.
             allocation = router.allocate(
-                trace.demand[t], prepared.seen_prices[t], prepared.capacity_limits
+                trace.demand[t],
+                prepared.seen_prices[t],
+                prepared.capacity_limits,
             )
         step_loads = allocation.sum(axis=0)
         loads[t] = step_loads
         if prepared.tracker is not None:
             prepared.tracker.record(step_loads)
         histogram += np.bincount(
-            prepared.bin_index, weights=allocation.ravel(), minlength=prepared.n_bins
+            prepared.bin_index,
+            weights=allocation.ravel(),
+            minlength=prepared.n_bins,
         )
     return _finalize(trace, problem, prepared, loads, histogram, server_counts)

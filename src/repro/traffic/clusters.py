@@ -149,7 +149,8 @@ def akamai_like_deployment() -> ClusterDeployment:
 
 
 def uniform_deployment(
-    hub_codes: tuple[str, ...] | None = None, servers_per_cluster: int = 1_400
+    hub_codes: tuple[str, ...] | None = None,
+    servers_per_cluster: int = 1_400,
 ) -> ClusterDeployment:
     """An evenly distributed deployment (§6.3 mentions this variant).
 

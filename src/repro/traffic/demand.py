@@ -157,7 +157,10 @@ class DemandModel:
         return demand
 
     def _apply_flash_crowds(
-        self, demand: np.ndarray, rng: np.random.Generator, step_seconds: int
+        self,
+        demand: np.ndarray,
+        rng: np.random.Generator,
+        step_seconds: int,
     ) -> None:
         """Overlay flash-crowd multipliers in place."""
         cfg = self._config
@@ -174,9 +177,7 @@ class DemandModel:
             boost = 1.0 + (cfg.flash_peak - 1.0) * ramp
             demand[start:stop] *= boost[:, None]
 
-    def non_us_demand(
-        self, hour_of_day_utc: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
+    def non_us_demand(self, hour_of_day_utc: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Aggregate non-US request rate per step, hits/s.
 
         Flatter than US demand (it sums many time zones) and phase-

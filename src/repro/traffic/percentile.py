@@ -110,9 +110,7 @@ class Bandwidth95Tracker:
         loads = np.asarray(loads, dtype=float)
         if loads.ndim != 2 or loads.shape[1] != self._caps.shape[0]:
             raise ConfigurationError("loads must be (n_steps, n_clusters)")
-        self._bursts += np.sum(
-            loads > self._caps[None, :] * (1.0 + 1e-9), axis=0, dtype=int
-        )
+        self._bursts += np.sum(loads > self._caps[None, :] * (1.0 + 1e-9), axis=0, dtype=int)
 
     def within_billing_budget(self) -> bool:
         """True if no cluster burst more than the free 5% of intervals."""

@@ -113,9 +113,7 @@ class TrafficTrace:
         if self.step_seconds == SECONDS_PER_HOUR:
             return self
         if SECONDS_PER_HOUR % self.step_seconds:
-            raise ConfigurationError(
-                f"step of {self.step_seconds}s does not divide an hour"
-            )
+            raise ConfigurationError(f"step of {self.step_seconds}s does not divide an hour")
         factor = SECONDS_PER_HOUR // self.step_seconds
         n = (self.n_steps // factor) * factor
         if n == 0:
@@ -147,9 +145,7 @@ class TrafficTrace:
         np.add.at(out, hows, hourly.demand)
         np.add.at(counts, hows, 1.0)
         if np.any(counts == 0):
-            raise ConfigurationError(
-                "trace too short to cover every hour of the week"
-            )
+            raise ConfigurationError("trace too short to cover every hour of the week")
         return out / counts[:, None]
 
 

@@ -11,18 +11,30 @@ from datetime import datetime
 
 import pytest
 
+from repro import artifacts
 from repro.markets import MarketConfig, generate_market
 from repro.routing import BaselineProximityRouter, RoutingProblem
 from repro.sim import simulate
 from repro.traffic import TraceConfig, akamai_like_deployment, make_trace
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_artifact_store(monkeypatch):
+    """Keep tests hermetic: no artifact store unless a test opts in.
+
+    Tests that exercise persistence call ``artifacts.configure`` (or
+    set ``REPRO_ARTIFACT_DIR``) themselves, against a tmp path.
+    """
+    monkeypatch.delenv(artifacts.ENV_STORE_DIR, raising=False)
+    artifacts.reset()
+    yield
+    artifacts.reset()
+
+
 @pytest.fixture(scope="session")
 def small_dataset():
     """Six months of prices — enough structure for behavioural tests."""
-    return generate_market(
-        MarketConfig(start=datetime(2008, 10, 1), months=6, seed=7)
-    )
+    return generate_market(MarketConfig(start=datetime(2008, 10, 1), months=6, seed=7))
 
 
 @pytest.fixture(scope="session")
@@ -40,9 +52,7 @@ def trace24():
 @pytest.fixture(scope="session")
 def short_trace():
     """A two-day trace for fast engine tests."""
-    return make_trace(
-        TraceConfig(start=datetime(2008, 12, 16), n_steps=2 * 288, seed=7)
-    )
+    return make_trace(TraceConfig(start=datetime(2008, 12, 16), n_steps=2 * 288, seed=7))
 
 
 @pytest.fixture(scope="session")
@@ -52,6 +62,4 @@ def problem():
 
 @pytest.fixture(scope="session")
 def baseline24(trace24, small_dataset, problem):
-    return simulate(
-        trace24, small_dataset, problem, BaselineProximityRouter(problem)
-    )
+    return simulate(trace24, small_dataset, problem, BaselineProximityRouter(problem))

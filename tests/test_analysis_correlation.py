@@ -1,6 +1,5 @@
 """Tests for repro.analysis.correlation."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.correlation import correlation_summary, pairwise_correlations

@@ -1,0 +1,265 @@
+"""Artifact subsystem tests: codecs, the store, and runner layering."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro import artifacts, scenarios
+from repro.artifacts.codec import (
+    canonical_json,
+    decode_array,
+    decode_simulation_result,
+    encode_array,
+    encode_simulation_result,
+    spec_key,
+)
+from repro.artifacts.diffing import compare_figure_payloads
+from repro.errors import ConfigurationError
+from repro.experiments.common import FigureResult
+from repro.scenarios import MarketSpec, RouterSpec, Scenario, TraceSpec
+from repro.sim.results import SimulationResult
+
+
+def _tiny_result(n_steps: int = 7, n_clusters: int = 3) -> SimulationResult:
+    rng = np.random.default_rng(42)
+    return SimulationResult(
+        start=datetime(2008, 12, 16, 5, 30),
+        step_seconds=300,
+        cluster_labels=tuple(f"C{i}" for i in range(n_clusters)),
+        capacities=rng.uniform(1e5, 2e5, n_clusters),
+        server_counts=rng.uniform(1e3, 2e3, n_clusters),
+        loads=rng.uniform(0, 1e5, (n_steps, n_clusters)),
+        paid_prices=rng.uniform(10, 200, (n_steps, n_clusters)),
+        distance_histogram=rng.uniform(0, 1e6, 240),
+    )
+
+
+class TestSpecKeys:
+    def test_key_is_stable_and_hex(self):
+        scenario = Scenario(name="x")
+        key = spec_key(scenario)
+        assert key == spec_key(Scenario(name="x"))
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_key_ignores_nothing_but_reflects_fields(self):
+        base = Scenario(name="a")
+        assert spec_key(base) != spec_key(base.derive(follow_95_5=True))
+        assert spec_key(base) != spec_key(base.with_router(distance_threshold_km=1.0))
+        assert spec_key(base.market) != spec_key(base.trace)
+
+    def test_distinct_spec_types_never_collide(self):
+        # Same field values, different frozen types -> different keys.
+        assert spec_key(MarketSpec()) != spec_key(TraceSpec(kind="turn-of-year", seed=2009))
+
+    def test_canonical_json_rejects_unencodable(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json(object())
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64, np.bool_])
+    def test_bit_identical_round_trip(self, dtype):
+        rng = np.random.default_rng(7)
+        arr = (rng.uniform(-1e9, 1e9, (5, 4)) * 1.0).astype(dtype)
+        out = decode_array(encode_array(arr))
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr)
+        assert out.tobytes() == arr.tobytes()
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(24.0).reshape(4, 6)[:, ::2]
+        out = decode_array(encode_array(arr))
+        assert np.array_equal(out, arr)
+
+
+class TestSimulationResultCodec:
+    def test_bit_identical_round_trip(self):
+        result = _tiny_result()
+        out = decode_simulation_result(encode_simulation_result(result))
+        assert out.start == result.start
+        assert out.step_seconds == result.step_seconds
+        assert out.cluster_labels == result.cluster_labels
+        for name in ("capacities", "server_counts", "loads", "paid_prices"):
+            assert getattr(out, name).tobytes() == getattr(result, name).tobytes()
+        assert (
+            out.distance_profile.histogram.tobytes()
+            == result.distance_profile.histogram.tobytes()
+        )
+
+    def test_derived_quantities_survive(self):
+        from repro.energy.params import OPTIMISTIC_FUTURE
+
+        result = _tiny_result()
+        out = decode_simulation_result(encode_simulation_result(result))
+        assert out.total_cost(OPTIMISTIC_FUTURE) == result.total_cost(OPTIMISTIC_FUTURE)
+        assert np.array_equal(out.percentiles_95(), result.percentiles_95())
+
+
+class TestStore:
+    def test_simulation_round_trip(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        scenario = Scenario(name="t")
+        result = _tiny_result()
+        assert store.load_simulation(scenario) is None
+        path = store.save_simulation(scenario, result)
+        assert path.exists()
+        out = store.load_simulation(scenario)
+        assert out is not None
+        assert out.loads.tobytes() == result.loads.tobytes()
+
+    def test_figure_round_trip(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        from repro.experiments.orchestrator import FigureSpec
+
+        spec = FigureSpec("fig01")
+        fig = FigureResult(
+            figure_id="fig01",
+            title="t",
+            headers=("a", "b"),
+            rows=(("x", 1.5),),
+            series={"s": np.array([1.0, 2.0])},
+            summary={"k": 3.0},
+        )
+        store.save_figure(spec, fig.to_json_dict())
+        out = FigureResult.from_json_dict(store.load_figure(spec))
+        assert out.figure_id == fig.figure_id
+        assert out.headers == fig.headers
+        assert out.rows == fig.rows
+        assert out.summary == fig.summary
+        assert out.notes == fig.notes
+        assert np.array_equal(out.series["s"], fig.series["s"])
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        scenario = Scenario(name="t")
+        path = store.save_simulation(scenario, _tiny_result())
+        path.write_text("{not json")
+        assert store.load_simulation(scenario) is None
+
+    def test_entries_and_clear(self, tmp_path):
+        store = artifacts.ArtifactStore(tmp_path)
+        store.save_simulation(Scenario(name="a"), _tiny_result())
+        store.save_simulation(Scenario(name="b", reaction_delay_hours=2), _tiny_result())
+        entries = list(store.entries())
+        assert len(entries) == 2
+        assert all(e.kind == artifacts.KIND_SIMULATION for e in entries)
+        assert store.clear() == 2
+        assert list(store.entries()) == []
+
+
+class TestRunnerLayering:
+    """scenarios.run consults the on-disk store when one is active."""
+
+    SCENARIO = Scenario(
+        name="tiny",
+        market=MarketSpec(start=datetime(2008, 10, 1), months=3, seed=7),
+        trace=TraceSpec(kind="five-minute", start=datetime(2008, 10, 5), n_steps=288, seed=7),
+        router=RouterSpec.of("baseline"),
+    )
+
+    def test_run_persists_and_reloads(self, tmp_path, monkeypatch):
+        from repro.scenarios import runner
+
+        store = artifacts.configure(tmp_path / "store")
+        try:
+            scenarios.clear_caches()
+            first = scenarios.run(self.SCENARIO)
+            assert len(list(store.entries())) == 1
+            # A cold in-process cache must hit the disk layer, not re-simulate.
+            scenarios.clear_caches()
+            monkeypatch.setattr(
+                runner,
+                "_execute",
+                lambda s: pytest.fail("re-simulated despite a warm disk store"),
+            )
+            second = scenarios.run(self.SCENARIO)
+            assert second.loads.tobytes() == first.loads.tobytes()
+            assert second.start == first.start
+        finally:
+            artifacts.reset()
+            scenarios.clear_caches()
+
+    def test_refresh_mode_bypasses_store_reads(self, tmp_path, monkeypatch):
+        """refresh mode must re-simulate even with a warm disk store."""
+        from repro.scenarios import runner
+
+        store = artifacts.configure(tmp_path / "store")
+        try:
+            scenarios.clear_caches()
+            first = scenarios.run(self.SCENARIO)
+            scenarios.clear_caches()
+            executed = []
+            real_execute = runner._execute
+            monkeypatch.setattr(runner, "_execute", lambda s: executed.append(s) or real_execute(s))
+            artifacts.set_refresh(True)
+            second = scenarios.run(self.SCENARIO)
+            assert executed, "stored simulation was served despite refresh mode"
+            # The fresh result overwrites (identically) rather than reads.
+            assert len(list(store.entries())) == 1
+            assert second.loads.tobytes() == first.loads.tobytes()
+        finally:
+            artifacts.reset()
+            scenarios.clear_caches()
+
+    def test_no_store_means_no_files(self, tmp_path):
+        artifacts.configure(None)
+        scenarios.clear_caches()
+        try:
+            scenarios.run(self.SCENARIO)
+            assert not (tmp_path / "store").exists()
+        finally:
+            artifacts.reset()
+            scenarios.clear_caches()
+
+    def test_clear_caches_exposed(self):
+        assert callable(scenarios.clear_caches)
+        scenarios.clear_caches()
+        assert scenarios.dataset.cache_info().currsize == 0
+
+
+class TestDiffing:
+    BASE = {
+        "figure_id": "figXX",
+        "title": "t",
+        "headers": ["a", "b"],
+        "rows": [["x", 1.0], ["y", 2.0]],
+        "series": {"s": encode_array(np.array([1.0, 2.0]))},
+        "summary": {"k": 3.0},
+        "notes": ["n"],
+    }
+
+    def test_identical_payloads_match(self):
+        assert compare_figure_payloads(self.BASE, self.BASE) == []
+
+    def test_within_tolerance_matches(self):
+        fresh = {**self.BASE, "summary": {"k": 3.0 + 1e-12}}
+        assert compare_figure_payloads(self.BASE, fresh) == []
+
+    def test_numeric_drift_detected(self):
+        fresh = {**self.BASE, "summary": {"k": 3.5}}
+        drifts = compare_figure_payloads(self.BASE, fresh)
+        assert any("summary k" in d for d in drifts)
+
+    def test_series_drift_detected(self):
+        fresh = {**self.BASE, "series": {"s": encode_array(np.array([1.0, 2.5]))}}
+        drifts = compare_figure_payloads(self.BASE, fresh)
+        assert any("series s" in d for d in drifts)
+
+    def test_row_string_change_detected(self):
+        fresh = {**self.BASE, "rows": [["x", 1.0], ["z", 2.0]]}
+        drifts = compare_figure_payloads(self.BASE, fresh)
+        assert any("row 1" in d for d in drifts)
+
+    def test_missing_series_detected(self):
+        fresh = {**self.BASE, "series": {}}
+        drifts = compare_figure_payloads(self.BASE, fresh)
+        assert any("missing" in d for d in drifts)
+
+    def test_notes_excluded_from_comparison(self):
+        fresh = {**self.BASE, "notes": ["different prose"]}
+        assert compare_figure_payloads(self.BASE, fresh) == []

@@ -125,9 +125,7 @@ class TestFig10Differentials:
         stats = differential_stats(diff)
         assert stats.mean < -5.0  # Boston usually cheaper
         nyc_cheaper = np.mean(diff.values > 0)
-        assert nyc_cheaper == pytest.approx(
-            PAPER_BOSTON_NYC_FAVOURABLE_FRACTION, abs=0.12
-        )
+        assert nyc_cheaper == pytest.approx(PAPER_BOSTON_NYC_FAVOURABLE_FRACTION, abs=0.12)
         # ">$10/MWh savings 18% of the time"
         assert np.mean(diff.values > 10.0) == pytest.approx(0.18, abs=0.1)
 
@@ -149,12 +147,8 @@ class TestFig5MarketTypes:
     def test_rt_more_volatile_than_da_at_short_windows(self, full_dataset):
         from datetime import datetime
 
-        rt = full_dataset.real_time("NYC").slice_dates(
-            datetime(2009, 1, 1), datetime(2009, 4, 1)
-        )
-        da = full_dataset.day_ahead("NYC").slice_dates(
-            datetime(2009, 1, 1), datetime(2009, 4, 1)
-        )
+        rt = full_dataset.real_time("NYC").slice_dates(datetime(2009, 1, 1), datetime(2009, 4, 1))
+        da = full_dataset.day_ahead("NYC").slice_dates(datetime(2009, 1, 1), datetime(2009, 4, 1))
         assert rt.windowed_std(1) > da.windowed_std(1)
         assert rt.windowed_std(3) > da.windowed_std(3)
         # Near-convergence at the daily window.
@@ -170,9 +164,7 @@ class TestFig5MarketTypes:
 
         start_hour = full_dataset.calendar.index_of(datetime(2009, 1, 1))
         five = full_dataset.five_minute("NYC", start_hour, 24 * 60)
-        rt = full_dataset.real_time("NYC").slice_dates(
-            datetime(2009, 1, 1), datetime(2009, 3, 2)
-        )
+        rt = full_dataset.real_time("NYC").slice_dates(datetime(2009, 1, 1), datetime(2009, 3, 2))
         assert five.values.std() > rt.values.std()
 
 

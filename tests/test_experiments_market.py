@@ -6,7 +6,6 @@ drivers (fig15-20) are validated in the benchmark suite.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
     fig03_daily_prices,

@@ -60,20 +60,14 @@ class TestPlans:
     def test_fixed_price_erases_price_chasing(self, cheap_heavy, expensive_heavy):
         plan = FixedPricePlan(rate_per_mwh=60.0)
         params = OPTIMISTIC_FUTURE
-        assert bill(cheap_heavy, params, plan) == pytest.approx(
-            bill(expensive_heavy, params, plan)
-        )
+        assert bill(cheap_heavy, params, plan) == pytest.approx(bill(expensive_heavy, params, plan))
 
     def test_blended_in_between(self, cheap_heavy, expensive_heavy):
         params = OPTIMISTIC_FUTURE
         indexed = WholesaleIndexedPlan(adder_per_mwh=2.0)
         blended = BlendedPlan(hedged_fraction=0.7, adder_per_mwh=2.0)
-        delta_indexed = bill(expensive_heavy, params, indexed) - bill(
-            cheap_heavy, params, indexed
-        )
-        delta_blended = bill(expensive_heavy, params, blended) - bill(
-            cheap_heavy, params, blended
-        )
+        delta_indexed = bill(expensive_heavy, params, indexed) - bill(cheap_heavy, params, indexed)
+        delta_blended = bill(expensive_heavy, params, blended) - bill(cheap_heavy, params, blended)
         assert 0.0 < delta_blended < delta_indexed
 
     def test_provisioned_capacity_ignores_consumption(self, cheap_heavy, expensive_heavy):

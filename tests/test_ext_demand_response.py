@@ -18,11 +18,7 @@ from repro.sim.results import SimulationResult
 def result_with_prices(prices, loads=None):
     prices = np.asarray(prices, dtype=float)
     n_steps, n_clusters = prices.shape
-    loads = (
-        np.asarray(loads, dtype=float)
-        if loads is not None
-        else np.full(prices.shape, 500.0)
-    )
+    loads = (np.asarray(loads, dtype=float) if loads is not None else np.full(prices.shape, 500.0))
     histogram = np.zeros(240)
     histogram[0] = loads.sum()
     return SimulationResult(
@@ -113,10 +109,6 @@ class TestServerSuspension:
         # and earns far more (§7's "suspending servers").
         prices = np.full((24, 1), 400.0)
         result = result_with_prices(prices)
-        suspended = evaluate_demand_response(
-            result, GOOGLE_LIKE, suspend_servers=True
-        )
-        throttled = evaluate_demand_response(
-            result, GOOGLE_LIKE, suspend_servers=False
-        )
+        suspended = evaluate_demand_response(result, GOOGLE_LIKE, suspend_servers=True)
+        throttled = evaluate_demand_response(result, GOOGLE_LIKE, suspend_servers=False)
         assert suspended.total_curtailed_mwh > 2.0 * throttled.total_curtailed_mwh

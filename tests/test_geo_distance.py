@@ -74,6 +74,4 @@ class TestDistanceTable:
         weights = np.zeros((49, 2))
         idx = table.state_row_index("IL")
         weights[idx, 1] = 5.0
-        assert table.distance_percentile(weights, 99.0) == pytest.approx(
-            table.matrix[idx, 1]
-        )
+        assert table.distance_percentile(weights, 99.0) == pytest.approx(table.matrix[idx, 1])

@@ -14,7 +14,7 @@ from repro.energy import (
     NO_POWER_MANAGEMENT,
     OPTIMISTIC_FUTURE,
 )
-from repro.routing import BaselineProximityRouter, PriceConsciousRouter
+from repro.routing import PriceConsciousRouter
 from repro.sim import SimulationOptions, simulate
 
 
@@ -27,7 +27,10 @@ def runs(trace24, small_dataset, problem, baseline24):
         router = PriceConsciousRouter(problem, distance_threshold_km=threshold)
         out[threshold, "relaxed"] = simulate(trace24, small_dataset, problem, router)
         out[threshold, "followed"] = simulate(
-            trace24, small_dataset, problem, router,
+            trace24,
+            small_dataset,
+            problem,
+            router,
             SimulationOptions(bandwidth_caps=caps),
         )
     return out
@@ -85,11 +88,17 @@ class TestHeadlineClaims:
     def test_reaction_delay_costs_money(self, trace24, small_dataset, problem):
         router = PriceConsciousRouter(problem, 1500.0)
         fast = simulate(
-            trace24, small_dataset, problem, router,
+            trace24,
+            small_dataset,
+            problem,
+            router,
             SimulationOptions(reaction_delay_hours=0),
         )
         slow = simulate(
-            trace24, small_dataset, problem, router,
+            trace24,
+            small_dataset,
+            problem,
+            router,
             SimulationOptions(reaction_delay_hours=12),
         )
         assert slow.total_cost(FULLY_ELASTIC) > fast.total_cost(FULLY_ELASTIC)

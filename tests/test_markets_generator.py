@@ -16,9 +16,7 @@ from repro.markets.model import PRICE_FLOOR
 
 @pytest.fixture(scope="module")
 def dataset():
-    return generate_market(
-        MarketConfig(start=datetime(2008, 1, 1), months=3, seed=5)
-    )
+    return generate_market(MarketConfig(start=datetime(2008, 1, 1), months=3, seed=5))
 
 
 class TestConfig:

@@ -81,6 +81,4 @@ class TestRTOInfo:
 
     def test_texas_strongest_gas_coupling(self):
         # §2.2: 86% of Texas generation was gas+coal in 2007.
-        assert RTO_INFO[RTO.ERCOT].gas_coupling == max(
-            i.gas_coupling for i in RTO_INFO.values()
-        )
+        assert RTO_INFO[RTO.ERCOT].gas_coupling == max(i.gas_coupling for i in RTO_INFO.values())

@@ -8,7 +8,6 @@ experiment implicitly relies on.
 from datetime import datetime
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -112,11 +111,7 @@ class TestEnergyInvariants:
 
 
 class TestBillingInvariants:
-    @given(
-        samples=arrays(
-            np.float64, (50, 3), elements=st.floats(0.0, 1e6, allow_nan=False)
-        )
-    )
+    @given(samples=arrays(np.float64, (50, 3), elements=st.floats(0.0, 1e6, allow_nan=False)))
     @settings(max_examples=60, deadline=None)
     def test_percentile_bounded_by_extremes(self, samples):
         p95 = billing_percentile(samples)
@@ -124,9 +119,7 @@ class TestBillingInvariants:
         assert np.all(p95 >= samples.min(axis=0) - 1e-9)
 
     @given(
-        samples=arrays(
-            np.float64, (40, 2), elements=st.floats(0.0, 1e4, allow_nan=False)
-        ),
+        samples=arrays(np.float64, (40, 2), elements=st.floats(0.0, 1e4, allow_nan=False)),
         scale=st.floats(0.1, 10.0),
     )
     @settings(max_examples=60, deadline=None)

@@ -110,9 +110,7 @@ def test_greedy_fill_batch_matches_scalar(seed):
     n_steps, n_states, n_clusters = 5, 8, 4
     demand = rng.random((n_steps, n_states)) * 50.0
     limits = np.full(n_clusters, float(demand.sum(axis=1).max()) / 2.5)
-    orders = np.stack(
-        [rng.permutation(n_clusters) for _ in range(n_states)]
-    )
+    orders = np.stack([rng.permutation(n_clusters) for _ in range(n_states)])
     reference = np.stack(
         [
             greedy_fill(demand[t], [orders[s] for s in range(n_states)], limits)

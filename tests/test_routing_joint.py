@@ -32,7 +32,9 @@ class TestJointRouter:
 
     def test_zero_penalties_reduce_to_price_routing(self, problem):
         joint = JointOptimizationRouter(
-            problem, distance_penalty_per_1000km=0.0, congestion_penalty=0.0
+            problem,
+            distance_penalty_per_1000km=0.0,
+            congestion_penalty=0.0,
         )
         price = PriceConsciousRouter(problem, 10_000.0, price_threshold=0.0)
         rng = np.random.default_rng(1)
@@ -44,7 +46,9 @@ class TestJointRouter:
 
     def test_huge_distance_penalty_gives_proximity(self, problem, flat_prices):
         router = JointOptimizationRouter(
-            problem, distance_penalty_per_1000km=1e6, congestion_penalty=0.0
+            problem,
+            distance_penalty_per_1000km=1e6,
+            congestion_penalty=0.0,
         )
         demand = np.full(problem.n_states, 10.0)
         alloc = router.allocate(demand, flat_prices, relaxed(problem))
@@ -57,10 +61,14 @@ class TestJointRouter:
         prices = np.full(problem.n_clusters, 60.0)
         prices[0] = 10.0  # one very cheap cluster
         concentrated = JointOptimizationRouter(
-            problem, distance_penalty_per_1000km=0.0, congestion_penalty=0.0
+            problem,
+            distance_penalty_per_1000km=0.0,
+            congestion_penalty=0.0,
         ).allocate(demand, prices, relaxed(problem))
         spread = JointOptimizationRouter(
-            problem, distance_penalty_per_1000km=0.0, congestion_penalty=500.0
+            problem,
+            distance_penalty_per_1000km=0.0,
+            congestion_penalty=500.0,
         ).allocate(demand, prices, relaxed(problem))
         assert spread.sum(axis=0)[0] < concentrated.sum(axis=0)[0]
 

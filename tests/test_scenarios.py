@@ -5,7 +5,7 @@ import pytest
 
 from repro import scenarios
 from repro.errors import ConfigurationError
-from repro.scenarios import MarketSpec, RouterSpec, Scenario, TraceSpec
+from repro.scenarios import RouterSpec, TraceSpec
 
 
 class TestSpecs:
@@ -15,9 +15,7 @@ class TestSpecs:
             "distance_threshold_km": 1500.0,
             "price_threshold": 5.0,
         }
-        assert spec.updated(distance_threshold_km=500.0).kwargs[
-            "distance_threshold_km"
-        ] == 500.0
+        assert spec.updated(distance_threshold_km=500.0).kwargs["distance_threshold_km"] == 500.0
 
     def test_unknown_router_kind_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -106,9 +104,7 @@ class TestRunner:
 
     def test_trace_is_memoised(self):
         spec = scenarios.get("quickstart")
-        assert scenarios.trace(spec.trace, spec.market) is scenarios.trace(
-            spec.trace, spec.market
-        )
+        assert scenarios.trace(spec.trace, spec.market) is scenarios.trace(spec.trace, spec.market)
 
     def test_build_router_kinds(self):
         from repro.routing import (
@@ -119,23 +115,17 @@ class TestRunner:
         )
 
         quick = scenarios.get("quickstart")
-        assert isinstance(
-            scenarios.build_router(quick), PriceConsciousRouter
-        )
+        assert isinstance(scenarios.build_router(quick), PriceConsciousRouter)
         assert isinstance(
             scenarios.build_router(quick.derive(router=RouterSpec.of("baseline"))),
             BaselineProximityRouter,
         )
         assert isinstance(
-            scenarios.build_router(
-                quick.derive(router=RouterSpec.of("static", cluster_index=2))
-            ),
+            scenarios.build_router(quick.derive(router=RouterSpec.of("static", cluster_index=2))),
             StaticSingleHubRouter,
         )
         assert isinstance(
-            scenarios.build_router(
-                quick.derive(router=RouterSpec.of("joint"))
-            ),
+            scenarios.build_router(quick.derive(router=RouterSpec.of("joint"))),
             JointOptimizationRouter,
         )
 
@@ -144,9 +134,7 @@ class TestRunner:
         # batched pipeline routes green traffic under 95/5 caps.
         scenario = scenarios.get("green-routing").derive(follow_95_5=True)
         followed = scenarios.run(scenario)
-        caps = scenarios.baseline_result(
-            scenario.market, scenario.trace
-        ).percentiles_95()
+        caps = scenarios.baseline_result(scenario.market, scenario.trace).percentiles_95()
         assert np.all(followed.percentiles_95() <= caps * 1.02 + 1e-6)
 
     def test_green_scenario_runs_and_differs_from_price(self):

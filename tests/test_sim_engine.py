@@ -43,44 +43,51 @@ class TestOptions:
             SimulationOptions(bandwidth_caps=np.array(["a", "b"]))
 
     def test_bandwidth_caps_wrong_length_rejected_by_engine(
-        self, short_trace, small_dataset, problem
+        self,
+        short_trace,
+        small_dataset,
+        problem,
     ):
         options = SimulationOptions(bandwidth_caps=np.ones(3))
         with pytest.raises(ConfigurationError, match="one entry per cluster"):
             simulate(
-                short_trace, small_dataset, problem,
-                BaselineProximityRouter(problem), options,
+                short_trace,
+                small_dataset,
+                problem,
+                BaselineProximityRouter(problem),
+                options,
             )
 
 
 class TestSimulate:
     def test_result_shape(self, short_trace, small_dataset, problem):
-        result = simulate(
-            short_trace, small_dataset, problem, BaselineProximityRouter(problem)
-        )
+        result = simulate(short_trace, small_dataset, problem, BaselineProximityRouter(problem))
         assert result.loads.shape == (short_trace.n_steps, 9)
         assert result.paid_prices.shape == result.loads.shape
         assert result.n_clusters == 9
         assert result.step_seconds == 300
 
     def test_all_demand_served(self, short_trace, small_dataset, problem):
-        result = simulate(
-            short_trace, small_dataset, problem, BaselineProximityRouter(problem)
-        )
+        result = simulate(short_trace, small_dataset, problem, BaselineProximityRouter(problem))
         assert np.allclose(result.loads.sum(axis=1), short_trace.total_us())
 
     def test_capacity_respected(self, short_trace, small_dataset, problem):
         options = SimulationOptions(capacity_margin=0.9)
         result = simulate(
-            short_trace, small_dataset, problem,
-            BaselineProximityRouter(problem), options,
+            short_trace,
+            small_dataset,
+            problem,
+            BaselineProximityRouter(problem),
+            options,
         )
         caps = problem.deployment.capacities
         assert np.all(result.loads <= caps * 0.9 + 1e-6)
 
     def test_paid_prices_are_current_not_lagged(self, short_trace, small_dataset, problem):
         result = simulate(
-            short_trace, small_dataset, problem,
+            short_trace,
+            small_dataset,
+            problem,
             BaselineProximityRouter(problem),
             SimulationOptions(reaction_delay_hours=5),
         )
@@ -92,11 +99,17 @@ class TestSimulate:
     def test_delay_changes_priced_routing(self, short_trace, small_dataset, problem):
         router = PriceConsciousRouter(problem, 2500.0)
         immediate = simulate(
-            short_trace, small_dataset, problem, router,
+            short_trace,
+            small_dataset,
+            problem,
+            router,
             SimulationOptions(reaction_delay_hours=0),
         )
         delayed = simulate(
-            short_trace, small_dataset, problem, router,
+            short_trace,
+            small_dataset,
+            problem,
+            router,
             SimulationOptions(reaction_delay_hours=12),
         )
         assert not np.allclose(immediate.loads, delayed.loads)
@@ -112,7 +125,9 @@ class TestSimulate:
         from repro.routing.static import StaticSingleHubRouter
 
         result = simulate(
-            short_trace, small_dataset, problem,
+            short_trace,
+            small_dataset,
+            problem,
             StaticSingleHubRouter(problem, 0),
             SimulationOptions(relax_capacity=True),
             server_counts=counts,
@@ -126,7 +141,9 @@ class TestSimulate:
     def test_bad_server_counts_shape(self, short_trace, small_dataset, problem):
         with pytest.raises(ConfigurationError):
             simulate(
-                short_trace, small_dataset, problem,
+                short_trace,
+                small_dataset,
+                problem,
                 BaselineProximityRouter(problem),
                 server_counts=np.ones(3),
             )
@@ -137,7 +154,10 @@ class TestBandwidthConstraints:
         caps = baseline24.percentiles_95()
         router = PriceConsciousRouter(problem, 2500.0)
         followed = simulate(
-            trace24, small_dataset, problem, router,
+            trace24,
+            small_dataset,
+            problem,
+            router,
             SimulationOptions(bandwidth_caps=caps),
         )
         relaxed = simulate(trace24, small_dataset, problem, router)
@@ -147,15 +167,16 @@ class TestBandwidthConstraints:
         # And the constraint must actually change the allocation.
         assert not np.allclose(followed.loads, relaxed.loads)
 
-    def test_followed_costs_at_least_relaxed(
-        self, trace24, small_dataset, problem, baseline24
-    ):
+    def test_followed_costs_at_least_relaxed(self, trace24, small_dataset, problem, baseline24):
         from repro.energy import OPTIMISTIC_FUTURE
 
         caps = baseline24.percentiles_95()
         router = PriceConsciousRouter(problem, 2500.0)
         followed = simulate(
-            trace24, small_dataset, problem, router,
+            trace24,
+            small_dataset,
+            problem,
+            router,
             SimulationOptions(bandwidth_caps=caps),
         )
         relaxed = simulate(trace24, small_dataset, problem, router)
@@ -169,9 +190,7 @@ class TestBatchedPipelineEquivalence:
 
     def _assert_equivalent(self, batched, reference):
         np.testing.assert_allclose(batched.loads, reference.loads, atol=1e-9)
-        np.testing.assert_allclose(
-            batched.paid_prices, reference.paid_prices, atol=0.0
-        )
+        np.testing.assert_allclose(batched.paid_prices, reference.paid_prices, atol=0.0)
         np.testing.assert_allclose(
             batched.distance_profile.histogram,
             reference.distance_profile.histogram,
@@ -180,7 +199,8 @@ class TestBatchedPipelineEquivalence:
         from repro.energy import OPTIMISTIC_FUTURE
 
         assert batched.total_cost(OPTIMISTIC_FUTURE) == pytest.approx(
-            reference.total_cost(OPTIMISTIC_FUTURE), rel=1e-9
+            reference.total_cost(OPTIMISTIC_FUTURE),
+            rel=1e-9,
         )
 
     def test_baseline_router(self, short_trace, small_dataset, problem):
@@ -197,9 +217,7 @@ class TestBatchedPipelineEquivalence:
             simulate_per_step(short_trace, small_dataset, problem, router),
         )
 
-    def test_price_router_followed_95_5(
-        self, trace24, small_dataset, problem, baseline24
-    ):
+    def test_price_router_followed_95_5(self, trace24, small_dataset, problem, baseline24):
         # Constrained steps exercise burst detection and the greedy
         # spill; this is the regime where per-step and batched paths
         # diverge if anything is off.
@@ -228,9 +246,7 @@ class TestBatchedPipelineEquivalence:
             simulate_per_step(short_trace, small_dataset, problem, router, options),
         )
 
-    def test_router_prices_override_with_caps(
-        self, trace24, small_dataset, problem, baseline24
-    ):
+    def test_router_prices_override_with_caps(self, trace24, small_dataset, problem, baseline24):
         # A §8 signal override under 95/5 caps: rows are step-indexed,
         # so burst reordering must not desynchronise routing, and the
         # batched/per-step paths must still agree exactly.
@@ -244,11 +260,14 @@ class TestBatchedPipelineEquivalence:
         )
         router = PriceConsciousRouter(problem, 1500.0)
         options = SimulationOptions(bandwidth_caps=baseline24.percentiles_95())
-        batched = simulate(
-            trace24, small_dataset, problem, router, options, router_prices=rows
-        )
+        batched = simulate(trace24, small_dataset, problem, router, options, router_prices=rows)
         reference = simulate_per_step(
-            trace24, small_dataset, problem, router, options, router_prices=rows
+            trace24,
+            small_dataset,
+            problem,
+            router,
+            options,
+            router_prices=rows,
         )
         self._assert_equivalent(batched, reference)
         # And the signal actually changed the routing vs market prices.
@@ -256,7 +275,10 @@ class TestBatchedPipelineEquivalence:
         assert not np.allclose(batched.loads, plain.loads)
 
     def test_burst_retry_for_router_raising_on_cluster_overflow(
-        self, short_trace, small_dataset, problem
+        self,
+        short_trace,
+        small_dataset,
+        problem,
     ):
         # A scalar-only router that raises whenever its single target
         # cluster is over its limit — per-cluster infeasibility the
@@ -282,22 +304,19 @@ class TestBatchedPipelineEquivalence:
         # national totals still fit under the summed caps.
         caps = np.full(9, short_trace.total_us().max())
         caps[0] = float(short_trace.total_us().min()) / 2.0
-        options = SimulationOptions(
-            bandwidth_caps=caps, relax_capacity=True
-        )
+        options = SimulationOptions(bandwidth_caps=caps, relax_capacity=True)
         batched = simulate(short_trace, small_dataset, problem, router, options)
-        reference = simulate_per_step(
-            short_trace, small_dataset, problem, router, options
-        )
+        reference = simulate_per_step(short_trace, small_dataset, problem, router, options)
         self._assert_equivalent(batched, reference)
         assert np.allclose(batched.loads[:, 0], short_trace.total_us())
 
-    def test_router_prices_wrong_shape_rejected(
-        self, short_trace, small_dataset, problem
-    ):
+    def test_router_prices_wrong_shape_rejected(self, short_trace, small_dataset, problem):
         router = PriceConsciousRouter(problem, 1500.0)
         with pytest.raises(ConfigurationError, match="router_prices"):
             simulate(
-                short_trace, small_dataset, problem, router,
+                short_trace,
+                small_dataset,
+                problem,
+                router,
                 router_prices=np.ones((3, 9)),
             )

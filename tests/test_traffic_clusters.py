@@ -1,6 +1,5 @@
 """Tests for repro.traffic.clusters."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -38,9 +37,7 @@ class TestAkamaiLikeDeployment:
 
     def test_capacity_consistent_with_servers(self, deployment):
         for cluster in deployment:
-            assert cluster.hits_capacity == pytest.approx(
-                cluster.n_servers * HITS_PER_SERVER
-            )
+            assert cluster.hits_capacity == pytest.approx(cluster.n_servers * HITS_PER_SERVER)
 
     def test_total_capacity_exceeds_us_peak(self, deployment):
         # The deployment must absorb the ~1.25-1.4M hits/s US peak.

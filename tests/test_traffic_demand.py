@@ -96,9 +96,7 @@ class TestSampling:
 
     def test_flash_crowds_raise_peak(self):
         calm_cfg = DemandModelConfig(noise_sigma=0.0, flash_rate_per_week=0.0)
-        flashy_cfg = DemandModelConfig(
-            noise_sigma=0.0, flash_rate_per_week=20.0, flash_peak=2.0
-        )
+        flashy_cfg = DemandModelConfig(noise_sigma=0.0, flash_rate_per_week=20.0, flash_peak=2.0)
         hours, dow = hour_axis(days=7)
         calm = DemandModel(calm_cfg).sample(hours, dow, np.random.default_rng(3))
         flashy = DemandModel(flashy_cfg).sample(hours, dow, np.random.default_rng(3))

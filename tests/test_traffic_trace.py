@@ -40,11 +40,13 @@ class TestTrafficTrace:
     def test_global_includes_non_us(self):
         base = tiny_trace(n_steps=10)
         with_non_us = TrafficTrace(
-            base.start, 300, base.state_codes, base.demand, non_us=np.full(10, 7.0)
+            base.start,
+            300,
+            base.state_codes,
+            base.demand,
+            non_us=np.full(10, 7.0),
         )
-        assert np.allclose(
-            with_non_us.total_global(), with_non_us.total_us() + 7.0
-        )
+        assert np.allclose(with_non_us.total_global(), with_non_us.total_us() + 7.0)
 
     def test_resample_hourly(self):
         trace = tiny_trace(n_steps=24)  # two hours of 5-min samples
