@@ -42,6 +42,7 @@ from repro.artifacts.codec import (
 from repro.artifacts.store import (
     KIND_FIGURE,
     KIND_SIMULATION,
+    KIND_SWEEP,
     ArtifactStore,
     StoreEntry,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "StoreEntry",
     "KIND_FIGURE",
     "KIND_SIMULATION",
+    "KIND_SWEEP",
     "DEFAULT_STORE_DIR",
     "ENV_STORE_DIR",
     "configure",

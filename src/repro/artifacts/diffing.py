@@ -31,6 +31,16 @@ def _is_number(value: object) -> bool:
 
 
 def _close(a: float, b: float, rtol: float, atol: float) -> bool:
+    """Tolerance equality with NaN == NaN.
+
+    A golden that legitimately records "no value" (NaN) must keep
+    matching a fresh NaN — mirroring the ``equal_nan=True`` the series
+    comparison uses — while NaN vs number is always a drift. Equal
+    infinities compare equal through ``math.isclose``; opposite or
+    mixed infinities do not.
+    """
+    if math.isnan(a) and math.isnan(b):
+        return True
     return math.isclose(a, b, rel_tol=rtol, abs_tol=atol)
 
 
@@ -103,6 +113,18 @@ def _compare_series(golden: dict, fresh: dict, rtol: float, atol: float) -> list
             drifts.append(f"series {name}: shape {g.shape} -> {f.shape}")
             continue
         if g.size and not np.allclose(g, f, rtol=rtol, atol=atol, equal_nan=True):
-            worst = float(np.nanmax(np.abs(np.asarray(f, float) - np.asarray(g, float))))
-            drifts.append(f"series {name}: max abs deviation {worst:.3e}")
+            ga = np.asarray(g, dtype=float)
+            fa = np.asarray(f, dtype=float)
+            nan_mismatch = np.isnan(ga) != np.isnan(fa)
+            if np.any(nan_mismatch):
+                # nanmax over the element difference would be blind to
+                # exactly this drift (NaN positions are skipped), so
+                # report the pattern change explicitly.
+                drifts.append(
+                    f"series {name}: NaN pattern changed at "
+                    f"{int(nan_mismatch.sum())} position(s)"
+                )
+            else:
+                worst = float(np.nanmax(np.abs(fa - ga)))
+                drifts.append(f"series {name}: max abs deviation {worst:.3e}")
     return drifts

@@ -5,6 +5,7 @@ Layout (one JSON file per artifact, addressed by its spec's hash)::
     <root>/
       simulations/<sha256>.json   # SimulationResult keyed on Scenario
       figures/<sha256>.json       # FigureResult keyed on FigureSpec
+      sweeps/<sha256>.json        # SweepResult keyed on SweepSpec
 
 Every record carries the canonical spec document next to the payload,
 so entries are self-describing: ``repro list`` and ``repro diff`` can
@@ -36,12 +37,13 @@ from repro.artifacts.codec import (
 )
 from repro.sim.results import SimulationResult
 
-__all__ = ["ArtifactStore", "StoreEntry", "KIND_SIMULATION", "KIND_FIGURE"]
+__all__ = ["ArtifactStore", "StoreEntry", "KIND_SIMULATION", "KIND_FIGURE", "KIND_SWEEP"]
 
 KIND_SIMULATION = "simulations"
 KIND_FIGURE = "figures"
+KIND_SWEEP = "sweeps"
 
-_KINDS = (KIND_SIMULATION, KIND_FIGURE)
+_KINDS = (KIND_SIMULATION, KIND_FIGURE, KIND_SWEEP)
 
 
 @dataclass(frozen=True)

@@ -1,12 +1,15 @@
 """The unified ``repro`` command line.
 
-Four subcommands over one artifact store::
+Five subcommands over one artifact store::
 
     repro run fig06 fig16 --jobs 4   # regenerate figures (parallel)
     repro run --all                  # the paper's whole figure set
     repro list                       # figure ids + artifact status
     repro diff                       # fresh artifacts vs committed goldens
     repro diff --update              # refresh the goldens from fresh runs
+    repro sweep run fig15-ensemble --jobs 4   # Monte-Carlo ensembles
+    repro sweep list                 # sweep names + artifact status
+    repro sweep summarize smoke-grid # print a cached sweep's statistics
     repro clean                      # drop the on-disk artifact store
 
 The store lives at ``--artifacts DIR`` (default ``.repro-artifacts``,
@@ -118,6 +121,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rewrite the goldens from the fresh results instead of comparing",
     )
+
+    sweep_p = sub.add_parser("sweep", help="run and summarize Monte-Carlo scenario sweeps")
+    sweep_sub = sweep_p.add_subparsers(dest="sweep_command")
+
+    sweep_run_p = sweep_sub.add_parser("run", help="execute sweeps into the artifact store")
+    sweep_run_p.add_argument("sweeps", nargs="*", help="sweep names, e.g. fig15-ensemble")
+    sweep_run_p.add_argument("--all", action="store_true", help="every registered sweep")
+    sweep_run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool width (1 = serial, in-process)",
+    )
+    sweep_run_p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the sweep's replica count",
+    )
+    sweep_run_p.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute sweeps and simulations even when artifacts exist",
+    )
+    sweep_run_p.add_argument("--quiet", action="store_true", help="suppress sweep tables")
+    _add_store_options(sweep_run_p)
+
+    sweep_list_p = sweep_sub.add_parser("list", help="list sweep names and artifact status")
+    _add_store_options(sweep_list_p)
+
+    sweep_sum_p = sweep_sub.add_parser(
+        "summarize", help="print cached sweep statistics without re-running"
+    )
+    sweep_sum_p.add_argument("sweeps", nargs="+", help="sweep names")
+    sweep_sum_p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replica-count override the sweep was run with",
+    )
+    _add_store_options(sweep_sum_p)
 
     clean_p = sub.add_parser("clean", help="delete the on-disk artifact store")
     _add_store_options(clean_p)
@@ -258,6 +305,120 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_sweep_specs(names: list[str], all_sweeps: bool, replicas: int | None):
+    from repro import sweeps
+
+    if all_sweeps:
+        chosen = list(sweeps.names())
+    else:
+        chosen = list(names)
+        unknown = [n for n in chosen if n not in sweeps.REGISTRY]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sweeps: {', '.join(unknown)}; "
+                f"available: {', '.join(sweeps.names())}"
+            )
+    specs = [sweeps.get(name) for name in chosen]
+    if replicas is not None:
+        specs = [spec.derive(n_replicas=replicas) for spec in specs]
+    return specs
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro import sweeps
+
+    try:
+        specs = _resolve_sweep_specs(args.sweeps, args.all, args.replicas)
+    except ConfigurationError as exc:
+        print(f"repro sweep run: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("repro sweep run: no sweeps requested (try --all)", file=sys.stderr)
+        return 2
+    _activate_store(args)
+
+    t0 = time.perf_counter()
+    for spec in specs:
+        result = sweeps.run_sweep(spec, jobs=args.jobs, force=args.force)
+        if not args.quiet:
+            print(result.to_text())
+            print()
+    elapsed = time.perf_counter() - t0
+    root = artifacts.active_root()
+    store_note = str(root) if root is not None else "disabled"
+    print(
+        f"repro sweep run: {len(specs)} sweep(s) in {elapsed:.1f}s "
+        f"(jobs={args.jobs}, store={store_note})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_sweep_list(args: argparse.Namespace) -> int:
+    from repro import sweeps
+
+    _activate_store(args)
+    store = artifacts.get_store()
+    for name in sweeps.names():
+        spec = sweeps.get(name)
+        cached = store is not None and store.has(artifacts.KIND_SWEEP, spec)
+        marker = "*" if cached else " "
+        grid = " x ".join(str(len(axis.values)) for axis in spec.axes) or "1"
+        print(
+            f"{name} {marker} {grid} grid x {spec.n_replicas} replicas "
+            f"({spec.n_points} points) - {spec.description}"
+        )
+    if store is not None:
+        print(f"store {store.root} (* = sweep artifact present)", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep_summarize(args: argparse.Namespace) -> int:
+    from repro import sweeps
+    from repro.sweeps.aggregate import SweepResult
+
+    try:
+        specs = _resolve_sweep_specs(args.sweeps, False, args.replicas)
+    except ConfigurationError as exc:
+        print(f"repro sweep summarize: {exc}", file=sys.stderr)
+        return 2
+    _activate_store(args)
+    store = artifacts.get_store()
+    missing = []
+    for spec in specs:
+        payload = store.load(artifacts.KIND_SWEEP, spec) if store is not None else None
+        if payload is None:
+            missing.append(spec.name)
+            continue
+        print(SweepResult.from_json_dict(payload).to_text())
+        print()
+    if missing:
+        print(
+            f"repro sweep summarize: no cached artifact for {', '.join(missing)} "
+            "(run `repro sweep run` first)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+_SWEEP_COMMANDS = {
+    "run": _cmd_sweep_run,
+    "list": _cmd_sweep_list,
+    "summarize": _cmd_sweep_summarize,
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.sweep_command is None:
+        print(
+            "repro sweep: choose a subcommand (run, list, summarize)",
+            file=sys.stderr,
+        )
+        return 2
+    return _SWEEP_COMMANDS[args.sweep_command](args)
+
+
 def _cmd_clean(args: argparse.Namespace) -> int:
     if getattr(args, "no_store", False):
         print("repro clean: nothing to do with --no-store", file=sys.stderr)
@@ -274,6 +435,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "list": _cmd_list,
     "diff": _cmd_diff,
+    "sweep": _cmd_sweep,
     "clean": _cmd_clean,
 }
 

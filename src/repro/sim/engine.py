@@ -31,7 +31,10 @@ Execution is a staged pipeline rather than a step loop:
 
 :func:`simulate_per_step` preserves the original one-``allocate``-call-
 per-step loop as the reference implementation; the batched pipeline is
-required (and tested) to reproduce it step for step.
+required (and tested) to reproduce it *bit for bit*. Both paths fold
+per-step allocations through one shared chunked reducer
+(:class:`_AllocationReducer`) so even the floating-point summation
+order of the distance histogram is part of the contract.
 """
 
 from __future__ import annotations
@@ -54,6 +57,36 @@ __all__ = ["SimulationOptions", "simulate", "simulate_per_step"]
 #: tensor at chunk x n_states x n_clusters (a few tens of MB for the
 #: paper-scale problem) without measurably hurting throughput.
 BATCH_CHUNK_STEPS = 8192
+
+
+class _AllocationReducer:
+    """Chunked reduction of per-step allocations into (state, cluster) totals.
+
+    Floating-point addition is not associative, so the *order* in which
+    per-step allocation tensors are summed is part of the engine's
+    contract: both pipelines push every step's allocation through this
+    reducer — a step-ordered chunk buffer reduced with ``sum(axis=0)``
+    at chunk boundaries — which makes the distance histograms of
+    :func:`simulate` and :func:`simulate_per_step` agree *bit for bit*,
+    not merely to rounding tolerance.
+    """
+
+    def __init__(self, n_steps: int, n_states: int, n_clusters: int) -> None:
+        self._chunk = min(n_steps, BATCH_CHUNK_STEPS)
+        self._buffer = np.zeros((self._chunk, n_states, n_clusters))
+        self.total = np.zeros((n_states, n_clusters))
+
+    def put(self, offsets: np.ndarray | int, allocations: np.ndarray) -> None:
+        """Record allocations at chunk-relative step offsets."""
+        self._buffer[offsets] = allocations
+
+    def reduce_chunk(self, size: int) -> None:
+        """Fold the first ``size`` buffered steps into the totals."""
+        self.total += self._buffer[:size].sum(axis=0)
+
+    def histogram(self, bin_index: np.ndarray, n_bins: int) -> np.ndarray:
+        """The demand-weighted distance histogram of the whole run."""
+        return np.bincount(bin_index, weights=self.total.ravel(), minlength=n_bins)
 
 
 @dataclass(frozen=True, slots=True)
@@ -298,7 +331,7 @@ def simulate(
     n_clusters = problem.n_clusters
 
     loads = np.empty((n_steps, n_clusters))
-    total_allocation = np.zeros((problem.n_states, n_clusters))
+    reducer = _AllocationReducer(n_steps, problem.n_states, n_clusters)
 
     def _replay_with_retry(steps: np.ndarray) -> np.ndarray:
         """Reference semantics, one step at a time: capped limits
@@ -347,16 +380,13 @@ def simulate(
                     # back to the per-step contract for these steps.
                     allocations = _replay_with_retry(steps)
             loads[steps] = allocations.sum(axis=1)
-            total_allocation += allocations.sum(axis=0)
+            reducer.put(steps - lo, allocations)
+        reducer.reduce_chunk(hi - lo)
 
     if prepared.tracker is not None:
         prepared.tracker.record_batch(loads)
 
-    histogram = np.bincount(
-        prepared.bin_index,
-        weights=total_allocation.ravel(),
-        minlength=prepared.n_bins,
-    )
+    histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
     return _finalize(trace, problem, prepared, loads, histogram, server_counts)
 
 
@@ -380,7 +410,7 @@ def simulate_per_step(
     prepared = _prepare(trace, dataset, problem, opts, router_prices)
     n_clusters = problem.n_clusters
 
-    histogram = np.zeros(prepared.n_bins)
+    reducer = _AllocationReducer(trace.n_steps, problem.n_states, n_clusters)
     loads = np.empty((trace.n_steps, n_clusters))
     for t in range(trace.n_steps):
         try:
@@ -398,9 +428,9 @@ def simulate_per_step(
         loads[t] = step_loads
         if prepared.tracker is not None:
             prepared.tracker.record(step_loads)
-        histogram += np.bincount(
-            prepared.bin_index,
-            weights=allocation.ravel(),
-            minlength=prepared.n_bins,
-        )
+        offset = t % BATCH_CHUNK_STEPS
+        reducer.put(offset, allocation)
+        if offset == BATCH_CHUNK_STEPS - 1 or t == trace.n_steps - 1:
+            reducer.reduce_chunk(offset + 1)
+    histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
     return _finalize(trace, problem, prepared, loads, histogram, server_counts)

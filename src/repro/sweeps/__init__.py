@@ -1,0 +1,55 @@
+"""Monte-Carlo scenario sweeps: figures as distributions, not points.
+
+Every headline number in the reproduction is a point estimate on one
+synthetic trace and one synthetic market. This package turns any
+frozen :class:`~repro.scenarios.spec.Scenario` into an *ensemble*: a
+:class:`SweepSpec` expands the base scenario over parameter grids
+(:class:`SweepAxis`) and over N seeded replicas (collision-free
+``SeedSequence``-spawned market/trace seeds), the executor fans the
+expansion out over the process pool with the artifact store as the
+cross-process memo, and the aggregator reports each grid cell as
+mean / std / 95% bootstrap CI.
+
+Typical use::
+
+    from repro import sweeps
+
+    result = sweeps.run_sweep(sweeps.get("fig15-ensemble"), jobs=4)
+    print(result.to_text())
+
+or from the command line::
+
+    repro sweep run smoke-grid --jobs 2
+    repro sweep summarize smoke-grid
+"""
+
+from repro.sweeps.aggregate import CellStats, MetricStats, SweepResult, aggregate, bootstrap_ci
+from repro.sweeps.executor import group_points, run_sweep
+from repro.sweeps.metrics import METRIC_NAMES, point_metrics
+from repro.sweeps.registry import REGISTRY, get, names, register
+from repro.sweeps.seeding import replica_seed, replica_seeds
+from repro.sweeps.spec import SweepAxis, SweepCell, SweepPoint, SweepSpec, cells, expand
+
+__all__ = [
+    "REGISTRY",
+    "get",
+    "names",
+    "register",
+    "SweepAxis",
+    "SweepCell",
+    "SweepPoint",
+    "SweepSpec",
+    "cells",
+    "expand",
+    "group_points",
+    "run_sweep",
+    "CellStats",
+    "MetricStats",
+    "SweepResult",
+    "aggregate",
+    "bootstrap_ci",
+    "METRIC_NAMES",
+    "point_metrics",
+    "replica_seed",
+    "replica_seeds",
+]

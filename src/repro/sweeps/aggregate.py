@@ -1,0 +1,246 @@
+"""Sweep aggregation: replica scalars to mean/std/bootstrap-CI cells.
+
+The executor hands this module one metric dict per sweep point; the
+aggregator folds the replicas of each grid cell into a
+:class:`MetricStats` (mean, sample std, bootstrap percentile CI) and
+packages the grid as a :class:`SweepResult` — JSON-serialisable for
+the artifact store, renderable as a text table, and convertible to a
+:class:`~repro.experiments.common.FigureResult` so sweep summaries
+flow through the same diffing/golden machinery as the figures.
+
+The bootstrap is deterministic: the resampling RNG is seeded from a
+fixed entropy plus the cell index, never from time or global state, so
+serial and parallel executions of the same spec produce byte-identical
+artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import FigureResult
+
+__all__ = ["MetricStats", "CellStats", "SweepResult", "aggregate", "bootstrap_ci"]
+
+#: Fixed entropy prefix for the bootstrap RNG (arbitrary, never changed
+#: casually: it is part of the artifact contract).
+_BOOTSTRAP_ENTROPY = 0x5EED_CE11
+
+#: Bootstrap resamples per cell metric.
+N_BOOTSTRAP = 1000
+
+#: Two-sided confidence level of the reported interval.
+CONFIDENCE = 0.95
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    *,
+    entropy: tuple[int, ...],
+    n_boot: int = N_BOOTSTRAP,
+    confidence: float = CONFIDENCE,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI of the mean of ``values``.
+
+    With fewer than two samples the interval degenerates to the point
+    estimate (no spread information exists; reporting a fake interval
+    would be worse than reporting none).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if arr.size < 2:
+        mean = float(arr.mean())
+        return mean, mean
+    rng = np.random.default_rng(np.random.SeedSequence([_BOOTSTRAP_ENTROPY, *entropy]))
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricStats:
+    """Replica-ensemble statistics of one metric in one cell."""
+
+    mean: float
+    std: float
+    ci_lo: float
+    ci_hi: float
+
+    def to_json_dict(self) -> dict:
+        return {"mean": self.mean, "std": self.std, "ci_lo": self.ci_lo, "ci_hi": self.ci_hi}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "MetricStats":
+        return cls(
+            mean=payload["mean"],
+            std=payload["std"],
+            ci_lo=payload["ci_lo"],
+            ci_hi=payload["ci_hi"],
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CellStats:
+    """One grid cell: its axis coordinates and per-metric statistics."""
+
+    coords: tuple[tuple[str, str], ...]
+    n_replicas: int
+    stats: dict[str, MetricStats]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "coords": [[name, label] for name, label in self.coords],
+            "n_replicas": self.n_replicas,
+            "stats": {name: s.to_json_dict() for name, s in self.stats.items()},
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "CellStats":
+        return cls(
+            coords=tuple((name, label) for name, label in payload["coords"]),
+            n_replicas=int(payload["n_replicas"]),
+            stats={
+                name: MetricStats.from_json_dict(s) for name, s in payload["stats"].items()
+            },
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Aggregated output of one sweep: the whole grid with intervals."""
+
+    sweep: str
+    title: str
+    axes: tuple[str, ...]
+    metrics: tuple[str, ...]
+    n_replicas: int
+    cells: tuple[CellStats, ...]
+
+    # -- artifact round-trip -------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "sweep": self.sweep,
+            "title": self.title,
+            "axes": list(self.axes),
+            "metrics": list(self.metrics),
+            "n_replicas": self.n_replicas,
+            "cells": [cell.to_json_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "SweepResult":
+        return cls(
+            sweep=payload["sweep"],
+            title=payload["title"],
+            axes=tuple(payload["axes"]),
+            metrics=tuple(payload["metrics"]),
+            n_replicas=int(payload["n_replicas"]),
+            cells=tuple(CellStats.from_json_dict(c) for c in payload["cells"]),
+        )
+
+    # -- presentation --------------------------------------------------------
+
+    def to_text(self) -> str:
+        from repro.analysis.report import render_table
+
+        headers = [*self.axes]
+        for metric in self.metrics:
+            headers += [f"{metric} mean", "std", "ci95 lo", "ci95 hi"]
+        rows = []
+        for cell in self.cells:
+            row: list[object] = [label for _, label in cell.coords]
+            for metric in self.metrics:
+                s = cell.stats[metric]
+                row += [round(s.mean, 4), round(s.std, 4), round(s.ci_lo, 4), round(s.ci_hi, 4)]
+            rows.append(tuple(row))
+        title = f"sweep {self.sweep}: {self.title} (n={self.n_replicas} replicas)"
+        return render_table(headers, rows, title=title)
+
+    def to_figure_result(self) -> FigureResult:
+        """The sweep grid as a figure artifact (mean/std/CI series).
+
+        Series are one array per metric statistic, in cell order, so a
+        sweep summary diffs through the exact tolerance machinery the
+        golden figures use. Headline scalars use direction-neutral
+        max/min names — whether the extreme is "best" depends on the
+        metric (savings: higher is better; normalized cost: lower is).
+        """
+        series: dict[str, np.ndarray] = {}
+        summary: dict[str, float] = {}
+        for metric in self.metrics:
+            for stat in ("mean", "std", "ci_lo", "ci_hi"):
+                series[f"{metric}_{stat}"] = np.array(
+                    [getattr(cell.stats[metric], stat) for cell in self.cells]
+                )
+            means = series[f"{metric}_mean"]
+            summary[f"max_{metric}_mean"] = float(means.max())
+            summary[f"min_{metric}_mean"] = float(means.min())
+            summary[f"max_{metric}_std"] = float(series[f"{metric}_std"].max())
+        rows = []
+        for cell in self.cells:
+            row: list[object] = [label for _, label in cell.coords]
+            for metric in self.metrics:
+                row.append(round(cell.stats[metric].mean, 6))
+            rows.append(tuple(row))
+        return FigureResult(
+            figure_id=f"sweep-{self.sweep}",
+            title=self.title,
+            headers=(*self.axes, *self.metrics),
+            rows=tuple(rows),
+            series=series,
+            summary=summary,
+            notes=(f"{self.n_replicas} seeded replicas per cell; 95% bootstrap CIs",),
+        )
+
+
+def aggregate(
+    spec,
+    points,
+    metrics_by_point: dict[int, dict[str, float]],
+) -> SweepResult:
+    """Fold per-point metric dicts into the sweep's cell statistics.
+
+    ``points`` is the full expansion of ``spec`` (see
+    :func:`repro.sweeps.spec.expand`); every point index must be
+    present in ``metrics_by_point``.
+    """
+    from repro.sweeps.spec import cells as spec_cells
+
+    missing = [p.index for p in points if p.index not in metrics_by_point]
+    if missing:
+        raise ConfigurationError(f"missing metrics for sweep points {missing[:5]}")
+
+    by_cell: dict[int, list[dict[str, float]]] = {}
+    for point in points:
+        by_cell.setdefault(point.cell_index, []).append(metrics_by_point[point.index])
+
+    cell_stats = []
+    for cell in spec_cells(spec):
+        replicas = by_cell[cell.index]
+        stats: dict[str, MetricStats] = {}
+        for m_idx, metric in enumerate(spec.metrics):
+            values = np.array([r[metric] for r in replicas], dtype=float)
+            lo, hi = bootstrap_ci(values, entropy=(cell.index, m_idx))
+            stats[metric] = MetricStats(
+                mean=float(values.mean()),
+                std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+                ci_lo=lo,
+                ci_hi=hi,
+            )
+        cell_stats.append(CellStats(coords=cell.coords, n_replicas=len(replicas), stats=stats))
+
+    return SweepResult(
+        sweep=spec.name,
+        title=spec.description or spec.name,
+        axes=tuple(a.name for a in spec.axes),
+        metrics=spec.metrics,
+        n_replicas=spec.n_replicas,
+        cells=tuple(cell_stats),
+    )

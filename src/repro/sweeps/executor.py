@@ -1,0 +1,117 @@
+"""Sweep execution: grid points in, aggregated statistics out.
+
+The executor expands a :class:`~repro.sweeps.spec.SweepSpec`, runs
+every (cell x replica) point through the batched simulation pipeline,
+and aggregates replicas into mean/std/CI cells. Three layers keep
+re-runs cheap:
+
+1. **Grouping by market.** Points are bucketed by their
+   :class:`~repro.scenarios.spec.MarketSpec` before dispatch, so each
+   worker process generates a replica's market data set once and then
+   sweeps every grid cell against it through the runner's in-process
+   memo (dataset generation is the dominant fixed cost; the grid
+   itself rides the vectorised engine).
+2. **The artifact store.** Workers publish every finished simulation
+   to the content-addressed store, so a second invocation — or an
+   overlapping sweep sharing points — loads results instead of
+   re-simulating.
+3. **The sweep artifact.** The aggregated :class:`SweepResult` itself
+   is stored under the spec's hash; re-running an unchanged sweep is
+   one disk read.
+
+Workers return only metric scalars (never load matrices), so the pool
+payloads stay tiny regardless of trace length, and a parallel run's
+artifacts are byte-identical to a serial run's: simulation payloads
+are deterministic encodings, and the aggregation happens in the parent
+in expansion order either way.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro import artifacts, scenarios
+from repro.sweeps.aggregate import SweepResult, aggregate
+from repro.sweeps.metrics import point_metrics
+from repro.sweeps.spec import SweepPoint, SweepSpec, expand
+
+__all__ = ["run_sweep", "group_points"]
+
+
+def group_points(points: list[SweepPoint]) -> list[list[SweepPoint]]:
+    """Bucket points by market spec, preserving first-appearance order.
+
+    Every bucket shares one market data set (and usually one baseline
+    run), so a bucket is the natural unit of work for a pool worker:
+    the expensive generation happens once per bucket per process.
+    """
+    buckets: dict[object, list[SweepPoint]] = {}
+    for point in points:
+        buckets.setdefault(point.scenario.market, []).append(point)
+    return list(buckets.values())
+
+
+def _run_group(
+    group: list[tuple[int, object, object]],
+    force: bool,
+) -> dict[int, dict[str, float]]:
+    """Compute metrics for one market bucket (runs in worker or parent)."""
+    if force:
+        artifacts.set_refresh(True)
+    try:
+        return {index: point_metrics(scenario, energy) for index, scenario, energy in group}
+    finally:
+        if force:
+            artifacts.set_refresh(False)
+
+
+def _init_worker(store_root: str | None) -> None:
+    artifacts.configure(store_root)
+
+
+def _worker_run(group: list[tuple[int, object, object]], force: bool) -> dict:
+    return _run_group(group, force)
+
+
+def run_sweep(spec: SweepSpec, *, jobs: int = 1, force: bool = False) -> SweepResult:
+    """Execute a sweep, optionally across a process pool.
+
+    ``force`` recomputes everything: the sweep artifact is ignored and
+    simulation-artifact reads are suspended for the run (fresh results
+    still overwrite the store). A forced run also starts from a cold
+    in-process cache, for the same reason ``run_figures`` does —
+    memo entries that were *loaded* rather than computed would leak
+    stale results past the refresh.
+    """
+    store = artifacts.get_store()
+    if store is not None and not force:
+        payload = store.load(artifacts.KIND_SWEEP, spec)
+        if payload is not None:
+            return SweepResult.from_json_dict(payload)
+
+    if force:
+        scenarios.clear_caches()
+
+    points = expand(spec)
+    groups = group_points(points)
+    shipped = [[(p.index, p.scenario, p.energy) for p in group] for group in groups]
+
+    metrics_by_point: dict[int, dict[str, float]] = {}
+    if jobs <= 1 or len(shipped) <= 1:
+        for group in shipped:
+            metrics_by_point.update(_run_group(group, force))
+    else:
+        root = artifacts.active_root()
+        store_root = str(root) if root is not None else None
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(shipped)),
+            initializer=_init_worker,
+            initargs=(store_root,),
+        ) as pool:
+            for result in pool.map(_worker_run, shipped, [force] * len(shipped)):
+                metrics_by_point.update(result)
+
+    result = aggregate(spec, points, metrics_by_point)
+    if store is not None:
+        store.save(artifacts.KIND_SWEEP, spec, result.to_json_dict())
+    return result

@@ -1,0 +1,50 @@
+"""Per-point summary metrics: one simulation run to a few scalars.
+
+A sweep point is a full :class:`~repro.sim.results.SimulationResult`,
+but the aggregator only ever needs a handful of scalars per point —
+and pool workers should ship scalars, not load matrices, back to the
+parent. This module is the single place that maps a (scenario, energy
+model) pair to those scalars, always against the memoised baseline run
+over the same market and trace (so savings and normalised cost mean
+exactly what the figures mean).
+"""
+
+from __future__ import annotations
+
+from repro import scenarios
+from repro.energy.model import EnergyModelParams
+from repro.scenarios.spec import Scenario
+
+__all__ = ["METRIC_NAMES", "point_metrics"]
+
+#: Every metric the aggregator knows how to report, in table order.
+METRIC_NAMES = (
+    "savings_pct",
+    "normalized_cost",
+    "total_cost_usd",
+    "baseline_cost_usd",
+    "mean_distance_km",
+    "mean_utilization_pct",
+)
+
+
+def point_metrics(scenario: Scenario, energy: EnergyModelParams) -> dict[str, float]:
+    """All known metrics for one sweep point (memoised simulations).
+
+    The baseline normaliser is the price-blind proximity run over the
+    *same* market and trace — for a reseeded replica that is the
+    replica's own baseline, so savings compare like with like.
+    """
+    result = scenarios.run(scenario)
+    baseline = scenarios.baseline_result(scenario.market, scenario.trace)
+    # savings_vs carries the positive-baseline guard (typed error on a
+    # degenerate zero-cost baseline instead of inf/NaN in the artifact).
+    savings = result.savings_vs(baseline, energy)
+    return {
+        "savings_pct": savings * 100.0,
+        "normalized_cost": 1.0 - savings,
+        "total_cost_usd": result.total_cost(energy),
+        "baseline_cost_usd": baseline.total_cost(energy),
+        "mean_distance_km": result.mean_distance_km,
+        "mean_utilization_pct": result.mean_utilization() * 100.0,
+    }

@@ -1,0 +1,119 @@
+"""Named sweeps: the ensembles the figures and the docs care about.
+
+Mirrors :mod:`repro.scenarios.registry`: stable names to frozen
+:class:`~repro.sweeps.spec.SweepSpec` objects. The two figure
+ensembles turn the paper's headline point estimates into
+distributions — same grids as the ``fig15``/``fig18`` drivers (their
+axis constants are imported, not copied), but with every cell re-drawn
+over eight seeded replicas of the market and trace generators.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.energy.params import FIG15_MODELS, OPTIMISTIC_FUTURE
+from repro.errors import ConfigurationError
+from repro.scenarios import get as get_scenario
+from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
+from repro.sweeps.spec import SweepAxis, SweepSpec
+
+__all__ = ["REGISTRY", "register", "get", "names"]
+
+#: ISSUE-3 discipline: eight seeded replicas per cell by default.
+DEFAULT_REPLICAS = 8
+
+
+def _builtin_sweeps() -> tuple[SweepSpec, ...]:
+    from repro.experiments.fig15_elasticity_savings import THRESHOLD_KM
+    from repro.experiments.fig18_longrun_cost import THRESHOLDS_KM
+
+    return (
+        SweepSpec(
+            name="fig15-ensemble",
+            description=(
+                "Fig. 15 with error bars: 24-day savings by energy "
+                "elasticity and 95/5 discipline"
+            ),
+            base=get_scenario("paper-default").with_router(distance_threshold_km=THRESHOLD_KM),
+            axes=(
+                SweepAxis(name="energy model", values=FIG15_MODELS, target="energy"),
+                SweepAxis(name="follow_95_5", values=(False, True)),
+            ),
+            n_replicas=DEFAULT_REPLICAS,
+            metrics=("savings_pct",),
+        ),
+        SweepSpec(
+            name="fig18-ensemble",
+            description=(
+                "Fig. 18 with error bars: 39-month normalized cost vs "
+                "distance threshold"
+            ),
+            base=get_scenario("longrun-price"),
+            axes=(
+                SweepAxis(
+                    name="distance_threshold_km",
+                    values=tuple(THRESHOLDS_KM),
+                    target="router",
+                ),
+                SweepAxis(name="follow_95_5", values=(False, True)),
+            ),
+            n_replicas=DEFAULT_REPLICAS,
+            energy=OPTIMISTIC_FUTURE,
+            metrics=("normalized_cost",),
+        ),
+        SweepSpec(
+            name="smoke-grid",
+            description=(
+                "compact 3-axis x 8-replica grid on a two-month market "
+                "(CI smoke and docs demo)"
+            ),
+            base=Scenario(
+                name="smoke-grid-base",
+                market=MarketSpec(start=datetime(2008, 11, 1), months=2, seed=7),
+                trace=TraceSpec(
+                    kind="five-minute",
+                    start=datetime(2008, 12, 1),
+                    n_steps=36,
+                    seed=7,
+                ),
+                router=RouterSpec.of("price", distance_threshold_km=1500.0),
+            ),
+            axes=(
+                SweepAxis(
+                    name="distance_threshold_km",
+                    values=(0.0, 1500.0, 4500.0),
+                    target="router",
+                ),
+                SweepAxis(name="price_threshold", values=(0.0, 5.0), target="router"),
+                SweepAxis(name="follow_95_5", values=(False, True)),
+            ),
+            n_replicas=DEFAULT_REPLICAS,
+            metrics=("savings_pct", "mean_distance_km"),
+        ),
+    )
+
+
+REGISTRY: dict[str, SweepSpec] = {s.name: s for s in _builtin_sweeps()}
+
+
+def register(spec: SweepSpec, overwrite: bool = False) -> SweepSpec:
+    """Add a sweep to the registry under its own name."""
+    if spec.name in REGISTRY and not overwrite:
+        raise ConfigurationError(f"sweep {spec.name!r} already registered")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> SweepSpec:
+    """Fetch a registered sweep by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigurationError(f"unknown sweep {name!r}; registered: {known}") from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered sweep names, sorted."""
+    return tuple(sorted(REGISTRY))

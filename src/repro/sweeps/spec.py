@@ -1,0 +1,233 @@
+"""Frozen sweep specifications: a scenario grid plus seeded replicas.
+
+A :class:`SweepSpec` describes a whole Monte-Carlo experiment as data:
+one base :class:`~repro.scenarios.spec.Scenario`, a set of
+:class:`SweepAxis` parameter grids expanded as a cartesian product,
+and ``n_replicas`` seeded re-draws of every grid cell. Like scenarios,
+sweep specs are frozen and hashable, so a sweep is content-addressable
+in the artifact store and two invocations of the same spec are the
+same experiment.
+
+Axes come in three targets:
+
+``scenario``
+    The axis value replaces a top-level :class:`Scenario` field
+    (``follow_95_5``, ``reaction_delay_hours``, ``router``, ``trace``,
+    ``market``, ...) via :meth:`Scenario.derive`.
+``router``
+    The axis value replaces one router parameter via
+    :meth:`Scenario.with_router` (``distance_threshold_km``,
+    ``price_threshold``, ...).
+``energy``
+    The axis value is an :class:`~repro.energy.model.EnergyModelParams`
+    applied at *costing* time. Energy axes multiply the grid without
+    multiplying simulations — routing never consults the energy model,
+    so every energy cell of a replica shares one simulation run.
+
+Replicas re-seed the market generator and/or the trace generator
+through :func:`repro.sweeps.seeding.replica_seed` (SeedSequence
+spawning — see that module for why ``seed + i`` is not used). Replica
+0 is always the base configuration itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.energy.model import EnergyModelParams
+from repro.energy.params import OPTIMISTIC_FUTURE
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import RouterSpec, Scenario
+from repro.sweeps.metrics import METRIC_NAMES
+from repro.sweeps.seeding import replica_seed
+
+__all__ = ["SweepAxis", "SweepSpec", "SweepCell", "SweepPoint", "expand"]
+
+#: Axis targets understood by the expander.
+AXIS_TARGETS = ("scenario", "router", "energy")
+
+#: Scenario ingredients a replica may re-seed.
+RESEED_TARGETS = ("market", "trace")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepAxis:
+    """One swept parameter: a name, a target, and the grid of values."""
+
+    name: str
+    values: tuple[Any, ...]
+    target: str = "scenario"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("axis needs a name")
+        if self.target not in AXIS_TARGETS:
+            raise ConfigurationError(
+                f"unknown axis target {self.target!r}; expected one of {AXIS_TARGETS}"
+            )
+        if not isinstance(self.values, tuple) or not self.values:
+            raise ConfigurationError(f"axis {self.name!r} needs a non-empty tuple of values")
+        if self.target == "energy" and not all(
+            isinstance(v, EnergyModelParams) for v in self.values
+        ):
+            raise ConfigurationError(f"energy axis {self.name!r} values must be EnergyModelParams")
+
+
+def _axis_label(value: Any) -> str:
+    """A compact, stable rendering of one axis value for tables/keys."""
+    if isinstance(value, EnergyModelParams):
+        return value.describe()
+    if isinstance(value, RouterSpec):
+        params = ", ".join(
+            f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}" for k, v in value.params
+        )
+        return f"{value.kind}({params})" if params else value.kind
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """A complete, hashable description of one Monte-Carlo sweep."""
+
+    name: str
+    base: Scenario
+    description: str = ""
+    axes: tuple[SweepAxis, ...] = ()
+    n_replicas: int = 1
+    #: Which generator seeds the replicas re-draw.
+    reseed: tuple[str, ...] = ("market", "trace")
+    #: Energy model used when no energy axis is present.
+    energy: EnergyModelParams = OPTIMISTIC_FUTURE
+    #: Metric names the aggregator reports (see repro.sweeps.metrics).
+    metrics: tuple[str, ...] = ("savings_pct",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep needs a name")
+        if self.n_replicas < 1:
+            raise ConfigurationError("sweep needs at least one replica")
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate axis names: {names}")
+        if sum(1 for a in self.axes if a.target == "energy") > 1:
+            raise ConfigurationError("at most one energy axis per sweep")
+        unknown = [t for t in self.reseed if t not in RESEED_TARGETS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown reseed targets {unknown}; expected a subset of {RESEED_TARGETS}"
+            )
+        if not self.reseed and self.n_replicas > 1:
+            raise ConfigurationError("multi-replica sweeps must reseed market and/or trace")
+        bad = [m for m in self.metrics if m not in METRIC_NAMES]
+        if bad:
+            raise ConfigurationError(
+                f"unknown metrics {bad}; available: {', '.join(METRIC_NAMES)}"
+            )
+        if not self.metrics:
+            raise ConfigurationError("sweep needs at least one metric")
+
+    @property
+    def n_cells(self) -> int:
+        cells = 1
+        for axis in self.axes:
+            cells *= len(axis.values)
+        return cells
+
+    @property
+    def n_points(self) -> int:
+        return self.n_cells * self.n_replicas
+
+    def derive(self, **changes: Any) -> "SweepSpec":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One grid cell: an axis coordinate tuple and its cell scenario."""
+
+    index: int
+    coords: tuple[tuple[str, str], ...]
+    scenario: Scenario
+    energy: EnergyModelParams
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One simulation of the sweep: a cell at one seeded replica."""
+
+    index: int
+    cell_index: int
+    replica: int
+    scenario: Scenario
+    energy: EnergyModelParams
+
+
+def _apply_axis(scenario: Scenario, axis: SweepAxis, value: Any) -> Scenario:
+    if axis.target == "router":
+        return scenario.with_router(**{axis.name: value})
+    if axis.target == "scenario":
+        try:
+            return scenario.derive(**{axis.name: value})
+        except TypeError as exc:
+            raise ConfigurationError(f"axis {axis.name!r} is not a Scenario field") from exc
+    return scenario  # energy axes never touch the scenario
+
+
+def _reseed(scenario: Scenario, spec: SweepSpec, replica: int) -> Scenario:
+    if replica == 0:
+        return scenario
+    changes: dict[str, Any] = {}
+    if "market" in spec.reseed:
+        market = scenario.market
+        changes["market"] = replace(market, seed=replica_seed(market.seed, replica))
+    if "trace" in spec.reseed:
+        trace = scenario.trace
+        changes["trace"] = replace(trace, seed=replica_seed(trace.seed, replica))
+    return scenario.derive(**changes)
+
+
+def cells(spec: SweepSpec) -> list[SweepCell]:
+    """The sweep's grid cells in cartesian-product order (last axis fastest)."""
+    out: list[SweepCell] = []
+    value_grids = [axis.values for axis in spec.axes]
+    for index, combo in enumerate(itertools.product(*value_grids)):
+        scenario = spec.base
+        energy = spec.energy
+        coords = []
+        for axis, value in zip(spec.axes, combo):
+            scenario = _apply_axis(scenario, axis, value)
+            if axis.target == "energy":
+                energy = value
+            coords.append((axis.name, _axis_label(value)))
+        out.append(SweepCell(index=index, coords=tuple(coords), scenario=scenario, energy=energy))
+    return out
+
+
+def expand(spec: SweepSpec) -> list[SweepPoint]:
+    """Every (cell x replica) simulation point, replicas innermost.
+
+    Point scenarios have ``name``/``description`` cleared so that two
+    sweeps expanding to the same physical run share one simulation in
+    the runner's memo and in the artifact store.
+    """
+    points: list[SweepPoint] = []
+    for cell in cells(spec):
+        for replica in range(spec.n_replicas):
+            scenario = _reseed(cell.scenario, spec, replica).derive(name="", description="")
+            points.append(
+                SweepPoint(
+                    index=len(points),
+                    cell_index=cell.index,
+                    replica=replica,
+                    scenario=scenario,
+                    energy=cell.energy,
+                )
+            )
+    return points

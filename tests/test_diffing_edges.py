@@ -1,0 +1,147 @@
+"""Tolerance edge cases for artifact diffing (NaN, ±inf, empty series).
+
+The golden gate must neither flag a legitimately absent value (NaN in
+both golden and fresh) nor silently pass a real drift hiding behind a
+non-finite value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.artifacts.codec import encode_array
+from repro.artifacts.diffing import compare_figure_payloads
+
+INF = float("inf")
+NAN = float("nan")
+
+
+def payload(**overrides) -> dict:
+    base = {
+        "figure_id": "figX",
+        "title": "t",
+        "headers": ["a"],
+        "rows": [[1.0]],
+        "series": {},
+        "summary": {},
+        "notes": [],
+    }
+    base.update(overrides)
+    return base
+
+
+def series(values) -> dict:
+    return encode_array(np.asarray(values, dtype=float))
+
+
+class TestSummaryEdges:
+    def test_nan_matches_nan(self):
+        golden = payload(summary={"x": NAN})
+        fresh = payload(summary={"x": NAN})
+        assert compare_figure_payloads(golden, fresh) == []
+
+    def test_nan_vs_number_drifts(self):
+        golden = payload(summary={"x": NAN})
+        fresh = payload(summary={"x": 1.0})
+        assert any("summary x" in d for d in compare_figure_payloads(golden, fresh))
+
+    def test_number_vs_nan_drifts(self):
+        golden = payload(summary={"x": 1.0})
+        fresh = payload(summary={"x": NAN})
+        assert len(compare_figure_payloads(golden, fresh)) == 1
+
+    def test_inf_matches_inf(self):
+        golden = payload(summary={"x": INF, "y": -INF})
+        fresh = payload(summary={"x": INF, "y": -INF})
+        assert compare_figure_payloads(golden, fresh) == []
+
+    def test_opposite_infinities_drift(self):
+        golden = payload(summary={"x": INF})
+        fresh = payload(summary={"x": -INF})
+        assert len(compare_figure_payloads(golden, fresh)) == 1
+
+    def test_inf_vs_finite_drifts(self):
+        golden = payload(summary={"x": INF})
+        fresh = payload(summary={"x": 1e300})
+        assert len(compare_figure_payloads(golden, fresh)) == 1
+
+
+class TestRowEdges:
+    def test_nan_cells_match(self):
+        golden = payload(rows=[[NAN, "label"]], headers=["a", "b"])
+        fresh = payload(rows=[[NAN, "label"]], headers=["a", "b"])
+        assert compare_figure_payloads(golden, fresh) == []
+
+    def test_nan_cell_vs_number_drifts(self):
+        golden = payload(rows=[[NAN]])
+        fresh = payload(rows=[[2.0]])
+        drifts = compare_figure_payloads(golden, fresh)
+        assert len(drifts) == 1
+        assert "row 0" in drifts[0]
+
+
+class TestSeriesEdges:
+    def test_empty_series_match(self):
+        golden = payload(series={"s": series([])})
+        fresh = payload(series={"s": series([])})
+        assert compare_figure_payloads(golden, fresh) == []
+
+    def test_empty_vs_nonempty_is_shape_drift(self):
+        golden = payload(series={"s": series([])})
+        fresh = payload(series={"s": series([1.0])})
+        drifts = compare_figure_payloads(golden, fresh)
+        assert len(drifts) == 1
+        assert "shape" in drifts[0]
+
+    def test_matching_nan_positions_pass(self):
+        golden = payload(series={"s": series([1.0, NAN, 3.0])})
+        fresh = payload(series={"s": series([1.0, NAN, 3.0])})
+        assert compare_figure_payloads(golden, fresh) == []
+
+    def test_nan_pattern_change_is_reported_explicitly(self):
+        """A NaN appearing where the golden had a number (or vice
+        versa) must be called out — nanmax over the difference would
+        skip exactly those positions."""
+        golden = payload(series={"s": series([1.0, NAN, 3.0])})
+        fresh = payload(series={"s": series([1.0, 2.0, 3.0])})
+        drifts = compare_figure_payloads(golden, fresh)
+        assert len(drifts) == 1
+        assert "NaN pattern" in drifts[0]
+
+    def test_all_nan_series_match(self):
+        golden = payload(series={"s": series([NAN, NAN])})
+        fresh = payload(series={"s": series([NAN, NAN])})
+        assert compare_figure_payloads(golden, fresh) == []
+
+    def test_matching_infinities_pass(self):
+        golden = payload(series={"s": series([INF, -INF, 1.0])})
+        fresh = payload(series={"s": series([INF, -INF, 1.0])})
+        assert compare_figure_payloads(golden, fresh) == []
+
+    def test_opposite_infinities_report_deviation(self):
+        golden = payload(series={"s": series([INF])})
+        fresh = payload(series={"s": series([-INF])})
+        drifts = compare_figure_payloads(golden, fresh)
+        assert len(drifts) == 1
+        assert "deviation" in drifts[0]
+
+    def test_numeric_drift_reports_worst_deviation(self):
+        golden = payload(series={"s": series([1.0, 2.0])})
+        fresh = payload(series={"s": series([1.0, 2.5])})
+        drifts = compare_figure_payloads(golden, fresh)
+        assert len(drifts) == 1
+        assert "5.000e-01" in drifts[0]
+
+    def test_numeric_drift_with_shared_nan_ignores_nan_positions(self):
+        golden = payload(series={"s": series([NAN, 2.0])})
+        fresh = payload(series={"s": series([NAN, 4.0])})
+        drifts = compare_figure_payloads(golden, fresh)
+        assert len(drifts) == 1
+        assert "2.000e+00" in drifts[0]
+
+    def test_missing_and_extra_series_reported(self):
+        golden = payload(series={"a": series([1.0])})
+        fresh = payload(series={"b": series([1.0])})
+        drifts = compare_figure_payloads(golden, fresh)
+        assert any("missing from fresh" in d for d in drifts)
+        assert any("not in golden" in d for d in drifts)

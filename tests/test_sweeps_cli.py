@@ -1,0 +1,159 @@
+"""Tests for the ``repro sweep`` CLI verb (run / list / summarize)."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro import artifacts, sweeps
+from repro.cli import main
+from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
+from repro.sweeps.spec import SweepAxis, SweepSpec
+
+#: Micro sweep for CLI round trips: 2 cells x 2 replicas of a 12-step
+#: trace on the two-month test market.
+MICRO = SweepSpec(
+    name="micro-cli",
+    description="micro CLI sweep",
+    base=Scenario(
+        name="micro-base",
+        market=MarketSpec(start=datetime(2008, 11, 1), months=2, seed=7),
+        trace=TraceSpec(kind="five-minute", start=datetime(2008, 12, 1), n_steps=12, seed=7),
+        router=RouterSpec.of("price", distance_threshold_km=1500.0),
+    ),
+    axes=(SweepAxis(name="follow_95_5", values=(False, True)),),
+    n_replicas=2,
+    metrics=("savings_pct",),
+)
+
+
+@pytest.fixture
+def micro_registered(monkeypatch):
+    monkeypatch.setitem(sweeps.REGISTRY, MICRO.name, MICRO)
+    return MICRO
+
+
+class TestSweepArgParsing:
+    def test_sweep_without_subcommand_is_usage_error(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "subcommand" in capsys.readouterr().err
+
+    def test_run_without_names_is_usage_error(self, capsys):
+        assert main(["sweep", "run", "--no-store"]) == 2
+        assert "no sweeps" in capsys.readouterr().err
+
+    def test_run_unknown_sweep(self, capsys):
+        assert main(["sweep", "run", "--no-store", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sweeps" in err
+        assert "nope" in err
+        assert "smoke-grid" in err
+
+    def test_summarize_requires_names(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "summarize", "--no-store"])
+
+    def test_summarize_unknown_sweep(self, capsys):
+        assert main(["sweep", "summarize", "--no-store", "nope"]) == 2
+        assert "unknown sweeps" in capsys.readouterr().err
+
+    def test_artifacts_and_no_store_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "run", "smoke-grid", "--artifacts", "x", "--no-store"])
+
+    def test_replicas_must_be_positive(self, capsys, micro_registered):
+        assert main(["sweep", "run", "--no-store", "micro-cli", "--replicas", "0"]) == 2
+        assert "replica" in capsys.readouterr().err
+
+
+class TestSweepList:
+    def test_lists_builtin_sweeps(self, capsys):
+        assert main(["sweep", "list", "--no-store"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig15-ensemble", "fig18-ensemble", "smoke-grid"):
+            assert name in out
+        assert "8 replicas" in out
+
+    def test_marks_cached_sweeps(self, tmp_path, capsys, micro_registered):
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "run", "--quiet", "--artifacts", store_dir, "micro-cli"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "list", "--artifacts", store_dir]) == 0
+        out = capsys.readouterr().out
+        micro_line = next(line for line in out.splitlines() if line.startswith("micro-cli"))
+        assert "*" in micro_line
+
+
+class TestSweepRun:
+    def test_run_prints_table(self, capsys, micro_registered):
+        assert main(["sweep", "run", "--no-store", "micro-cli"]) == 0
+        captured = capsys.readouterr()
+        assert "savings_pct mean" in captured.out
+        assert "1 sweep(s)" in captured.err
+
+    def test_quiet_suppresses_table(self, capsys, micro_registered):
+        assert main(["sweep", "run", "--no-store", "--quiet", "micro-cli"]) == 0
+        captured = capsys.readouterr()
+        assert "savings_pct mean" not in captured.out
+        assert "1 sweep(s)" in captured.err
+
+    def test_run_populates_store(self, tmp_path, micro_registered, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["sweep", "run", "--quiet", "--artifacts", str(store_dir), "micro-cli"]) == 0
+        store = artifacts.ArtifactStore(store_dir)
+        assert store.has(artifacts.KIND_SWEEP, MICRO)
+        assert list(store.entries())
+
+    def test_warm_run_reuses_sweep_artifact(self, tmp_path, capsys, monkeypatch, micro_registered):
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "run", "--quiet", "--artifacts", store_dir, "micro-cli"]) == 0
+        from repro.sweeps import executor
+
+        monkeypatch.setattr(
+            executor,
+            "_run_group",
+            lambda *a, **k: pytest.fail("sweep re-ran despite cached artifact"),
+        )
+        assert main(["sweep", "run", "--quiet", "--artifacts", store_dir, "micro-cli"]) == 0
+
+    def test_replicas_override_changes_artifact_key(self, tmp_path, capsys, micro_registered):
+        store_dir = str(tmp_path / "store")
+        args = ["sweep", "run", "--quiet", "--artifacts", store_dir, "micro-cli"]
+        assert main([*args, "--replicas", "3"]) == 0
+        store = artifacts.ArtifactStore(store_dir)
+        assert store.has(artifacts.KIND_SWEEP, MICRO.derive(n_replicas=3))
+        assert not store.has(artifacts.KIND_SWEEP, MICRO)
+
+
+class TestSweepSummarize:
+    def test_summarize_after_run(self, tmp_path, capsys, micro_registered):
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "run", "--quiet", "--artifacts", store_dir, "micro-cli"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "summarize", "--artifacts", store_dir, "micro-cli"]) == 0
+        assert "savings_pct mean" in capsys.readouterr().out
+
+    def test_summarize_missing_artifact_fails(self, tmp_path, capsys, micro_registered):
+        store_dir = str(tmp_path / "empty")
+        assert main(["sweep", "summarize", "--artifacts", store_dir, "micro-cli"]) == 1
+        assert "no cached artifact" in capsys.readouterr().err
+
+    def test_summarize_respects_replicas_override(self, tmp_path, capsys, micro_registered):
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", "run", "--quiet", "--artifacts", store_dir, "micro-cli"]) == 0
+        capsys.readouterr()
+        # The run above used the spec's own replica count; asking for a
+        # different one addresses a different artifact.
+        rc = main(["sweep", "summarize", "--artifacts", store_dir, "micro-cli", "--replicas", "5"])
+        assert rc == 1
+
+
+class TestCleanCoversSweeps:
+    def test_clean_removes_sweep_artifacts(self, tmp_path, capsys, micro_registered):
+        store_dir = tmp_path / "store"
+        assert main(["sweep", "run", "--quiet", "--artifacts", str(store_dir), "micro-cli"]) == 0
+        store = artifacts.ArtifactStore(store_dir)
+        assert any(e.kind == artifacts.KIND_SWEEP for e in store.entries())
+        assert main(["clean", "--artifacts", str(store_dir)]) == 0
+        assert list(store.entries()) == []
