@@ -49,6 +49,37 @@ def _time(fn, repeats: int) -> float:
     return best
 
 
+def bench_provider(repeats: int) -> dict:
+    """Provider-indirection overhead on dataset materialisation.
+
+    The provider layer sits between market specs and the generator; it
+    must add nothing measurable on top of direct generation, and the
+    dataset it hands the engine must be bit-identical to a direct one.
+    """
+    from repro.markets.providers import SYNTHETIC, build_provider
+    from repro.scenarios.spec import MarketSpec
+
+    config = MarketConfig(start=MARKET_START, months=3, seed=2009)
+    market = MarketSpec(start=MARKET_START, months=3, seed=2009)
+    via_provider = build_provider(SYNTHETIC).dataset(market)
+    direct = generate_market(config)
+    identical = via_provider.price_matrix.tobytes() == direct.price_matrix.tobytes()
+
+    t_direct = _time(lambda: generate_market(config), repeats)
+    t_provider = _time(lambda: build_provider(SYNTHETIC).dataset(market), repeats)
+    ratio = t_provider / t_direct
+    print(
+        f"{'provider_indirection':24s} direct  {t_direct:7.3f}s  provider {t_provider:7.3f}s  "
+        f"ratio {ratio:5.2f}x  identical {identical}"
+    )
+    return {
+        "direct_seconds": round(t_direct, 4),
+        "provider_seconds": round(t_provider, 4),
+        "overhead_ratio": round(ratio, 3),
+        "bit_identical": identical,
+    }
+
+
 def bench(days: int, repeats: int) -> dict:
     months = max(3, days // 30 + 2)
     dataset = generate_market(MarketConfig(start=MARKET_START, months=months, seed=2009))
@@ -107,6 +138,7 @@ def bench(days: int, repeats: int) -> dict:
             "machine": platform.machine(),
         },
         "runs": runs,
+        "provider": bench_provider(repeats),
     }
 
 

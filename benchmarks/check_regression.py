@@ -24,14 +24,42 @@ import json
 import sys
 
 
+#: Allowed provider-indirection slowdown on dataset materialisation.
+#: The indirection is one constructor and one method call on top of
+#: seconds of numpy work, so anything beyond timing noise is a bug.
+MAX_PROVIDER_OVERHEAD = 1.25
+
+
+def check_provider(fresh: dict) -> list[str]:
+    """Gates on the fresh record's provider-indirection section."""
+    section = fresh.get("provider")
+    if section is None:
+        return []  # records from before the provider layer
+    failures = []
+    ratio = float(section["overhead_ratio"])
+    status = "ok" if ratio <= MAX_PROVIDER_OVERHEAD else "FAIL"
+    print(
+        f"{'provider_indirection':24s} overhead {ratio:10.2f}x  "
+        f"ceiling {MAX_PROVIDER_OVERHEAD:6.2f}x  {status}"
+    )
+    if ratio > MAX_PROVIDER_OVERHEAD:
+        failures.append(
+            f"provider indirection adds {ratio:.2f}x to dataset materialisation "
+            f"(ceiling {MAX_PROVIDER_OVERHEAD:.2f}x)"
+        )
+    if not section.get("bit_identical", False):
+        failures.append("provider-materialised dataset diverged from direct generation")
+    return failures
+
+
 def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
     """Every violated gate, as human-readable failure messages."""
-    failures = []
+    failures = check_provider(fresh)
     base_runs = baseline.get("runs", {})
     fresh_runs = fresh.get("runs", {})
     shared = sorted(set(base_runs) & set(fresh_runs))
     if not shared:
-        return ["no benchmark cases shared between baseline and fresh record"]
+        return failures + ["no benchmark cases shared between baseline and fresh record"]
     for name in shared:
         base_speedup = float(base_runs[name]["speedup"])
         fresh_speedup = float(fresh_runs[name]["speedup"])

@@ -32,6 +32,7 @@ from repro.errors import ConfigurationError
 from repro.sim.results import SimulationResult
 
 __all__ = [
+    "OMIT_DEFAULT",
     "canonical",
     "canonical_json",
     "spec_key",
@@ -43,18 +44,40 @@ __all__ = [
     "decode_simulation_result",
 ]
 
-#: Bump when the on-disk encoding changes shape; old entries are
-#: simply cache misses, never misreads.
-FORMAT_VERSION = 1
+#: Bump when the on-disk encoding changes shape — or when simulation
+#: semantics change (so stale stores become clean cache misses rather
+#: than serving pre-change results). 2: "lower" billing percentile and
+#: the unclamped joint-router congestion ramp.
+FORMAT_VERSION = 2
+
+#: Field-metadata flag: omit the field from the canonical document when
+#: it still holds its declared default. This is how a spec can *grow* a
+#: field (``Scenario.provider``) without changing the content address of
+#: every artifact written before the field existed.
+OMIT_DEFAULT = "artifact_omit_default"
+
+_MISSING = dataclasses.MISSING
 
 
 # -- canonical spec documents -------------------------------------------------
 
 
+def _holds_default(field: dataclasses.Field, value: Any) -> bool:
+    if field.default is not _MISSING:
+        return bool(value == field.default)
+    if field.default_factory is not _MISSING:
+        return bool(value == field.default_factory())
+    return False
+
+
 def canonical(obj: Any) -> Any:
     """A plain, deterministic JSON-able view of a frozen spec."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        fields = {f.name: canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if not (f.metadata.get(OMIT_DEFAULT) and _holds_default(f, getattr(obj, f.name)))
+        }
         return {"__spec__": type(obj).__name__, **fields}
     if isinstance(obj, datetime):
         return {"__datetime__": obj.isoformat()}

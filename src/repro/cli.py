@@ -4,7 +4,9 @@ Five subcommands over one artifact store::
 
     repro run fig06 fig16 --jobs 4   # regenerate figures (parallel)
     repro run --all                  # the paper's whole figure set
+    repro run fig06 --provider spiky-markets  # swap the price source
     repro list                       # figure ids + artifact status
+    repro providers list             # named market-data providers
     repro diff                       # fresh artifacts vs committed goldens
     repro diff --update              # refresh the goldens from fresh runs
     repro sweep run fig15-ensemble --jobs 4   # Monte-Carlo ensembles
@@ -28,7 +30,7 @@ from pathlib import Path
 
 from repro import artifacts
 from repro.artifacts.diffing import DEFAULT_ATOL, DEFAULT_RTOL, compare_figure_payloads
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataError
 from repro.experiments import REGISTRY
 from repro.experiments.orchestrator import (
     FigureSpec,
@@ -101,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_figure_options(run_p)
     _add_store_options(run_p)
     run_p.add_argument("--quiet", action="store_true", help="suppress figure text on stdout")
+    run_p.add_argument(
+        "--provider",
+        metavar="NAME",
+        default=None,
+        help="market-data provider preset for every driver (see `repro providers list`)",
+    )
 
     list_p = sub.add_parser("list", help="list figure ids and artifact status")
     _add_store_options(list_p)
@@ -166,6 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(sweep_sum_p)
 
+    providers_p = sub.add_parser("providers", help="inspect market-data providers")
+    providers_sub = providers_p.add_subparsers(dest="providers_command")
+    providers_sub.add_parser("list", help="list provider presets and the scenarios using them")
+
     clean_p = sub.add_parser("clean", help="delete the on-disk artifact store")
     _add_store_options(clean_p)
 
@@ -175,9 +187,20 @@ def build_parser() -> argparse.ArgumentParser:
 # -- subcommands --------------------------------------------------------------
 
 
+def _resolve_provider(args: argparse.Namespace):
+    """The ProviderSpec named by ``--provider``, or None for the default."""
+    name = getattr(args, "provider", None)
+    if name is None:
+        return None
+    from repro.markets.providers import preset
+
+    return preset(name).spec
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         figure_ids = resolve_figure_ids(args.figures, args.all)
+        provider = _resolve_provider(args)
     except ConfigurationError as exc:
         print(f"repro run: {exc}", file=sys.stderr)
         return 2
@@ -187,7 +210,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _activate_store(args)
 
     t0 = time.perf_counter()
-    results = run_figures(figure_ids, jobs=args.jobs, seed=args.seed, force=args.force)
+    try:
+        results = run_figures(
+            figure_ids, jobs=args.jobs, seed=args.seed, force=args.force, provider=provider
+        )
+    except DataError as exc:
+        # Typically a replay tape that cannot supply a driver's hubs or
+        # coverage floor; a usage problem, not an internal failure.
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - t0
 
     if not args.quiet:
@@ -419,6 +450,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _SWEEP_COMMANDS[args.sweep_command](args)
 
 
+def _cmd_providers(args: argparse.Namespace) -> int:
+    if args.providers_command != "list":
+        print("repro providers: choose a subcommand (list)", file=sys.stderr)
+        return 2
+    from repro import scenarios
+    from repro.markets.providers import preset, preset_names
+
+    users: dict[str, list[str]] = {}
+    for scenario_name in scenarios.names():
+        spec = scenarios.get(scenario_name).provider
+        for name in preset_names():
+            if preset(name).spec == spec:
+                users.setdefault(name, []).append(scenario_name)
+    for name in preset_names():
+        p = preset(name)
+        scenario_note = ", ".join(users.get(name, [])) or "-"
+        print(f"{name:20s} {p.spec.kind:12s} {p.description}")
+        print(f"{'':20s} {'scenarios:':12s} {scenario_note}")
+    return 0
+
+
 def _cmd_clean(args: argparse.Namespace) -> int:
     if getattr(args, "no_store", False):
         print("repro clean: nothing to do with --no-store", file=sys.stderr)
@@ -436,6 +488,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "diff": _cmd_diff,
     "sweep": _cmd_sweep,
+    "providers": _cmd_providers,
     "clean": _cmd_clean,
 }
 

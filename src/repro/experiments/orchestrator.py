@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import inspect
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro import artifacts
+from repro.artifacts.codec import OMIT_DEFAULT
 from repro.errors import ConfigurationError
 from repro.experiments import REGISTRY
 from repro.experiments.common import FigureResult
+from repro.markets.providers import ProviderSpec
+from repro.scenarios import provider_override
 
 __all__ = ["FigureSpec", "resolve_figure_ids", "run_figure", "run_figures"]
 
@@ -34,10 +37,15 @@ class FigureSpec:
 
     ``seed=None`` means "the driver's published default" — the paper's
     configuration, and the key the committed goldens are stored under.
+    ``provider`` re-points every default-provider scenario the driver
+    touches at a different price source (``repro run --provider ...``);
+    ``None`` — the default, omitted from the content address — keeps
+    the synthetic generator and the pre-provider artifact keys.
     """
 
     figure_id: str
     seed: int | None = None
+    provider: ProviderSpec | None = field(default=None, metadata={OMIT_DEFAULT: True})
 
     def __post_init__(self) -> None:
         if self.figure_id not in REGISTRY:
@@ -67,13 +75,14 @@ def resolve_figure_ids(figure_ids: list[str] | None, all_figures: bool) -> list[
 
 def _call_driver(spec: FigureSpec) -> FigureResult:
     module = REGISTRY[spec.figure_id]
-    if spec.seed is None:
-        return module.run()
-    if "seed" not in inspect.signature(module.run).parameters:
-        # fig01 is seedless (a closed-form table); an explicit seed is
-        # simply irrelevant to it rather than an error.
-        return module.run()
-    return module.run(seed=spec.seed)
+    with provider_override(spec.provider):
+        if spec.seed is None:
+            return module.run()
+        if "seed" not in inspect.signature(module.run).parameters:
+            # fig01 is seedless (a closed-form table); an explicit seed is
+            # simply irrelevant to it rather than an error.
+            return module.run()
+        return module.run(seed=spec.seed)
 
 
 def run_figure(spec: FigureSpec, *, force: bool = False) -> FigureResult:
@@ -116,6 +125,7 @@ def run_figures(
     jobs: int = 1,
     seed: int | None = None,
     force: bool = False,
+    provider: ProviderSpec | None = None,
 ) -> list[FigureResult]:
     """Regenerate figures, optionally across a process pool.
 
@@ -132,7 +142,7 @@ def run_figures(
         from repro import scenarios
 
         scenarios.clear_caches()
-    specs = [FigureSpec(fid, seed) for fid in figure_ids]
+    specs = [FigureSpec(fid, seed, provider) for fid in figure_ids]
     if jobs <= 1 or len(specs) <= 1:
         return [run_figure(spec, force=force) for spec in specs]
 

@@ -26,6 +26,18 @@ from repro.markets.hubs import (
 )
 from repro.markets.model import PRICE_FLOOR, PriceModelConfig
 from repro.markets.northwest import MIDC_MEAN_PRICE, northwest_daily_series
+from repro.markets.providers import (
+    PROVIDER_KINDS,
+    SYNTHETIC,
+    CsvReplayProvider,
+    PerturbedProvider,
+    PriceProvider,
+    ProviderSpec,
+    SyntheticProvider,
+    build_provider,
+    preset,
+    preset_names,
+)
 from repro.markets.rto import RTO, RTO_INFO, RTOInfo
 from repro.markets.series import PriceSeries, SeriesStats
 
@@ -52,6 +64,16 @@ __all__ = [
     "hub_distance_km",
     "PRICE_FLOOR",
     "PriceModelConfig",
+    "PROVIDER_KINDS",
+    "SYNTHETIC",
+    "CsvReplayProvider",
+    "PerturbedProvider",
+    "PriceProvider",
+    "ProviderSpec",
+    "SyntheticProvider",
+    "build_provider",
+    "preset",
+    "preset_names",
     "MIDC_MEAN_PRICE",
     "northwest_daily_series",
     "RTO",

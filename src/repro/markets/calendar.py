@@ -31,12 +31,23 @@ PAPER_MONTHS = 39
 
 
 def month_range_hours(start: datetime, months: int) -> int:
-    """Number of hours in ``months`` calendar months starting at ``start``."""
+    """Number of hours in ``months`` calendar months starting at ``start``.
+
+    When ``start``'s day-of-month does not exist ``months`` later (a
+    Jan 31 start reaching February, say), the end rolls over to the
+    first valid date of the following month — Jan 31 + 1 month ends
+    Mar 1 — rather than raising.
+    """
     if months < 1:
         raise ConfigurationError(f"months must be >= 1, got {months}")
     year = start.year + (start.month - 1 + months) // 12
     month = (start.month - 1 + months) % 12 + 1
-    end = start.replace(year=year, month=month)
+    try:
+        end = start.replace(year=year, month=month)
+    except ValueError:
+        # Day-of-month overflow (e.g. Feb 31): first valid date after.
+        year, month = (year, month + 1) if month < 12 else (year + 1, 1)
+        end = start.replace(year=year, month=month, day=1)
     return int((end - start).total_seconds() // 3600)
 
 

@@ -74,7 +74,11 @@ class JointOptimizationRouter:
             self._forbidden = np.zeros_like(distances, dtype=bool)
 
     def _scores(self, prices: np.ndarray, projected_utilization: np.ndarray) -> np.ndarray:
-        congestion = self.congestion_penalty * np.clip(projected_utilization, 0.0, 2.0) ** 2
+        # The quadratic ramp is deliberately unbounded: a cluster
+        # projected at 300% must score strictly worse than one at 200%,
+        # or heavily-overloaded clusters become indistinguishable and
+        # the re-score pass cannot spread a demand surge.
+        congestion = self.congestion_penalty * np.square(projected_utilization)
         scores = prices[None, :] + self._distance_cost + congestion[None, :]
         return np.where(self._forbidden, np.inf, scores)
 

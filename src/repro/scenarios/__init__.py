@@ -29,15 +29,17 @@ re-simulate.
 
 from repro.scenarios.registry import REGISTRY, get, names, register
 from repro.scenarios.runner import (
+    active_provider,
     baseline_result,
     build_router,
     clear_caches,
     dataset,
     problem,
+    provider_override,
     run,
     trace,
 )
-from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
+from repro.scenarios.spec import MarketSpec, ProviderSpec, RouterSpec, Scenario, TraceSpec
 
 __all__ = [
     "REGISTRY",
@@ -45,14 +47,17 @@ __all__ = [
     "names",
     "register",
     "MarketSpec",
+    "ProviderSpec",
     "RouterSpec",
     "Scenario",
     "TraceSpec",
+    "active_provider",
     "baseline_result",
     "build_router",
     "clear_caches",
     "dataset",
     "problem",
+    "provider_override",
     "run",
     "trace",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from datetime import datetime
 
 from repro.errors import ConfigurationError
+from repro.markets.providers import preset
 from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
 
 __all__ = ["REGISTRY", "register", "get", "names"]
@@ -28,6 +29,17 @@ _LONG_TRACE = TraceSpec(kind="hour-of-week")
 
 #: Compact example setting: a six-month market around the trace window.
 _EXAMPLE_MARKET = MarketSpec(start=datetime(2008, 10, 1), months=6, seed=7)
+
+#: The window the packaged replay tape covers (Nov-Dec 2008).
+_REPLAY_MARKET = MarketSpec(start=datetime(2008, 11, 1), months=2, seed=7)
+
+#: Three December days of five-minute traffic inside the replay window.
+_REPLAY_TRACE = TraceSpec(
+    kind="five-minute",
+    start=datetime(2008, 12, 1),
+    n_steps=3 * 288,
+    seed=7,
+)
 
 
 def _builtin_scenarios() -> tuple[Scenario, ...]:
@@ -134,6 +146,51 @@ def _builtin_scenarios() -> tuple[Scenario, ...]:
             market=_EXAMPLE_MARKET,
             trace=TraceSpec(kind="turn-of-year", seed=7),
             router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
+        # -- provider scenario families --------------------------------------
+        Scenario(
+            name="replay-smoke",
+            description=(
+                "replayed CSV tape (nine cluster hubs, Nov-Dec 2008) under "
+                "the price optimizer; the external-data smoke run"
+            ),
+            market=_REPLAY_MARKET,
+            trace=_REPLAY_TRACE,
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+            provider=preset("replay-smoke").spec,
+        ),
+        Scenario(
+            name="replay-stress",
+            description=(
+                "the replay tape scaled 1.25x with injected spikes: layered "
+                "perturbed-over-replay stress run"
+            ),
+            market=_REPLAY_MARKET,
+            trace=_REPLAY_TRACE,
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+            provider=preset("replay-stress").spec,
+        ),
+        Scenario(
+            name="spiky-markets",
+            description=(
+                "six-month market with heavy seeded spike injection: how much "
+                "extra value price-aware routing finds in spikier feeds"
+            ),
+            market=_EXAMPLE_MARKET,
+            trace=TraceSpec(kind="turn-of-year", seed=7),
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+            provider=preset("spiky-markets").spec,
+        ),
+        Scenario(
+            name="decorrelated-rtos",
+            description=(
+                "six-month market with hub correlation rewired away: the "
+                "§3.3 asymmetry pushed to its favourable extreme"
+            ),
+            market=_EXAMPLE_MARKET,
+            trace=TraceSpec(kind="turn-of-year", seed=7),
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+            provider=preset("decorrelated-rtos").spec,
         ),
     )
 

@@ -17,14 +17,17 @@ load results instead of re-simulating.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import lru_cache
+from typing import Iterator
 
 import numpy as np
 
 from repro import artifacts
 from repro.errors import ConfigurationError
 from repro.markets.calendar import HourlyCalendar
-from repro.markets.generator import MarketConfig, MarketDataset, generate_market
+from repro.markets.generator import MarketDataset
+from repro.markets.providers import SYNTHETIC, ProviderSpec, build_provider
 from repro.routing.akamai import BaselineProximityRouter
 from repro.routing.base import Router, RoutingProblem
 from repro.routing.joint import JointOptimizationRouter
@@ -45,7 +48,54 @@ __all__ = [
     "baseline_result",
     "run",
     "clear_caches",
+    "provider_override",
+    "active_provider",
 ]
+
+
+# Process-wide provider override: `repro run --provider X` swaps the
+# price source under every driver without rewriting twenty registries.
+# The override is *resolved into the scenario spec* before any memo or
+# artifact lookup, so cache keys always name the data that was used.
+_provider_override: ProviderSpec | None = None
+
+
+@contextmanager
+def provider_override(spec: ProviderSpec | None) -> Iterator[None]:
+    """Run a block with every default-provider scenario re-pointed at ``spec``.
+
+    ``None`` is a no-op (callers can pass an optional override through
+    unconditionally). Scenarios that *explicitly* name a non-default
+    provider keep it — the override only replaces the synthetic default.
+    """
+    global _provider_override
+    previous = _provider_override
+    _provider_override = spec if spec is not None else previous
+    try:
+        yield
+    finally:
+        _provider_override = previous
+
+
+def active_provider() -> ProviderSpec:
+    """The provider a default-provider scenario resolves to right now."""
+    return _provider_override if _provider_override is not None else SYNTHETIC
+
+
+def _resolve(scenario: Scenario) -> Scenario:
+    """Fold the active provider override into a scenario spec."""
+    if _provider_override is not None and scenario.provider == SYNTHETIC:
+        return scenario.derive(provider=_provider_override)
+    return scenario
+
+
+def dataset(market: MarketSpec, provider: ProviderSpec | None = None) -> MarketDataset:
+    """The market data set a spec describes (memoised per spec).
+
+    ``provider`` defaults to the active provider (the synthetic
+    generator unless a :func:`provider_override` is in force).
+    """
+    return _dataset_cached(market, provider if provider is not None else active_provider())
 
 
 # Cache sizes are sized for a full twenty-figure parallel sweep, which
@@ -53,9 +103,8 @@ __all__ = [
 # seeds) but must never evict the shared paper market mid-sweep: a
 # dataset miss costs tens of seconds, so these are generous.
 @lru_cache(maxsize=32)
-def dataset(market: MarketSpec) -> MarketDataset:
-    """The market data set a spec describes (memoised per spec)."""
-    return generate_market(MarketConfig(start=market.start, months=market.months, seed=market.seed))
+def _dataset_cached(market: MarketSpec, provider: ProviderSpec) -> MarketDataset:
+    return build_provider(provider).dataset(market)
 
 
 @lru_cache(maxsize=1)
@@ -77,14 +126,15 @@ def trace(spec: TraceSpec, market: MarketSpec) -> TrafficTrace:
     if spec.kind == "five-minute":
         return make_trace(TraceConfig(start=spec.start, n_steps=spec.n_steps, seed=spec.seed))
     # hour-of-week: the 24-day trace's averages over the whole calendar.
+    # The calendar is derived from the market spec alone — the trace
+    # must never materialise a price data set (provider-independent).
     workload = HourOfWeekWorkload.from_trace(make_turn_of_year_trace(seed=spec.seed))
-    calendar = dataset(market).calendar
-    return workload.expand(HourlyCalendar(calendar.start, calendar.n_hours))
+    return workload.expand(HourlyCalendar.for_months(market.start, market.months))
 
 
 def _static_cheapest_index(scenario: Scenario) -> int:
     """Oracle choice: the cluster whose hub has the lowest mean price."""
-    data = dataset(scenario.market)
+    data = dataset(scenario.market, scenario.provider)
     prob = problem()
     hub_cols = [data.hub_column(code) for code in prob.deployment.hub_codes]
     mean_prices = data.price_matrix[:, hub_cols].mean(axis=0)
@@ -128,25 +178,40 @@ def _signal_rows(scenario: Scenario) -> np.ndarray | None:
     from repro.ext.signal import hourly_signal_rows
     from repro.ext.weather import effective_price_matrix
 
-    data = dataset(scenario.market)
+    data = dataset(scenario.market, scenario.provider)
     run_trace = trace(scenario.trace, scenario.market)
     signal = (carbon_intensity_matrix(data) if kind == "carbon" else effective_price_matrix(data))
     return hourly_signal_rows(signal, data, problem().deployment, run_trace)
 
 
-@lru_cache(maxsize=32)
-def baseline_result(market: MarketSpec, trace_spec: TraceSpec) -> SimulationResult:
+def baseline_result(
+    market: MarketSpec,
+    trace_spec: TraceSpec,
+    provider: ProviderSpec | None = None,
+) -> SimulationResult:
     """The price-blind baseline run over a market/trace pair.
 
     This is both the normalisation denominator for savings figures and
-    the source of the 95/5 caps for ``follow_95_5`` scenarios.
+    the source of the 95/5 caps for ``follow_95_5`` scenarios. The
+    baseline shares the caller's price provider so savings always
+    compare like with like.
     """
+    return _baseline_cached(
+        market, trace_spec, provider if provider is not None else active_provider()
+    )
+
+
+@lru_cache(maxsize=32)
+def _baseline_cached(
+    market: MarketSpec, trace_spec: TraceSpec, provider: ProviderSpec
+) -> SimulationResult:
     scenario = Scenario(
         name="baseline",
         description="Akamai-like proximity baseline",
         market=market,
         trace=trace_spec,
         router=RouterSpec.of("baseline"),
+        provider=provider,
     )
     return run(scenario)
 
@@ -156,14 +221,16 @@ def run(scenario: Scenario) -> SimulationResult:
 
     Memoisation ignores ``name`` and ``description``: two scenarios
     that describe the same physical run share one result no matter
-    what they are called.
+    what they are called. An active :func:`provider_override` is folded
+    into the spec first, so memo and artifact keys name the provider
+    that actually supplied the prices.
 
     ``follow_95_5`` scenarios first obtain the memoised baseline run
     over the same market and trace and constrain themselves to its
     95th percentiles; ``relocate_fleet`` scenarios account energy with
     the whole fleet's servers at the router's target cluster.
     """
-    return _run_cached(scenario.derive(name="", description=""))
+    return _run_cached(_resolve(scenario).derive(name="", description=""))
 
 
 @lru_cache(maxsize=256)
@@ -180,13 +247,15 @@ def _run_cached(scenario: Scenario) -> SimulationResult:
 
 
 def _execute(scenario: Scenario) -> SimulationResult:
-    data = dataset(scenario.market)
+    data = dataset(scenario.market, scenario.provider)
     prob = problem()
     run_trace = trace(scenario.trace, scenario.market)
 
     caps = None
     if scenario.follow_95_5:
-        caps = baseline_result(scenario.market, scenario.trace).percentiles_95()
+        caps = baseline_result(
+            scenario.market, scenario.trace, scenario.provider
+        ).percentiles_95()
 
     options = SimulationOptions(
         reaction_delay_hours=scenario.reaction_delay_hours,
@@ -228,5 +297,5 @@ def clear_caches() -> None:
     ``cache_clear`` handles. The on-disk artifact store is *not*
     touched; that is ``repro clean``'s job.
     """
-    for memo in (dataset, problem, trace, baseline_result, _run_cached):
+    for memo in (_dataset_cached, problem, trace, _baseline_cached, _run_cached):
         memo.cache_clear()

@@ -16,10 +16,12 @@ from dataclasses import dataclass, field, replace
 from datetime import datetime
 from typing import Any
 
+from repro.artifacts.codec import OMIT_DEFAULT
 from repro.errors import ConfigurationError
 from repro.markets.calendar import PAPER_MONTHS, PAPER_START
+from repro.markets.providers import ProviderSpec
 
-__all__ = ["MarketSpec", "TraceSpec", "RouterSpec", "Scenario"]
+__all__ = ["MarketSpec", "TraceSpec", "RouterSpec", "ProviderSpec", "Scenario"]
 
 #: Trace kinds understood by the runner.
 TRACE_KINDS = ("turn-of-year", "hour-of-week", "five-minute")
@@ -131,6 +133,12 @@ class Scenario:
         One line for listings.
     market / trace / router:
         The three ingredient specs.
+    provider:
+        Which price source materialises the market data
+        (:class:`~repro.markets.providers.ProviderSpec`; default the
+        synthetic generator). The field is omitted from the artifact
+        content address while it holds the default, so pre-provider
+        scenarios keep their hashes.
     reaction_delay_hours / capacity_margin / relax_capacity:
         Passed through to :class:`repro.sim.engine.SimulationOptions`.
     follow_95_5:
@@ -148,6 +156,10 @@ class Scenario:
     market: MarketSpec = field(default_factory=MarketSpec)
     trace: TraceSpec = field(default_factory=TraceSpec)
     router: RouterSpec = field(default_factory=RouterSpec)
+    provider: ProviderSpec = field(
+        default_factory=ProviderSpec,
+        metadata={OMIT_DEFAULT: True},
+    )
     reaction_delay_hours: int = 1
     capacity_margin: float = 0.97
     relax_capacity: bool = False

@@ -39,15 +39,19 @@ __all__ = ["run_sweep", "group_points"]
 
 
 def group_points(points: list[SweepPoint]) -> list[list[SweepPoint]]:
-    """Bucket points by market spec, preserving first-appearance order.
+    """Bucket points by (market, provider), preserving first-appearance order.
 
-    Every bucket shares one market data set (and usually one baseline
-    run), so a bucket is the natural unit of work for a pool worker:
-    the expensive generation happens once per bucket per process.
+    Every bucket shares one materialised market data set (and usually
+    one baseline run), so a bucket is the natural unit of work for a
+    pool worker: the expensive generation happens once per bucket per
+    process. The provider is part of the key — the same market window
+    under two price sources is two data sets, and a provider axis must
+    fan out across workers rather than collapse into one serial bucket.
     """
     buckets: dict[object, list[SweepPoint]] = {}
     for point in points:
-        buckets.setdefault(point.scenario.market, []).append(point)
+        key = (point.scenario.market, point.scenario.provider)
+        buckets.setdefault(key, []).append(point)
     return list(buckets.values())
 
 

@@ -36,7 +36,7 @@ def point_metrics(scenario: Scenario, energy: EnergyModelParams) -> dict[str, fl
     replica's own baseline, so savings compare like with like.
     """
     result = scenarios.run(scenario)
-    baseline = scenarios.baseline_result(scenario.market, scenario.trace)
+    baseline = scenarios.baseline_result(scenario.market, scenario.trace, scenario.provider)
     # savings_vs carries the positive-baseline guard (typed error on a
     # degenerate zero-cost baseline instead of inf/NaN in the artifact).
     savings = result.savings_vs(baseline, energy)

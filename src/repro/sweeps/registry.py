@@ -14,6 +14,7 @@ from datetime import datetime
 
 from repro.energy.params import FIG15_MODELS, OPTIMISTIC_FUTURE
 from repro.errors import ConfigurationError
+from repro.markets.providers import preset
 from repro.scenarios import get as get_scenario
 from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
 from repro.sweeps.spec import SweepAxis, SweepSpec
@@ -89,6 +90,44 @@ def _builtin_sweeps() -> tuple[SweepSpec, ...]:
                 SweepAxis(name="follow_95_5", values=(False, True)),
             ),
             n_replicas=DEFAULT_REPLICAS,
+            metrics=("savings_pct", "mean_distance_km"),
+        ),
+        SweepSpec(
+            name="provider-grid",
+            description=(
+                "every provider preset through the smoke setting x 4 "
+                "seeded traffic replicas (provider conformance grid)"
+            ),
+            base=Scenario(
+                name="provider-grid-base",
+                market=MarketSpec(start=datetime(2008, 11, 1), months=2, seed=7),
+                trace=TraceSpec(
+                    kind="five-minute",
+                    start=datetime(2008, 12, 1),
+                    n_steps=36,
+                    seed=7,
+                ),
+                router=RouterSpec.of("price", distance_threshold_km=1500.0),
+            ),
+            axes=(
+                SweepAxis(
+                    name="provider",
+                    values=tuple(
+                        preset(name).spec
+                        for name in (
+                            "synthetic",
+                            "replay-smoke",
+                            "replay-stress",
+                            "spiky-markets",
+                            "decorrelated-rtos",
+                        )
+                    ),
+                    target="scenario",
+                ),
+            ),
+            n_replicas=4,
+            # The replay tape is fixed data: only traffic is re-drawn.
+            reseed=("trace",),
             metrics=("savings_pct", "mean_distance_km"),
         ),
     )

@@ -39,6 +39,7 @@ from typing import Any
 from repro.energy.model import EnergyModelParams
 from repro.energy.params import OPTIMISTIC_FUTURE
 from repro.errors import ConfigurationError
+from repro.markets.providers import ProviderSpec
 from repro.scenarios.spec import RouterSpec, Scenario
 from repro.sweeps.metrics import METRIC_NAMES
 from repro.sweeps.seeding import replica_seed
@@ -78,6 +79,8 @@ class SweepAxis:
 def _axis_label(value: Any) -> str:
     """A compact, stable rendering of one axis value for tables/keys."""
     if isinstance(value, EnergyModelParams):
+        return value.describe()
+    if isinstance(value, ProviderSpec):
         return value.describe()
     if isinstance(value, RouterSpec):
         params = ", ".join(

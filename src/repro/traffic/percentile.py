@@ -23,6 +23,12 @@ __all__ = ["billing_percentile", "percentile_95", "Bandwidth95Tracker"]
 def billing_percentile(samples: np.ndarray, percentile: float = 95.0) -> np.ndarray:
     """Per-cluster billing percentile of a sample matrix.
 
+    Uses the ``"lower"`` order-statistic method: transit billing reads
+    the highest sample after discarding the top ``100 - percentile``
+    percent, so the bill basis is always a *measured* five-minute
+    sample, never a value interpolated between two samples that the
+    meter did not record.
+
     Parameters
     ----------
     samples:
@@ -35,7 +41,7 @@ def billing_percentile(samples: np.ndarray, percentile: float = 95.0) -> np.ndar
         raise ConfigurationError(f"expected 2-D samples, got shape {arr.shape}")
     if not 0.0 < percentile <= 100.0:
         raise ConfigurationError(f"percentile must be in (0, 100], got {percentile}")
-    return np.percentile(arr, percentile, axis=0)
+    return np.percentile(arr, percentile, axis=0, method="lower")
 
 
 def percentile_95(samples: np.ndarray) -> np.ndarray:

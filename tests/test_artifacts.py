@@ -217,9 +217,11 @@ class TestRunnerLayering:
             scenarios.clear_caches()
 
     def test_clear_caches_exposed(self):
+        from repro.scenarios import runner
+
         assert callable(scenarios.clear_caches)
         scenarios.clear_caches()
-        assert scenarios.dataset.cache_info().currsize == 0
+        assert runner._dataset_cached.cache_info().currsize == 0
 
 
 class TestDiffing:

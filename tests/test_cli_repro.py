@@ -43,6 +43,43 @@ class TestArgParsing:
         with pytest.raises(SystemExit):
             main(["run", "fig01", "--artifacts", "x", "--no-store"])
 
+    def test_run_unknown_provider(self, capsys):
+        assert main(["run", "--no-store", "fig01", "--provider", "bloomberg"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown provider" in err
+        assert "replay-smoke" in err
+
+    def test_run_provider_data_error_is_a_clean_exit(self, capsys):
+        # fig06 reports hubs the nine-hub replay tape cannot supply; the
+        # resulting DataError must surface as a usage error, not a
+        # traceback.
+        assert main(["run", "--no-store", "fig06", "--provider", "replay-smoke"]) == 2
+        assert "unknown market hub" in capsys.readouterr().err
+
+
+class TestProvidersCommand:
+    def test_providers_list(self, capsys):
+        assert main(["providers", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("synthetic", "replay-smoke", "spiky-markets", "decorrelated-rtos"):
+            assert name in out
+
+    def test_providers_without_subcommand(self, capsys):
+        assert main(["providers"]) == 2
+
+    def test_run_with_provider_uses_a_distinct_artifact_key(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", "--quiet", "fig01", "--artifacts", store]) == 0
+        assert (
+            main(
+                ["run", "--quiet", "fig01", "--artifacts", store,
+                 "--provider", "spiky-markets"]
+            )
+            == 0
+        )
+        figures = list((tmp_path / "store" / "figures").glob("*.json"))
+        assert len(figures) == 2
+
 
 class TestRunCommand:
     def test_run_prints_figure_text(self, capsys):

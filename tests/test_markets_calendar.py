@@ -34,6 +34,36 @@ class TestMonthRange:
         with pytest.raises(ConfigurationError):
             month_range_hours(PAPER_START, 0)
 
+    # -- month-end starts roll over instead of raising -----------------------
+
+    def test_jan_31_plus_one_month_ends_mar_1(self):
+        # Feb 31 does not exist: the window runs Jan 31 .. Mar 1.
+        assert month_range_hours(datetime(2006, 1, 31), 1) == 29 * 24
+
+    def test_jan_31_plus_one_month_leap_year(self):
+        # 2008 is a leap year: Jan 31 .. Mar 1 spans 30 days.
+        assert month_range_hours(datetime(2008, 1, 31), 1) == 30 * 24
+
+    def test_jan_29_lands_on_leap_day(self):
+        # Feb 29 2008 exists, so no rollover happens.
+        assert month_range_hours(datetime(2008, 1, 29), 1) == 31 * 24
+
+    def test_may_31_plus_one_month_ends_jul_1(self):
+        # Jun 31 does not exist: May 31 .. Jul 1 is 31 days.
+        assert month_range_hours(datetime(2006, 5, 31), 1) == 31 * 24
+
+    def test_dec_31_rollover_wraps_the_year(self):
+        # Dec 31 + 2 months nominally ends Feb 31 -> rolls to Mar 1.
+        assert month_range_hours(datetime(2006, 12, 31), 2) == (31 + 28 + 1) * 24
+
+    def test_month_end_start_preserves_time_of_day(self):
+        whole = month_range_hours(datetime(2006, 1, 31), 1)
+        assert month_range_hours(datetime(2006, 1, 31, 6), 1) == whole
+
+    def test_month_end_calendar_builds(self):
+        cal = HourlyCalendar.for_months(datetime(2008, 1, 31), 1)
+        assert len(cal) == 30 * 24
+
 
 class TestHourlyCalendar:
     @pytest.fixture(scope="class")

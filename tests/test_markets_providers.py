@@ -1,0 +1,340 @@
+"""Tests for repro.markets.providers (pluggable price sources)."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError, UnknownHubError
+from repro.markets.generator import MarketConfig, generate_market
+from repro.markets.providers import (
+    PRESETS,
+    SYNTHETIC,
+    CsvReplayProvider,
+    PerturbedProvider,
+    PriceProvider,
+    ProviderSpec,
+    SyntheticProvider,
+    build_provider,
+    preset,
+    preset_names,
+)
+from repro.scenarios.spec import MarketSpec
+
+WINDOW = MarketSpec(start=datetime(2008, 11, 1), months=1, seed=7)
+
+
+def write_csv(path, hours, codes=("NP15", "CHI"), start=datetime(2008, 11, 1), **kwargs):
+    """A tiny well-formed hourly CSV; kwargs tweak individual cells."""
+    blank = kwargs.get("blank", {})  # {(hour, col): True}
+    with open(path, "w") as fh:
+        fh.write("timestamp," + ",".join(codes) + "\n")
+        for i in range(hours):
+            stamp = (start + timedelta(hours=i)).isoformat(sep=" ")
+            cells = [
+                "" if blank.get((i, j)) else f"{10.0 + i + 100 * j:.2f}"
+                for j in range(len(codes))
+            ]
+            fh.write(f"{stamp},{','.join(cells)}\n")
+    return str(path)
+
+
+class TestProviderSpec:
+    def test_default_is_synthetic(self):
+        assert ProviderSpec() == SYNTHETIC
+        assert SYNTHETIC.kind == "synthetic"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProviderSpec(kind="bloomberg")
+
+    def test_of_sorts_params(self):
+        spec = ProviderSpec.of("perturbed", seed=3, scale=2.0)
+        assert spec.params == (("scale", 2.0), ("seed", 3))
+        assert spec.kwargs == {"scale": 2.0, "seed": 3}
+
+    def test_updated_merges(self):
+        spec = ProviderSpec.of("perturbed", scale=2.0).updated(seed=9)
+        assert spec.kwargs == {"scale": 2.0, "seed": 9}
+
+    def test_hashable_with_nested_base(self):
+        inner = ProviderSpec.of("csv-replay", path="x.csv")
+        outer = ProviderSpec.of("perturbed", base=inner, scale=1.5)
+        assert hash(outer) == hash(ProviderSpec.of("perturbed", base=inner, scale=1.5))
+
+    def test_describe_is_compact(self):
+        inner = ProviderSpec.of("csv-replay", path="some/dir/x.csv")
+        assert ProviderSpec().describe() == "synthetic"
+        assert "x.csv" in inner.describe()
+        assert "some/dir" not in inner.describe()
+        assert "base=csv-replay" in ProviderSpec.of("perturbed", base=inner).describe()
+
+
+class TestBuildProvider:
+    def test_builds_each_kind(self, tmp_path):
+        csv_path = write_csv(tmp_path / "p.csv", 4)
+        assert isinstance(build_provider(SYNTHETIC), SyntheticProvider)
+        assert isinstance(
+            build_provider(ProviderSpec.of("csv-replay", path=csv_path)), CsvReplayProvider
+        )
+        assert isinstance(build_provider(ProviderSpec.of("perturbed")), PerturbedProvider)
+
+    def test_providers_satisfy_protocol(self):
+        assert isinstance(build_provider(SYNTHETIC), PriceProvider)
+
+    def test_unknown_params_are_configuration_errors(self):
+        with pytest.raises(ConfigurationError):
+            build_provider(ProviderSpec.of("perturbed", volatility=3.0))
+
+
+class TestSyntheticProvider:
+    def test_bit_identical_to_direct_generation(self):
+        provided = SyntheticProvider().dataset(WINDOW)
+        direct = generate_market(
+            MarketConfig(start=WINDOW.start, months=WINDOW.months, seed=WINDOW.seed)
+        )
+        assert provided.price_matrix.tobytes() == direct.price_matrix.tobytes()
+        assert provided.day_ahead_matrix.tobytes() == direct.day_ahead_matrix.tobytes()
+        assert provided.hub_codes == direct.hub_codes
+
+
+class TestCsvReplay:
+    def test_basic_replay(self, tmp_path):
+        path = write_csv(tmp_path / "p.csv", 30 * 24)
+        ds = CsvReplayProvider(path).dataset(WINDOW)
+        assert ds.price_matrix.shape == (30 * 24, 2)
+        assert ds.hub_codes == ("NP15", "CHI")
+        assert ds.price_matrix[0, 0] == pytest.approx(10.0)
+        assert ds.price_matrix[5, 1] == pytest.approx(115.0)
+        # Replay serves the same series as both feeds.
+        assert np.array_equal(ds.price_matrix, ds.day_ahead_matrix)
+
+    def test_longer_tape_is_windowed(self, tmp_path):
+        # Rows outside the simulated window are ignored, not an error.
+        path = write_csv(tmp_path / "p.csv", 40 * 24, start=datetime(2008, 10, 25))
+        ds = CsvReplayProvider(path).dataset(WINDOW)
+        assert ds.price_matrix.shape == (30 * 24, 2)
+        # Nov 1 00:00 is 7 days into the tape.
+        assert ds.price_matrix[0, 0] == pytest.approx(10.0 + 7 * 24)
+
+    def test_timezone_shift(self, tmp_path):
+        # Stamps exported in UTC-5 local time land on the same hours
+        # once the provider is told the tape's offset.
+        utc = write_csv(tmp_path / "utc.csv", 30 * 24)
+        local = write_csv(
+            tmp_path / "local.csv", 30 * 24, start=datetime(2008, 11, 1) - timedelta(hours=5)
+        )
+        reference = CsvReplayProvider(utc).dataset(WINDOW)
+        # The local tape covers [Oct 31 19:00, Nov 30 19:00) local; with
+        # offset -5 it maps to [Nov 1, Dec 1) simulation time exactly.
+        shifted = CsvReplayProvider(local, utc_offset_hours=-5).dataset(WINDOW)
+        assert np.array_equal(reference.price_matrix, shifted.price_matrix)
+
+    def test_column_mapping(self, tmp_path):
+        path = tmp_path / "mapped.csv"
+        with open(path, "w") as fh:
+            fh.write("when,palo_alto,chicago\n")
+            for i in range(30 * 24):
+                stamp = (datetime(2008, 11, 1) + timedelta(hours=i)).isoformat(sep=" ")
+                fh.write(f"{stamp},{1.0 + i},{2.0 + i}\n")
+        ds = CsvReplayProvider(
+            str(path),
+            time_column="when",
+            hub_columns=(("chicago", "CHI"), ("palo_alto", "NP15")),
+        ).dataset(WINDOW)
+        assert ds.hub_codes == ("CHI", "NP15")
+        assert ds.price_matrix[0, 0] == pytest.approx(2.0)
+        assert ds.price_matrix[0, 1] == pytest.approx(1.0)
+
+    def test_gap_interpolation(self, tmp_path):
+        path = write_csv(tmp_path / "p.csv", 30 * 24, blank={(2, 0): True, (3, 0): True})
+        ds = CsvReplayProvider(path, gap_policy="interpolate").dataset(WINDOW)
+        # Hours 1 and 4 observe 11 and 14; the gap interpolates linearly.
+        assert ds.price_matrix[2, 0] == pytest.approx(12.0)
+        assert ds.price_matrix[3, 0] == pytest.approx(13.0)
+        # The other hub is untouched.
+        assert ds.price_matrix[2, 1] == pytest.approx(112.0)
+
+    def test_gap_ffill(self, tmp_path):
+        path = write_csv(
+            tmp_path / "p.csv", 30 * 24, blank={(0, 0): True, (5, 0): True, (6, 0): True}
+        )
+        ds = CsvReplayProvider(path, gap_policy="ffill").dataset(WINDOW)
+        assert ds.price_matrix[5, 0] == pytest.approx(14.0)
+        assert ds.price_matrix[6, 0] == pytest.approx(14.0)
+        # A leading gap takes the first observation.
+        assert ds.price_matrix[0, 0] == pytest.approx(11.0)
+
+    def test_timezone_aware_stamps_normalise_to_utc(self, tmp_path):
+        # Aware stamps carry their own offset, which wins over
+        # utc_offset_hours (that parameter describes naive tapes).
+        reference = CsvReplayProvider(write_csv(tmp_path / "naive.csv", 30 * 24)).dataset(
+            WINDOW
+        )
+        aware = tmp_path / "aware.csv"
+        with open(aware, "w") as fh:
+            fh.write("timestamp,NP15,CHI\n")
+            for i in range(30 * 24):
+                local = datetime(2008, 10, 31, 19) + timedelta(hours=i)  # UTC-5
+                fh.write(f"{local.isoformat(sep=' ')}-05:00,{10.0 + i:.2f},{110.0 + i:.2f}\n")
+        ds = CsvReplayProvider(str(aware), utc_offset_hours=3).dataset(WINDOW)
+        assert np.array_equal(ds.price_matrix, reference.price_matrix)
+
+    def test_min_coverage_floor(self, tmp_path):
+        # A 100-hour tape covers ~14% of the 720-hour window: fine by
+        # default, a DataError under a stricter coverage floor.
+        path = write_csv(tmp_path / "short.csv", 100)
+        CsvReplayProvider(path).dataset(WINDOW)
+        with pytest.raises(DataError, match="min_coverage"):
+            CsvReplayProvider(path, min_coverage=0.5).dataset(WINDOW)
+        CsvReplayProvider(path, min_coverage=0.1).dataset(WINDOW)
+        with pytest.raises(ConfigurationError):
+            CsvReplayProvider(path, min_coverage=1.5)
+
+    def test_gap_error_policy(self, tmp_path):
+        path = write_csv(tmp_path / "p.csv", 30 * 24, blank={(9, 1): True})
+        with pytest.raises(DataError, match="missing hour"):
+            CsvReplayProvider(path, gap_policy="error").dataset(WINDOW)
+
+    def test_missing_hours_are_gaps_too(self, tmp_path):
+        # A tape shorter than the window leaves trailing NaN hours that
+        # the gap policy must resolve (interpolate clamps at the edge).
+        path = write_csv(tmp_path / "p.csv", 100)
+        ds = CsvReplayProvider(path).dataset(WINDOW)
+        assert ds.price_matrix[-1, 0] == pytest.approx(10.0 + 99)
+        with pytest.raises(DataError):
+            CsvReplayProvider(path, gap_policy="error").dataset(WINDOW)
+
+    def test_validation_errors(self, tmp_path):
+        ok = write_csv(tmp_path / "ok.csv", 4)
+        with pytest.raises(ConfigurationError):
+            CsvReplayProvider(ok, gap_policy="guess")
+        with pytest.raises(ConfigurationError):
+            CsvReplayProvider("")
+        with pytest.raises(DataError, match="cannot read"):
+            CsvReplayProvider(str(tmp_path / "nope.csv")).dataset(WINDOW)
+        with pytest.raises(DataError, match="no 'when' column"):
+            CsvReplayProvider(ok, time_column="when").dataset(WINDOW)
+        with pytest.raises(UnknownHubError):
+            CsvReplayProvider(ok, hub_columns=(("NP15", "ATLANTIS"),)).dataset(WINDOW)
+        with pytest.raises(DataError, match="not in CSV"):
+            CsvReplayProvider(ok, hub_columns=(("nope", "NP15"),)).dataset(WINDOW)
+
+    def test_malformed_rows(self, tmp_path):
+        bad_stamp = tmp_path / "stamp.csv"
+        bad_stamp.write_text("timestamp,NP15\nyesterday,10.0\n")
+        with pytest.raises(DataError, match="bad timestamp"):
+            CsvReplayProvider(str(bad_stamp)).dataset(WINDOW)
+
+        off_hour = tmp_path / "offhour.csv"
+        off_hour.write_text("timestamp,NP15\n2008-11-01 00:30:00,10.0\n")
+        with pytest.raises(DataError, match="hour boundary"):
+            CsvReplayProvider(str(off_hour)).dataset(WINDOW)
+
+        dup = tmp_path / "dup.csv"
+        dup.write_text(
+            "timestamp,NP15\n2008-11-01 00:00:00,10.0\n2008-11-01 00:00:00,11.0\n"
+        )
+        with pytest.raises(DataError, match="duplicate"):
+            CsvReplayProvider(str(dup)).dataset(WINDOW)
+
+        bad_price = tmp_path / "price.csv"
+        bad_price.write_text("timestamp,NP15\n2008-11-01 00:00:00,cheap\n")
+        with pytest.raises(DataError, match="bad price"):
+            CsvReplayProvider(str(bad_price)).dataset(WINDOW)
+
+        ragged = tmp_path / "ragged.csv"
+        ragged.write_text("timestamp,NP15\n2008-11-01 00:00:00,10.0,11.0\n")
+        with pytest.raises(DataError, match="expected 2 fields"):
+            CsvReplayProvider(str(ragged)).dataset(WINDOW)
+
+    def test_packaged_tape_resolves(self):
+        ds = build_provider(preset("replay-smoke").spec).dataset(
+            MarketSpec(start=datetime(2008, 11, 1), months=2, seed=7)
+        )
+        assert ds.price_matrix.shape == (1464, 9)
+        assert np.isfinite(ds.price_matrix).all()
+
+
+class TestPerturbedProvider:
+    def test_deterministic(self):
+        spec = ProviderSpec.of("perturbed", spike_rate=0.01, decorrelate=0.5, seed=5)
+        a = build_provider(spec).dataset(WINDOW)
+        b = build_provider(spec).dataset(WINDOW)
+        assert a.price_matrix.tobytes() == b.price_matrix.tobytes()
+
+    def test_identity_transform_preserves_prices(self):
+        base = SyntheticProvider().dataset(WINDOW)
+        ds = PerturbedProvider().dataset(WINDOW)
+        # scale=1, no spikes, no decorrelation: only the floor applies,
+        # and the base already respects it.
+        assert np.allclose(ds.price_matrix, base.price_matrix)
+
+    def test_scale_multiplies_prices(self):
+        base = SyntheticProvider().dataset(WINDOW)
+        ds = PerturbedProvider(scale=2.0).dataset(WINDOW)
+        positive = base.price_matrix > 0
+        assert np.allclose(ds.price_matrix[positive], 2.0 * base.price_matrix[positive])
+
+    def test_spikes_raise_prices_only(self):
+        base = SyntheticProvider().dataset(WINDOW)
+        ds = PerturbedProvider(spike_rate=0.01, spike_magnitude=6.0, seed=3).dataset(WINDOW)
+        delta = ds.price_matrix - base.price_matrix
+        assert np.all(delta >= -1e-9)
+        spiked = delta > 1e-9
+        fraction = spiked.mean()
+        assert 0.003 < fraction < 0.03
+
+    def test_decorrelation_reduces_cross_hub_correlation(self):
+        base = SyntheticProvider().dataset(WINDOW)
+        ds = PerturbedProvider(decorrelate=1.0, seed=9).dataset(WINDOW)
+
+        def mean_pair_corr(matrix):
+            corr = np.corrcoef(matrix.T)
+            off = corr[~np.eye(corr.shape[0], dtype=bool)]
+            return off.mean()
+
+        assert mean_pair_corr(ds.price_matrix) < mean_pair_corr(base.price_matrix)
+        # Marginals survive: per-hub means barely move.
+        assert np.allclose(ds.price_matrix.mean(axis=0), base.price_matrix.mean(axis=0), rtol=0.1)
+
+    def test_layering_over_replay(self, tmp_path):
+        path = write_csv(tmp_path / "p.csv", 30 * 24)
+        inner = ProviderSpec.of("csv-replay", path=path)
+        ds = PerturbedProvider(base=inner, scale=3.0).dataset(WINDOW)
+        assert ds.price_matrix[0, 0] == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerturbedProvider(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            PerturbedProvider(decorrelate=1.5)
+        with pytest.raises(ConfigurationError):
+            PerturbedProvider(spike_rate=0.7)
+        with pytest.raises(ConfigurationError):
+            PerturbedProvider(spike_magnitude=-1.0)
+        with pytest.raises(ConfigurationError):
+            PerturbedProvider(base="synthetic")
+
+
+class TestPresets:
+    def test_expected_presets_registered(self):
+        assert set(preset_names()) >= {
+            "synthetic",
+            "replay-smoke",
+            "replay-stress",
+            "spiky-markets",
+            "decorrelated-rtos",
+        }
+
+    def test_every_preset_builds(self):
+        for name in preset_names():
+            provider = build_provider(preset(name).spec)
+            assert isinstance(provider, PriceProvider)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            preset("bloomberg-terminal")
+
+    def test_presets_have_descriptions(self):
+        assert all(p.description for p in PRESETS.values())

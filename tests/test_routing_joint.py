@@ -95,3 +95,30 @@ class TestJointRouter:
         limits = problem.deployment.capacities * 0.8
         alloc = router.allocate(demand, prices, limits)
         assert np.all(alloc.sum(axis=0) <= limits + 1e-6)
+
+    def test_overload_ordering_beyond_200_percent(self, problem, flat_prices):
+        # The congestion ramp must stay strictly monotone past 2.0x
+        # projected utilization: a cluster at 300% scores worse than one
+        # at 250%, which scores worse than one at 200%. The old clamp at
+        # 2.0 made all three indistinguishable.
+        router = JointOptimizationRouter(
+            problem, distance_penalty_per_1000km=0.0, congestion_penalty=10.0
+        )
+        utilization = np.zeros(problem.n_clusters)
+        utilization[:3] = (2.0, 2.5, 3.0)
+        scores = router._scores(flat_prices, utilization)
+        assert scores[0, 0] < scores[0, 1] < scores[0, 2]
+
+    def test_overloaded_cluster_repels_demand(self, problem):
+        # With every cluster past 200% projected utilization, the
+        # re-score pass still steers states away from the *most*
+        # overloaded cheap cluster rather than dog-piling it.
+        demand = np.full(problem.n_states, 150_000.0)  # ~3x total capacity
+        prices = np.full(problem.n_clusters, 60.0)
+        prices[0] = 10.0
+        alloc = JointOptimizationRouter(
+            problem, distance_penalty_per_1000km=0.0, congestion_penalty=500.0
+        ).allocate(demand, prices, relaxed(problem))
+        loads = alloc.sum(axis=0)
+        # The cheap cluster must not absorb the whole surge.
+        assert loads[0] < demand.sum() * 0.5

@@ -104,7 +104,9 @@ class TestEnergyAccounting:
     def test_percentiles(self):
         loads = np.tile(np.arange(100.0)[:, None], (1, 1))
         result = make_result(loads, np.full((100, 1), 60.0))
-        assert result.percentiles_95()[0] == pytest.approx(94.05)
+        # "lower" order statistic: the observed sample at index
+        # floor(0.95 * 99) = 94, the billing convention.
+        assert result.percentiles_95()[0] == pytest.approx(94.0)
 
     def test_shape_validation(self):
         with pytest.raises(ConfigurationError):

@@ -9,9 +9,25 @@ from repro.traffic.percentile import Bandwidth95Tracker, billing_percentile, per
 
 class TestBillingPercentile:
     def test_simple_percentile(self):
+        # "lower" order statistic: index floor(0.95 * 99) = 94, not the
+        # interpolated 94.05 the default linear method would report.
         samples = np.tile(np.arange(100.0)[:, None], (1, 2))
         p95 = percentile_95(samples)
-        assert p95 == pytest.approx([94.05, 94.05])
+        assert p95 == pytest.approx([94.0, 94.0])
+
+    def test_basis_is_an_observed_sample(self):
+        # The billing convention reads a measured sample, never a value
+        # interpolated between two samples the meter did not record.
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(100.0, size=(977, 3))  # awkward n on purpose
+        basis = percentile_95(samples)
+        for j in range(samples.shape[1]):
+            assert basis[j] in samples[:, j]
+
+    def test_lower_basis_never_exceeds_linear(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(50.0, 10.0, size=(500, 4))
+        assert np.all(percentile_95(samples) <= np.percentile(samples, 95.0, axis=0))
 
     def test_top_five_percent_free(self):
         # Bursting in <5% of intervals must not move the bill basis.
@@ -61,3 +77,19 @@ class TestTracker:
         tracker = Bandwidth95Tracker(np.array([1.0]), 10)
         with pytest.raises(ConfigurationError):
             tracker.record(np.array([1.0, 2.0]))
+
+    def test_caps_consistent_with_billing_basis(self):
+        # A tracker capped at the order-statistic basis and replaying the
+        # very samples that defined it counts exactly the strictly-greater
+        # samples as bursts (the basis sample itself sits *at* cap, never
+        # above it — only true now that the basis is an observed value),
+        # and for a period divisible by 20 that count fills the free 5%
+        # budget exactly, leaving the bill unchanged.
+        rng = np.random.default_rng(11)
+        loads = rng.exponential(100.0, size=(1000, 5))
+        caps = percentile_95(loads)
+        tracker = Bandwidth95Tracker(caps, n_steps=loads.shape[0])
+        tracker.record_batch(loads)
+        expected = np.sum(loads > caps[None, :], axis=0)
+        assert np.array_equal(tracker.bursts_used, expected)
+        assert np.all(tracker.bursts_used <= tracker.free_budget)
