@@ -52,9 +52,27 @@ def check_provider(fresh: dict) -> list[str]:
     return failures
 
 
+def check_sweep(fresh: dict) -> list[str]:
+    """Gates on the fresh record's sweep-throughput section."""
+    section = fresh.get("sweep")
+    if section is None:
+        return []  # records from before the stacked executor
+    identical = bool(section.get("serial_equals_parallel", False))
+    status = "ok" if identical else "FAIL"
+    print(
+        f"{'sweep_fanout':24s} {section.get('points', 0):4d} points  "
+        f"serial {float(section.get('serial_seconds', 0.0)):7.3f}s  "
+        f"stacked speedup {float(section.get('stacked_speedup', 0.0)):5.2f}x  "
+        f"identical {identical}  {status}"
+    )
+    if not identical:
+        return ["sweep results differ across serial / parallel / stacked paths"]
+    return []
+
+
 def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
     """Every violated gate, as human-readable failure messages."""
-    failures = check_provider(fresh)
+    failures = check_provider(fresh) + check_sweep(fresh)
     base_runs = baseline.get("runs", {})
     fresh_runs = fresh.get("runs", {})
     shared = sorted(set(base_runs) & set(fresh_runs))

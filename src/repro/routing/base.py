@@ -126,11 +126,26 @@ def batch_allocate(
     if batch is not None:
         return batch(demand, prices, limits)
     n_steps = demand.shape[0]
+    prices = np.asarray(prices, dtype=float)
+    if prices.ndim != 2 or prices.shape[0] != n_steps:
+        raise ConfigurationError(
+            f"batch prices must be ({n_steps}, n_clusters), got shape {prices.shape}"
+        )
     limits = np.asarray(limits, dtype=float)
-    step_limits = np.broadcast_to(limits, (n_steps, limits.shape[-1]))
-    allocations = np.empty((n_steps, demand.shape[1], limits.shape[-1]))
+    if limits.ndim not in (1, 2) or (limits.ndim == 2 and limits.shape[0] != n_steps):
+        raise ConfigurationError(
+            f"batch limits must be (n_clusters,) or ({n_steps}, n_clusters), "
+            f"got shape {limits.shape}"
+        )
+    n_clusters = limits.shape[-1]
+    # Shared limits are handed to every step as the same preallocated
+    # row — no (T, C) broadcast materialisation, and the shape checks
+    # above run before the output tensor is allocated.
+    shared_row = limits if limits.ndim == 1 else None
+    allocations = np.empty((n_steps, demand.shape[1], n_clusters))
     for t in range(n_steps):
-        allocations[t] = router.allocate(demand[t], prices[t], step_limits[t])
+        row = shared_row if shared_row is not None else limits[t]
+        allocations[t] = router.allocate(demand[t], prices[t], row)
     return allocations
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.routing.base import RoutingProblem, greedy_fill
+from repro.routing.base import RoutingProblem, greedy_fill, greedy_fill_batch
 
 __all__ = ["JointOptimizationRouter"]
 
@@ -106,3 +106,71 @@ class JointOptimizationRouter:
             return allocation
         orders = [np.argsort(scores[s]) for s in range(self._problem.n_states)]
         return greedy_fill(demand, orders, limits)
+
+    def _scores_batch(self, prices: np.ndarray, projected_utilization: np.ndarray) -> np.ndarray:
+        """:meth:`_scores` over a run: ``(T, C)`` inputs, ``(T, S, C)`` out.
+
+        The summation order per element — ``(price + distance) +
+        congestion`` — matches the scalar method exactly, so the score
+        tensors (and every argmin/argsort derived from them) are
+        bitwise equal to the per-step scores.
+        """
+        congestion = self.congestion_penalty * np.square(projected_utilization)
+        scores = prices[:, None, :] + self._distance_cost[None, :, :] + congestion[:, None, :]
+        return np.where(self._forbidden[None, :, :], np.inf, scores)
+
+    def allocate_batch(
+        self,
+        demand: np.ndarray,
+        prices: np.ndarray,
+        limits: np.ndarray,
+    ) -> np.ndarray:
+        """Whole-run form of :meth:`allocate`, bit-identical per step.
+
+        The two-pass score/place/re-score loop runs over all ``T``
+        steps at once on a ``(T, n_states, n_clusters)`` score tensor.
+        The load projection is one flat ``bincount`` over combined
+        ``(step, cluster)`` keys in place of ``T`` per-step calls —
+        bincount accumulates weights in traversal order, so each
+        step's partial sums are added in the same (ascending-state)
+        order as the scalar projection and the projected loads are
+        bitwise equal. Steps whose preferred placement violates a
+        limit re-score with the realised utilization and repair
+        through :func:`greedy_fill_batch` on ``argsort(axis=-1)``
+        orders, which replays the scalar greedy spill take for take.
+        """
+        demand = np.asarray(demand, dtype=float)
+        prices = np.asarray(prices, dtype=float)
+        n_steps = demand.shape[0]
+        n_states = self._problem.n_states
+        n_clusters = self._problem.n_clusters
+        limits = np.asarray(limits, dtype=float)
+        step_limits = np.broadcast_to(limits, (n_steps, n_clusters))
+
+        capacities = self._problem.deployment.capacities
+        rows = np.arange(n_steps)
+        utilization = np.zeros((n_steps, n_clusters))
+        for _ in range(2):
+            scores = self._scores_batch(prices, utilization)
+            preferred = np.argmin(scores, axis=2)
+            flat = (rows[:, None] * n_clusters + preferred).ravel()
+            loads = np.bincount(
+                flat,
+                weights=demand.ravel(),
+                minlength=n_steps * n_clusters,
+            ).reshape(n_steps, n_clusters)
+            utilization = loads / capacities[None, :]
+
+        fits = np.all(loads <= step_limits + 1e-9, axis=1)
+        allocation = np.zeros((n_steps, n_states, n_clusters))
+        fast = np.flatnonzero(fits)
+        allocation[fast[:, None], np.arange(n_states)[None, :], preferred[fast]] = demand[fast]
+        spill = np.flatnonzero(~fits)
+        if spill.size:
+            # Only the violating steps pay for the final re-score and
+            # the full argsort orders; elementwise the scores are the
+            # same as the all-steps tensor would be.
+            scores = self._scores_batch(prices[spill], utilization[spill])
+            orders = np.argsort(scores, axis=2)
+            allocation[spill] = greedy_fill_batch(demand[spill], orders, step_limits[spill])
+        return allocation

@@ -31,12 +31,14 @@ from repro.scenarios.registry import REGISTRY, get, names, register
 from repro.scenarios.runner import (
     active_provider,
     baseline_result,
+    baseline_scenario,
     build_router,
     clear_caches,
     dataset,
     problem,
     provider_override,
     run,
+    run_many,
     trace,
 )
 from repro.scenarios.spec import MarketSpec, ProviderSpec, RouterSpec, Scenario, TraceSpec
@@ -53,11 +55,13 @@ __all__ = [
     "TraceSpec",
     "active_provider",
     "baseline_result",
+    "baseline_scenario",
     "build_router",
     "clear_caches",
     "dataset",
     "problem",
     "provider_override",
     "run",
+    "run_many",
     "trace",
 ]

@@ -147,6 +147,45 @@ def _builtin_scenarios() -> tuple[Scenario, ...]:
             trace=TraceSpec(kind="turn-of-year", seed=7),
             router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
         ),
+        # -- joint soft-objective family (§8 future work) ---------------------
+        Scenario(
+            name="joint-soft-objective",
+            description=(
+                "§8 joint optimizer: price + distance + congestion folded "
+                "into one soft objective over the 24-day trace (exercises "
+                "the vectorised joint batch path)"
+            ),
+            market=_PAPER_MARKET,
+            trace=_PAPER_TRACE,
+            router=RouterSpec.of(
+                "joint", distance_penalty_per_1000km=10.0, congestion_penalty=50.0
+            ),
+        ),
+        Scenario(
+            name="joint-soft-objective-followed",
+            description=(
+                "the joint soft objective constrained by the baseline's "
+                "95/5 ceilings"
+            ),
+            market=_PAPER_MARKET,
+            trace=_PAPER_TRACE,
+            router=RouterSpec.of(
+                "joint", distance_penalty_per_1000km=10.0, congestion_penalty=50.0
+            ),
+            follow_95_5=True,
+        ),
+        Scenario(
+            name="joint-longrun",
+            description=(
+                "the joint soft objective over §6.3's 39-month hour-of-week "
+                "workload"
+            ),
+            market=_PAPER_MARKET,
+            trace=_LONG_TRACE,
+            router=RouterSpec.of(
+                "joint", distance_penalty_per_1000km=10.0, congestion_penalty=50.0
+            ),
+        ),
         # -- provider scenario families --------------------------------------
         Scenario(
             name="replay-smoke",

@@ -18,8 +18,9 @@ load results instead of re-simulating.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import replace
 from functools import lru_cache
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -34,7 +35,7 @@ from repro.routing.joint import JointOptimizationRouter
 from repro.routing.price import PriceConsciousRouter
 from repro.routing.static import StaticSingleHubRouter, cheapest_cluster_index
 from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
-from repro.sim.engine import SimulationOptions, simulate
+from repro.sim.engine import SimulationOptions, simulate, simulate_many
 from repro.sim.results import SimulationResult
 from repro.traffic.clusters import akamai_like_deployment
 from repro.traffic.synthetic import TraceConfig, make_trace, make_turn_of_year_trace
@@ -45,8 +46,10 @@ __all__ = [
     "problem",
     "trace",
     "build_router",
+    "baseline_scenario",
     "baseline_result",
     "run",
+    "run_many",
     "clear_caches",
     "provider_override",
     "active_provider",
@@ -201,19 +204,32 @@ def baseline_result(
     )
 
 
-@lru_cache(maxsize=32)
-def _baseline_cached(
-    market: MarketSpec, trace_spec: TraceSpec, provider: ProviderSpec
-) -> SimulationResult:
-    scenario = Scenario(
+def baseline_scenario(
+    market: MarketSpec,
+    trace_spec: TraceSpec,
+    provider: ProviderSpec | None = None,
+) -> Scenario:
+    """The price-blind proximity scenario :func:`baseline_result` runs.
+
+    Exposed so batch callers (the sweep executor) can hand replica
+    baselines to :func:`run_many` and have them stacked like any other
+    replica group.
+    """
+    return Scenario(
         name="baseline",
         description="Akamai-like proximity baseline",
         market=market,
         trace=trace_spec,
         router=RouterSpec.of("baseline"),
-        provider=provider,
+        provider=provider if provider is not None else active_provider(),
     )
-    return run(scenario)
+
+
+@lru_cache(maxsize=32)
+def _baseline_cached(
+    market: MarketSpec, trace_spec: TraceSpec, provider: ProviderSpec
+) -> SimulationResult:
+    return run(baseline_scenario(market, trace_spec, provider))
 
 
 def run(scenario: Scenario) -> SimulationResult:
@@ -233,14 +249,28 @@ def run(scenario: Scenario) -> SimulationResult:
     return _run_cached(_resolve(scenario).derive(name="", description=""))
 
 
+# Results computed by the stacked multi-replica path (run_many),
+# waiting for _run_cached to claim them. Keyed on the *physical*
+# (resolved, name-stripped) scenario — the same key the memo uses.
+_stacked_results: dict[Scenario, SimulationResult] = {}
+
+# Physical scenarios the lru memo has seen. Only used as a cheap
+# membership probe by run_many (lru_cache has no membership test); a
+# key surviving eviction just means a stacking opportunity is missed
+# and the scenario recomputes individually.
+_memo_keys: set[Scenario] = set()
+
+
 @lru_cache(maxsize=256)
 def _run_cached(scenario: Scenario) -> SimulationResult:
+    _memo_keys.add(scenario)
+    preloaded = _stacked_results.pop(scenario, None)
     store = artifacts.get_store()
     if store is not None and not artifacts.refresh_mode():
         cached = store.load_simulation(scenario)
         if cached is not None:
             return cached
-    result = _execute(scenario)
+    result = preloaded if preloaded is not None else _execute(scenario)
     if store is not None:
         store.save_simulation(scenario, result)
     return result
@@ -289,6 +319,85 @@ def _execute(scenario: Scenario) -> SimulationResult:
     )
 
 
+def _stack_key(scenario: Scenario) -> Scenario:
+    """The scenario with its trace seed normalised away.
+
+    Two scenarios share a stack when they are identical except for the
+    traffic seed — exactly a sweep's seeded replicas of one grid cell.
+    """
+    return scenario.derive(trace=replace(scenario.trace, seed=0))
+
+
+def _stackable(scenario: Scenario) -> bool:
+    """Whether a scenario may run through the fused multi-replica pass.
+
+    Excluded are the cases whose engine inputs are not shared across
+    replicas: ``follow_95_5`` (each replica constrains itself to its
+    *own* baseline's 95th percentiles), ``relocate_fleet`` (static
+    accounting), and the signal-driven router kinds whose
+    ``router_prices`` override is derived per trace.
+    """
+    return (
+        not scenario.follow_95_5
+        and not scenario.relocate_fleet
+        and scenario.router.kind not in ("carbon", "weather")
+    )
+
+
+def _execute_stacked(group: list[Scenario]) -> None:
+    """Run one stack group through :func:`simulate_many`, park results."""
+    first = group[0]
+    data = dataset(first.market, first.provider)
+    prob = problem()
+    traces = [trace(s.trace, s.market) for s in group]
+    options = SimulationOptions(
+        reaction_delay_hours=first.reaction_delay_hours,
+        capacity_margin=first.capacity_margin,
+        relax_capacity=first.relax_capacity,
+    )
+    router = build_router(first)
+    results = simulate_many(traces, data, prob, router, options)
+    for scenario, result in zip(group, results):
+        _stacked_results[scenario] = result
+
+
+def run_many(specs: Iterable[Scenario]) -> tuple[SimulationResult, ...]:
+    """Execute many scenarios, stacking replica groups into fused passes.
+
+    Scenarios that differ only in their traffic seed — a sweep cell's
+    seeded replicas, or the replicas' shared baselines — are routed
+    through :func:`repro.sim.engine.simulate_many` as one stacked pass
+    (one price/limit precompute, fused routing calls) instead of N
+    full :func:`run` pipelines. Everything else — already-memoised
+    scenarios, scenarios the artifact store already holds,
+    non-stackable configurations, singleton stacks — flows through the
+    ordinary :func:`run` path. Results are bit-identical either way —
+    the stacked engine is pinned to :func:`simulate` — so memo entries
+    and published artifacts do not depend on which path ran.
+    """
+    physical = [_resolve(s).derive(name="", description="") for s in specs]
+
+    store = artifacts.get_store()
+    use_store = store is not None and not artifacts.refresh_mode()
+    pending: list[Scenario] = []
+    for scenario in dict.fromkeys(physical):
+        if scenario in _memo_keys or scenario in _stacked_results:
+            continue
+        if use_store and store.path_for(artifacts.KIND_SIMULATION, scenario).exists():
+            continue
+        pending.append(scenario)
+
+    stacks: dict[Scenario, list[Scenario]] = {}
+    for scenario in pending:
+        if _stackable(scenario):
+            stacks.setdefault(_stack_key(scenario), []).append(scenario)
+    for group in stacks.values():
+        if len(group) >= 2:
+            _execute_stacked(group)
+
+    return tuple(run(scenario) for scenario in physical)
+
+
 def clear_caches() -> None:
     """Drop every in-process memo (datasets, traces, runs).
 
@@ -299,3 +408,5 @@ def clear_caches() -> None:
     """
     for memo in (_dataset_cached, problem, trace, _baseline_cached, _run_cached):
         memo.cache_clear()
+    _stacked_results.clear()
+    _memo_keys.clear()

@@ -1,11 +1,19 @@
 """Discrete-time routing simulator and result accounting."""
 
-from repro.sim.engine import SimulationOptions, simulate, simulate_per_step
+from repro.sim.engine import (
+    SimulationOptions,
+    batch_chunk_steps,
+    simulate,
+    simulate_many,
+    simulate_per_step,
+)
 from repro.sim.results import DistanceProfile, SimulationResult
 
 __all__ = [
     "SimulationOptions",
+    "batch_chunk_steps",
     "simulate",
+    "simulate_many",
     "simulate_per_step",
     "DistanceProfile",
     "SimulationResult",

@@ -35,11 +35,30 @@ required (and tested) to reproduce it *bit for bit*. Both paths fold
 per-step allocations through one shared chunked reducer
 (:class:`_AllocationReducer`) so even the floating-point summation
 order of the distance histogram is part of the contract.
+
+:func:`simulate_many` stacks R replica traces that share one market
+data set into a single batched pass: the price/limit precompute runs
+once, routing calls fuse steps from every replica (the router contract
+— slice ``t`` equals the scalar ``allocate`` on step ``t`` — makes
+fused calls bit-identical to per-replica ones), and each replica's
+allocations fold through its own reducer at the *same* chunk
+boundaries :func:`simulate` would use, so every returned result is bit
+for bit the one a standalone :func:`simulate` call produces.
+
+Chunking is sized by memory, not by a step count: a chunk's
+``(chunk, n_states, n_clusters)`` float64 allocation tensor is kept
+under ``BATCH_CHUNK_MIB`` (32 MiB) by :func:`batch_chunk_steps`, which
+takes the largest power of two under the budget. At the paper scale
+(49 states x 9 clusters, 3528 bytes per step) that is 8192 steps — the
+historical hard-coded chunk, so histogram reduction order (and every
+committed golden) is unchanged; smaller rosters get proportionally
+longer chunks under the same ceiling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -51,12 +70,41 @@ from repro.traffic.percentile import Bandwidth95Tracker
 from repro.traffic.trace import TrafficTrace
 from repro.units import SECONDS_PER_HOUR
 
-__all__ = ["SimulationOptions", "simulate", "simulate_per_step"]
+__all__ = [
+    "SimulationOptions",
+    "simulate",
+    "simulate_many",
+    "simulate_per_step",
+    "batch_chunk_steps",
+    "BATCH_CHUNK_MIB",
+]
 
-#: Steps per batched allocation call. Bounds the peak allocation
-#: tensor at chunk x n_states x n_clusters (a few tens of MB for the
-#: paper-scale problem) without measurably hurting throughput.
-BATCH_CHUNK_STEPS = 8192
+#: Memory ceiling, in MiB, for one chunk's ``(chunk, n_states,
+#: n_clusters)`` float64 allocation tensor. The chunk step count is
+#: *derived* from the problem shape under this budget rather than
+#: hard-coded, so small rosters batch more steps per call and large
+#: ones never blow past the ceiling.
+BATCH_CHUNK_MIB = 32.0
+
+
+def batch_chunk_steps(n_states: int, n_clusters: int) -> int:
+    """Steps per reduction chunk for a problem shape.
+
+    The largest power of two whose allocation tensor stays under
+    ``BATCH_CHUNK_MIB`` (minimum 1). The power-of-two floor keeps the
+    paper-scale answer at exactly 8192 — the chunk size both pipelines
+    historically hard-coded — so the chunked float summation order of
+    the distance histogram, and with it every committed golden, is
+    preserved. The chunk count is deliberately a function of the
+    problem shape only (never of replica count or trace length):
+    chunk boundaries are part of the bit-identity contract between
+    :func:`simulate`, :func:`simulate_per_step`, and
+    :func:`simulate_many`.
+    """
+    per_step = 8 * n_states * n_clusters
+    budget = int(BATCH_CHUNK_MIB * 1024 * 1024)
+    steps = max(1, budget // per_step)
+    return 1 << (steps.bit_length() - 1)
 
 
 class _AllocationReducer:
@@ -72,7 +120,7 @@ class _AllocationReducer:
     """
 
     def __init__(self, n_steps: int, n_states: int, n_clusters: int) -> None:
-        self._chunk = min(n_steps, BATCH_CHUNK_STEPS)
+        self._chunk = min(n_steps, batch_chunk_steps(n_states, n_clusters))
         self._buffer = np.zeros((self._chunk, n_states, n_clusters))
         self.total = np.zeros((n_states, n_clusters))
 
@@ -142,6 +190,13 @@ class SimulationOptions:
             caps = caps.copy()
             caps.setflags(write=False)
             object.__setattr__(self, "bandwidth_caps", caps)
+
+
+def _burst_mask(limits: np.ndarray, demand: np.ndarray) -> np.ndarray:
+    """Steps whose total demand cannot fit under the summed limits."""
+    finite = np.isfinite(limits)
+    total_limit = float(np.sum(limits[finite])) + (np.inf if np.any(~finite) else 0.0)
+    return demand.sum(axis=1) > total_limit + 1e-6
 
 
 def _hour_indices(trace: TrafficTrace, dataset: MarketDataset) -> np.ndarray:
@@ -220,9 +275,7 @@ def _prepare(
         # itself exceeded its 95th percentile, so they fall in the
         # billing-free 5% — the tracker verifies). The predicate
         # mirrors greedy_fill's infeasibility test.
-        finite = np.isfinite(limits)
-        total_limit = float(np.sum(limits[finite])) + (np.inf if np.any(~finite) else 0.0)
-        burst_steps = trace.demand.sum(axis=1) > total_limit + 1e-6
+        burst_steps = _burst_mask(limits, trace.demand)
 
     distances = problem.distances.matrix
     bin_index = np.minimum(
@@ -329,27 +382,13 @@ def simulate(
     prepared = _prepare(trace, dataset, problem, opts, router_prices)
     n_steps = trace.n_steps
     n_clusters = problem.n_clusters
+    chunk_steps = batch_chunk_steps(problem.n_states, n_clusters)
 
     loads = np.empty((n_steps, n_clusters))
     reducer = _AllocationReducer(n_steps, problem.n_states, n_clusters)
 
-    def _replay_with_retry(steps: np.ndarray) -> np.ndarray:
-        """Reference semantics, one step at a time: capped limits
-        first, plain capacity when the router raises."""
-        out = np.empty((steps.size, problem.n_states, n_clusters))
-        for i, t in enumerate(steps):
-            try:
-                out[i] = router.allocate(trace.demand[t], prepared.seen_prices[t], prepared.limits)
-            except InfeasibleAllocationError:
-                out[i] = router.allocate(
-                    trace.demand[t],
-                    prepared.seen_prices[t],
-                    prepared.capacity_limits,
-                )
-        return out
-
-    for lo in range(0, n_steps, BATCH_CHUNK_STEPS):
-        hi = min(lo + BATCH_CHUNK_STEPS, n_steps)
+    for lo in range(0, n_steps, chunk_steps):
+        hi = min(lo + chunk_steps, n_steps)
         chunk_burst = prepared.burst_steps[lo:hi]
         for selector, is_burst in ((~chunk_burst, False), (chunk_burst, True)):
             steps = lo + np.flatnonzero(selector)
@@ -362,7 +401,7 @@ def simulate(
                 # clipping, ignoring limits) reproduce exactly. They
                 # are at most the free 5% of intervals, so the batch
                 # path's throughput is untouched.
-                allocations = _replay_with_retry(steps)
+                allocations = _replay_with_retry(router, trace, prepared, steps)
             else:
                 try:
                     allocations = batch_allocate(
@@ -378,7 +417,7 @@ def simulate(
                     # overflow; a router may still raise on per-cluster
                     # structure (e.g. a capped candidate set). Fall
                     # back to the per-step contract for these steps.
-                    allocations = _replay_with_retry(steps)
+                    allocations = _replay_with_retry(router, trace, prepared, steps)
             loads[steps] = allocations.sum(axis=1)
             reducer.put(steps - lo, allocations)
         reducer.reduce_chunk(hi - lo)
@@ -388,6 +427,28 @@ def simulate(
 
     histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
     return _finalize(trace, problem, prepared, loads, histogram, server_counts)
+
+
+def _replay_with_retry(
+    router: Router,
+    trace: TrafficTrace,
+    prepared: _PreparedRun,
+    steps: np.ndarray,
+) -> np.ndarray:
+    """Reference semantics, one step at a time: capped limits first,
+    plain capacity when the router raises."""
+    n_clusters = prepared.capacity_limits.shape[0]
+    out = np.empty((steps.size, trace.n_states, n_clusters))
+    for i, t in enumerate(steps):
+        try:
+            out[i] = router.allocate(trace.demand[t], prepared.seen_prices[t], prepared.limits)
+        except InfeasibleAllocationError:
+            out[i] = router.allocate(
+                trace.demand[t],
+                prepared.seen_prices[t],
+                prepared.capacity_limits,
+            )
+    return out
 
 
 def simulate_per_step(
@@ -409,6 +470,7 @@ def simulate_per_step(
     opts = options or SimulationOptions()
     prepared = _prepare(trace, dataset, problem, opts, router_prices)
     n_clusters = problem.n_clusters
+    chunk_steps = batch_chunk_steps(problem.n_states, n_clusters)
 
     reducer = _AllocationReducer(trace.n_steps, problem.n_states, n_clusters)
     loads = np.empty((trace.n_steps, n_clusters))
@@ -428,9 +490,159 @@ def simulate_per_step(
         loads[t] = step_loads
         if prepared.tracker is not None:
             prepared.tracker.record(step_loads)
-        offset = t % BATCH_CHUNK_STEPS
+        offset = t % chunk_steps
         reducer.put(offset, allocation)
-        if offset == BATCH_CHUNK_STEPS - 1 or t == trace.n_steps - 1:
+        if offset == chunk_steps - 1 or t == trace.n_steps - 1:
             reducer.reduce_chunk(offset + 1)
     histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
     return _finalize(trace, problem, prepared, loads, histogram, server_counts)
+
+
+def simulate_many(
+    traces: Iterable[TrafficTrace],
+    dataset: MarketDataset,
+    problem: RoutingProblem,
+    router: Router,
+    options: SimulationOptions | None = None,
+    server_counts: np.ndarray | None = None,
+) -> tuple[SimulationResult, ...]:
+    """Run one routing policy over R replica traces in a single pass.
+
+    The stacked multi-replica entry point for ensemble sweeps: all
+    traces must share one market data set, one calendar window (same
+    start, step count, and step size), and one state order — exactly
+    the shape of a sweep's seeded traffic replicas. The pass then
+
+    * runs the price/limit precompute **once** (the replicas see the
+      same lagged prices and pay the same market prices),
+    * hands the router **fused** routing calls — steps from every
+      replica stacked into one ``batch_allocate`` — whenever the fused
+      tensor fits the same :func:`batch_chunk_steps` memory budget a
+      single-replica chunk obeys, and
+    * folds each replica's allocations through its own
+      :class:`_AllocationReducer` at the same chunk boundaries
+      :func:`simulate` uses.
+
+    Because a conformant ``allocate_batch`` computes each step
+    independently (slice ``t`` equals the scalar ``allocate`` on step
+    ``t`` — the contract the differential suites pin), fusing steps
+    from different replicas into one call cannot change any step's
+    allocation, and every returned result is bit-identical to a
+    standalone ``simulate(trace_r, ...)`` call.
+
+    95/5 caps (``options.bandwidth_caps``) are shared across replicas
+    — each replica gets its own :class:`Bandwidth95Tracker` and its
+    own burst-step accounting against the shared ceilings. Per-replica
+    caps (e.g. each replica following its *own* baseline) need
+    separate :func:`simulate` calls. ``router_prices`` overrides are
+    per-trace by nature and likewise excluded.
+    """
+    traces = tuple(traces)
+    if not traces:
+        return ()
+    opts = options or SimulationOptions()
+    first = traces[0]
+    for tr in traces[1:]:
+        if (
+            tr.start != first.start
+            or tr.n_steps != first.n_steps
+            or tr.step_seconds != first.step_seconds
+        ):
+            raise ConfigurationError(
+                "simulate_many traces must share start, length, and step size"
+            )
+        if tr.state_codes != first.state_codes:
+            raise ConfigurationError("simulate_many traces must share state order")
+
+    prepared = _prepare(first, dataset, problem, opts, None)
+    n_replicas = len(traces)
+    n_steps = first.n_steps
+    n_states = problem.n_states
+    n_clusters = problem.n_clusters
+    chunk_steps = batch_chunk_steps(n_states, n_clusters)
+
+    # Burst accounting is demand-driven, so it is per replica even
+    # though the caps (and the derived limits) are shared.
+    if prepared.tracker is not None:
+        trackers = [Bandwidth95Tracker(opts.bandwidth_caps, n_steps) for _ in range(n_replicas)]
+        bursts = [_burst_mask(prepared.limits, tr.demand) for tr in traces]
+    else:
+        trackers = [None] * n_replicas
+        bursts = [prepared.burst_steps] * n_replicas  # all-False, shared
+
+    loads = [np.empty((n_steps, n_clusters)) for _ in range(n_replicas)]
+    reducers = [_AllocationReducer(n_steps, n_states, n_clusters) for _ in range(n_replicas)]
+
+    def _fast_segment(r: int, steps: np.ndarray) -> np.ndarray:
+        """One replica's non-burst steps under simulate's semantics."""
+        try:
+            return batch_allocate(
+                router,
+                traces[r].demand[steps],
+                prepared.seen_prices[steps],
+                prepared.limits,
+            )
+        except InfeasibleAllocationError:
+            if trackers[r] is None:
+                raise
+            return _replay_with_retry(router, traces[r], prepared, steps)
+
+    for lo in range(0, n_steps, chunk_steps):
+        hi = min(lo + chunk_steps, n_steps)
+        segments = []  # (replica, non-burst steps) pairs for this chunk
+        for r in range(n_replicas):
+            steps = lo + np.flatnonzero(~bursts[r][lo:hi])
+            if steps.size:
+                segments.append((r, steps))
+
+        # Fuse consecutive segments into single routing calls, capped
+        # at the same per-call row budget a single-replica chunk has.
+        # Splitting or fusing calls never changes a step's allocation
+        # (steps are independent), so the grouping is free to chase
+        # throughput: short traces fuse all replicas into one call,
+        # chunk-length traces keep the single-replica call size.
+        group: list[tuple[int, np.ndarray]] = []
+        group_rows = 0
+        pending = segments + [None]  # sentinel flushes the last group
+        for item in pending:
+            if item is not None and (not group or group_rows + item[1].size <= chunk_steps):
+                group.append(item)
+                group_rows += item[1].size
+                continue
+            if group:
+                try:
+                    fused = batch_allocate(
+                        router,
+                        np.concatenate([traces[r].demand[steps] for r, steps in group]),
+                        np.concatenate([prepared.seen_prices[steps] for _, steps in group]),
+                        prepared.limits,
+                    )
+                except InfeasibleAllocationError:
+                    fused = None  # re-run the group per replica below
+                offset = 0
+                for r, steps in group:
+                    if fused is None:
+                        allocations = _fast_segment(r, steps)
+                    else:
+                        allocations = fused[offset : offset + steps.size]
+                    offset += steps.size
+                    loads[r][steps] = allocations.sum(axis=1)
+                    reducers[r].put(steps - lo, allocations)
+            group = [item] if item is not None else []
+            group_rows = item[1].size if item is not None else 0
+
+        for r in range(n_replicas):
+            burst_steps = lo + np.flatnonzero(bursts[r][lo:hi])
+            if burst_steps.size:
+                allocations = _replay_with_retry(router, traces[r], prepared, burst_steps)
+                loads[r][burst_steps] = allocations.sum(axis=1)
+                reducers[r].put(burst_steps - lo, allocations)
+            reducers[r].reduce_chunk(hi - lo)
+
+    results = []
+    for r in range(n_replicas):
+        if trackers[r] is not None:
+            trackers[r].record_batch(loads[r])
+        histogram = reducers[r].histogram(prepared.bin_index, prepared.n_bins)
+        results.append(_finalize(traces[r], problem, prepared, loads[r], histogram, server_counts))
+    return tuple(results)

@@ -2,28 +2,43 @@
 
 The executor expands a :class:`~repro.sweeps.spec.SweepSpec`, runs
 every (cell x replica) point through the batched simulation pipeline,
-and aggregates replicas into mean/std/CI cells. Three layers keep
-re-runs cheap:
+and aggregates replicas into mean/std/CI cells. Four layers keep
+re-runs cheap and the pool busy:
 
 1. **Grouping by market.** Points are bucketed by their
    :class:`~repro.scenarios.spec.MarketSpec` before dispatch, so each
    worker process generates a replica's market data set once and then
    sweeps every grid cell against it through the runner's in-process
    memo (dataset generation is the dominant fixed cost; the grid
-   itself rides the vectorised engine).
-2. **The artifact store.** Workers publish every finished simulation
+   itself rides the vectorised engine). Buckets that would dwarf the
+   rest of the queue are split into replica-aligned slices first, so
+   ``--jobs N`` load-balances instead of serializing behind the
+   largest market.
+2. **Stacked replicas.** Before computing metrics, a worker hands its
+   bucket's scenarios (and their baselines) to
+   :func:`repro.scenarios.runner.run_many`, which fuses seeded
+   replica groups into single :func:`~repro.sim.engine.simulate_many`
+   passes — one precompute and fused routing calls per replica group
+   instead of R full pipelines, bit-identical by contract.
+3. **The artifact store.** Workers publish every finished simulation
    to the content-addressed store, so a second invocation — or an
    overlapping sweep sharing points — loads results instead of
    re-simulating.
-3. **The sweep artifact.** The aggregated :class:`SweepResult` itself
+4. **The sweep artifact.** The aggregated :class:`SweepResult` itself
    is stored under the spec's hash; re-running an unchanged sweep is
    one disk read.
 
-Workers return only metric scalars (never load matrices), so the pool
-payloads stay tiny regardless of trace length, and a parallel run's
-artifacts are byte-identical to a serial run's: simulation payloads
-are deterministic encodings, and the aggregation happens in the parent
-in expansion order either way.
+Transport is initializer-based: the grouped scenarios ship to each
+worker process once (as initializer arguments), and ``pool.map`` then
+moves only integer group indices and scalar metric dicts — per-task
+pickling cost is gone no matter how finely the buckets split. (The
+trade-off is explicit: each of the W workers receives the whole group
+list, so total spec transport is W copies of a few-KB payload of
+frozen dataclasses — bucket splitting would otherwise re-pickle
+per map item.) Workers return only metric scalars (never load
+matrices), and a parallel run's artifacts are byte-identical to a
+serial run's: simulation payloads are deterministic encodings, and
+the aggregation happens in the parent in expansion order either way.
 """
 
 from __future__ import annotations
@@ -35,7 +50,12 @@ from repro.sweeps.aggregate import SweepResult, aggregate
 from repro.sweeps.metrics import point_metrics
 from repro.sweeps.spec import SweepPoint, SweepSpec, expand
 
-__all__ = ["run_sweep", "group_points"]
+__all__ = ["run_sweep", "group_points", "split_oversized_groups"]
+
+#: Target chunks per worker when splitting oversized buckets: a bucket
+#: is split once it exceeds ``total / (jobs * OVERSUBSCRIPTION)``
+#: points, so the pool has a few tasks per worker to balance with.
+OVERSUBSCRIPTION = 2
 
 
 def group_points(points: list[SweepPoint]) -> list[list[SweepPoint]]:
@@ -55,6 +75,57 @@ def group_points(points: list[SweepPoint]) -> list[list[SweepPoint]]:
     return list(buckets.values())
 
 
+def split_oversized_groups(
+    groups: list[list[SweepPoint]],
+    jobs: int,
+    replica_block: int,
+) -> list[list[SweepPoint]]:
+    """Split buckets that would serialize a parallel run.
+
+    A sweep that never reseeds its market collapses into one bucket;
+    with ``--jobs N`` that bucket must shard or N-1 workers idle. A
+    bucket larger than the per-worker target is cut into contiguous
+    slices aligned to ``replica_block`` (the spec's replica count):
+    expansion order is cells-outer/replicas-inner, so aligned slices
+    keep every cell's seeded replicas together and the stacked
+    :func:`~repro.scenarios.runner.run_many` path stays fully fused.
+    Splitting never changes results — metrics are keyed by point index
+    and aggregated in expansion order — only how work spreads.
+    """
+    if jobs <= 1:
+        return groups
+    total = sum(len(g) for g in groups)
+    target = max(replica_block, -(-total // (jobs * OVERSUBSCRIPTION)))
+    out: list[list[SweepPoint]] = []
+    for group in groups:
+        if len(group) <= target:
+            out.append(group)
+            continue
+        n_slices = -(-len(group) // target)
+        per = -(-len(group) // n_slices)
+        per = max(replica_block, -(-per // replica_block) * replica_block)
+        out.extend(group[i : i + per] for i in range(0, len(group), per))
+    return out
+
+
+def _warm_group(group: list[tuple[int, object, object]]) -> None:
+    """Pull the group's simulations through the stacked replica path.
+
+    Hands every point scenario plus its savings-normalising baseline
+    to :func:`repro.scenarios.runner.run_many` in one call: seeded
+    replica groups (and the baselines, which differ only in trace
+    seed) fuse into single engine passes, and everything lands in the
+    runner's memo before :func:`point_metrics` asks for it.
+    """
+    specs = []
+    for _, scenario, _ in group:
+        specs.append(scenario)
+        specs.append(
+            scenarios.baseline_scenario(scenario.market, scenario.trace, scenario.provider)
+        )
+    scenarios.run_many(specs)
+
+
 def _run_group(
     group: list[tuple[int, object, object]],
     force: bool,
@@ -63,18 +134,32 @@ def _run_group(
     if force:
         artifacts.set_refresh(True)
     try:
+        _warm_group(group)
         return {index: point_metrics(scenario, energy) for index, scenario, energy in group}
     finally:
         if force:
             artifacts.set_refresh(False)
 
 
-def _init_worker(store_root: str | None) -> None:
+# Worker-process state, installed once by the pool initializer so the
+# grouped scenarios are pickled per *worker* instead of per map item.
+_worker_groups: list[list[tuple[int, object, object]]] = []
+_worker_force: bool = False
+
+
+def _init_worker(
+    store_root: str | None,
+    shipped: list[list[tuple[int, object, object]]],
+    force: bool,
+) -> None:
+    global _worker_groups, _worker_force
     artifacts.configure(store_root)
+    _worker_groups = shipped
+    _worker_force = force
 
 
-def _worker_run(group: list[tuple[int, object, object]], force: bool) -> dict:
-    return _run_group(group, force)
+def _worker_run(group_index: int) -> dict:
+    return _run_group(_worker_groups[group_index], _worker_force)
 
 
 def run_sweep(spec: SweepSpec, *, jobs: int = 1, force: bool = False) -> SweepResult:
@@ -97,7 +182,7 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1, force: bool = False) -> SweepRe
         scenarios.clear_caches()
 
     points = expand(spec)
-    groups = group_points(points)
+    groups = split_oversized_groups(group_points(points), jobs, spec.n_replicas)
     shipped = [[(p.index, p.scenario, p.energy) for p in group] for group in groups]
 
     metrics_by_point: dict[int, dict[str, float]] = {}
@@ -110,9 +195,9 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1, force: bool = False) -> SweepRe
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(shipped)),
             initializer=_init_worker,
-            initargs=(store_root,),
+            initargs=(store_root, shipped, force),
         ) as pool:
-            for result in pool.map(_worker_run, shipped, [force] * len(shipped)):
+            for result in pool.map(_worker_run, range(len(shipped))):
                 metrics_by_point.update(result)
 
     result = aggregate(spec, points, metrics_by_point)

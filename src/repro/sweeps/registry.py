@@ -93,6 +93,45 @@ def _builtin_sweeps() -> tuple[SweepSpec, ...]:
             metrics=("savings_pct", "mean_distance_km"),
         ),
         SweepSpec(
+            name="joint-penalty-grid",
+            description=(
+                "joint soft-objective penalty surface: distance x "
+                "congestion penalties over seeded traffic replicas "
+                "(rides the vectorised joint batch path end to end)"
+            ),
+            base=Scenario(
+                name="joint-penalty-grid-base",
+                market=MarketSpec(start=datetime(2008, 11, 1), months=2, seed=7),
+                trace=TraceSpec(
+                    kind="five-minute",
+                    start=datetime(2008, 12, 1),
+                    n_steps=36,
+                    seed=7,
+                ),
+                router=RouterSpec.of(
+                    "joint", distance_penalty_per_1000km=10.0, congestion_penalty=50.0
+                ),
+            ),
+            axes=(
+                SweepAxis(
+                    name="distance_penalty_per_1000km",
+                    values=(0.0, 10.0, 30.0),
+                    target="router",
+                ),
+                SweepAxis(
+                    name="congestion_penalty",
+                    values=(0.0, 50.0),
+                    target="router",
+                ),
+            ),
+            n_replicas=4,
+            # One market shared by every cell: replicas re-draw traffic
+            # only, so each cell's replica group stacks into a single
+            # fused simulate_many pass.
+            reseed=("trace",),
+            metrics=("savings_pct", "mean_utilization_pct"),
+        ),
+        SweepSpec(
             name="provider-grid",
             description=(
                 "every provider preset through the smoke setting x 4 "

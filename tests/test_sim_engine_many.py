@@ -1,0 +1,135 @@
+"""``simulate_many``: the stacked multi-replica engine entry point.
+
+Its contract is simple and strict: for any list of replica traces
+sharing one calendar window, every returned result must be *bit for
+bit* the result a standalone ``simulate`` call on that trace produces
+— same loads, same paid prices, same distance histogram — no matter
+how the pass fuses routing calls across replicas or how chunk
+boundaries fall. These tests pin that, plus the shape validation and
+the memory-budget chunk derivation.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.akamai import BaselineProximityRouter
+from repro.routing.joint import JointOptimizationRouter
+from repro.routing.price import PriceConsciousRouter
+from repro.routing.static import StaticSingleHubRouter
+from repro.sim import engine
+from repro.sim.engine import (
+    BATCH_CHUNK_MIB,
+    SimulationOptions,
+    batch_chunk_steps,
+    simulate,
+    simulate_many,
+)
+from repro.traffic.percentile import percentile_95
+from repro.traffic.synthetic import TraceConfig, make_trace
+
+_START = datetime(2008, 12, 1)
+
+
+def replica_traces(n, n_steps=120, start=_START):
+    return [make_trace(TraceConfig(start=start, n_steps=n_steps, seed=1000 + i)) for i in range(n)]
+
+
+def routers_for(problem):
+    return {
+        "baseline": BaselineProximityRouter(problem),
+        "price": PriceConsciousRouter(problem, distance_threshold_km=1500.0),
+        "joint": JointOptimizationRouter(
+            problem, distance_penalty_per_1000km=12.0, congestion_penalty=40.0
+        ),
+        "static": StaticSingleHubRouter(problem, 4),
+    }
+
+
+def assert_identical(stacked, single):
+    assert stacked.start == single.start
+    assert stacked.step_seconds == single.step_seconds
+    assert np.array_equal(stacked.loads, single.loads)
+    assert np.array_equal(stacked.paid_prices, single.paid_prices)
+    assert np.array_equal(stacked.capacities, single.capacities)
+    assert np.array_equal(stacked.server_counts, single.server_counts)
+    assert np.array_equal(stacked.distance_profile.histogram, single.distance_profile.histogram)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("kind", ("baseline", "price", "joint", "static"))
+    def test_every_router_matches_standalone_simulate(self, kind, small_dataset, problem):
+        router = routers_for(problem)[kind]
+        traces = replica_traces(4)
+        results = simulate_many(traces, small_dataset, problem, router)
+        assert len(results) == 4
+        for trace, stacked in zip(traces, results):
+            assert_identical(stacked, simulate(trace, small_dataset, problem, router))
+
+    @pytest.mark.parametrize("kind", ("price", "joint"))
+    def test_shared_caps_match_standalone_simulate(self, kind, small_dataset, problem):
+        """Shared 95/5 caps: per-replica burst accounting must agree."""
+        router = routers_for(problem)[kind]
+        traces = replica_traces(3)
+        base = simulate(traces[0], small_dataset, problem, BaselineProximityRouter(problem))
+        options = SimulationOptions(bandwidth_caps=percentile_95(base.loads) * 0.9)
+        results = simulate_many(traces, small_dataset, problem, router, options)
+        for trace, stacked in zip(traces, results):
+            assert_identical(stacked, simulate(trace, small_dataset, problem, router, options))
+
+    def test_chunked_fusion_matches_standalone(self, small_dataset, problem, monkeypatch):
+        """Chunk boundaries inside the run: fusion must not leak across
+        them (chunking is part of the histogram's bit-identity)."""
+        monkeypatch.setattr(engine, "batch_chunk_steps", lambda s, c: 16)
+        router = routers_for(problem)["joint"]
+        traces = replica_traces(3, n_steps=50)
+        results = simulate_many(traces, small_dataset, problem, router)
+        for trace, stacked in zip(traces, results):
+            assert_identical(stacked, simulate(trace, small_dataset, problem, router))
+
+    def test_single_replica_matches_simulate(self, small_dataset, problem):
+        router = routers_for(problem)["price"]
+        (trace,) = replica_traces(1)
+        (result,) = simulate_many([trace], small_dataset, problem, router)
+        assert_identical(result, simulate(trace, small_dataset, problem, router))
+
+
+class TestValidation:
+    def test_empty_input_returns_empty(self, small_dataset, problem):
+        assert simulate_many([], small_dataset, problem, object()) == ()
+
+    def test_rejects_mismatched_length(self, small_dataset, problem):
+        router = routers_for(problem)["baseline"]
+        traces = replica_traces(1) + replica_traces(1, n_steps=60)
+        with pytest.raises(ConfigurationError, match="share start, length"):
+            simulate_many(traces, small_dataset, problem, router)
+
+    def test_rejects_mismatched_start(self, small_dataset, problem):
+        router = routers_for(problem)["baseline"]
+        traces = replica_traces(1) + replica_traces(1, start=datetime(2008, 12, 2))
+        with pytest.raises(ConfigurationError, match="share start, length"):
+            simulate_many(traces, small_dataset, problem, router)
+
+
+class TestChunkBudget:
+    def test_paper_scale_keeps_historical_chunk(self):
+        """49 states x 9 clusters must stay at 8192 steps — the chunk
+        size both pipelines hard-coded before the budget derivation —
+        or every long-run golden's histogram order would shift."""
+        assert batch_chunk_steps(49, 9) == 8192
+
+    def test_tensor_stays_under_budget(self):
+        budget = BATCH_CHUNK_MIB * 1024 * 1024
+        for n_states, n_clusters in ((1, 1), (49, 2), (49, 9), (200, 50), (1000, 500)):
+            chunk = batch_chunk_steps(n_states, n_clusters)
+            assert chunk >= 1
+            assert chunk & (chunk - 1) == 0, "chunk must be a power of two"
+            if chunk > 1:
+                assert chunk * n_states * n_clusters * 8 <= budget
+
+    def test_smaller_rosters_batch_more_steps(self):
+        assert batch_chunk_steps(49, 2) > batch_chunk_steps(49, 9)

@@ -1,0 +1,144 @@
+"""Regression pins for the stacked sweep executor.
+
+Three guarantees the executor rework must not break:
+
+* a ``joint`` sweep over the penalty axes is **byte-identical**
+  between ``--jobs 1`` and ``--jobs 4`` through the new stacked path,
+* the stacked replica path produces artifacts byte-identical to the
+  pre-refactor execution (every point through its own ``run``), and
+* sweep/simulation artifact *hashes* are unchanged — pinned as
+  literal digests, so an accidental spec- or codec-shape change shows
+  up as a loud diff instead of a silently cold store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import artifacts, scenarios, sweeps
+from repro.scenarios import runner
+from repro.sweeps.executor import split_oversized_groups
+from repro.sweeps.spec import expand
+
+
+def _store_bytes(root):
+    out = {}
+    for kind in (artifacts.KIND_SIMULATION, artifacts.KIND_SWEEP):
+        out[kind] = {p.name: p.read_bytes() for p in (root / kind).glob("*.json")}
+    return out
+
+
+class TestJointSweepParallelEquivalence:
+    """ISSUE-5 acceptance: joint penalty sweep, serial vs --jobs 4."""
+
+    def test_serial_and_jobs4_are_byte_identical(self, tmp_path):
+        spec = sweeps.get("joint-penalty-grid")
+        assert {a.name for a in spec.axes} == {
+            "distance_penalty_per_1000km",
+            "congestion_penalty",
+        }
+
+        artifacts.configure(tmp_path / "serial")
+        scenarios.clear_caches()
+        serial = sweeps.run_sweep(spec, jobs=1)
+        scenarios.clear_caches()
+        artifacts.configure(tmp_path / "parallel")
+        parallel = sweeps.run_sweep(spec, jobs=4)
+        artifacts.reset()
+
+        assert serial == parallel
+        serial_bytes = _store_bytes(tmp_path / "serial")
+        parallel_bytes = _store_bytes(tmp_path / "parallel")
+        assert serial_bytes == parallel_bytes
+        assert serial_bytes[artifacts.KIND_SIMULATION]  # non-vacuous
+
+    def test_serial_run_actually_stacks(self, monkeypatch):
+        """The fused path must fire for the joint sweep — every cell's
+        replica group (and the shared baselines) stack."""
+        stacked_groups = []
+        real = runner._execute_stacked
+
+        def spy(group):
+            stacked_groups.append(len(group))
+            return real(group)
+
+        monkeypatch.setattr(runner, "_execute_stacked", spy)
+        scenarios.clear_caches()
+        spec = sweeps.get("joint-penalty-grid")
+        sweeps.run_sweep(spec)
+        # 6 penalty cells + 1 baseline group, each n_replicas wide.
+        assert stacked_groups == [spec.n_replicas] * (spec.n_cells + 1)
+
+
+class TestStackedMatchesPreRefactorExecution:
+    def test_stacking_disabled_produces_identical_artifacts(self, tmp_path, monkeypatch):
+        """With stacking neutered, every point falls back to its own
+        ``run`` pipeline — exactly the pre-refactor executor. Results
+        and artifact bytes must not depend on which path ran."""
+        spec = sweeps.get("joint-penalty-grid")
+
+        artifacts.configure(tmp_path / "stacked")
+        scenarios.clear_caches()
+        stacked = sweeps.run_sweep(spec)
+
+        monkeypatch.setattr(runner, "_execute_stacked", lambda group: None)
+        artifacts.configure(tmp_path / "plain")
+        scenarios.clear_caches()
+        plain = sweeps.run_sweep(spec)
+        artifacts.reset()
+
+        assert stacked == plain
+        assert _store_bytes(tmp_path / "stacked") == _store_bytes(tmp_path / "plain")
+
+
+class TestArtifactHashPins:
+    """Literal digests: the executor rework must not move any key."""
+
+    def test_pre_refactor_sweep_key_is_stable(self):
+        # smoke-grid predates the stacked executor; its artifact key is
+        # the contract that old stores stay warm across this refactor.
+        assert (
+            artifacts.spec_key(sweeps.get("smoke-grid"))
+            == "07b60839d965ab464725ce20f5d3e6bf3dce99a12994093ad7306dda466a5bea"
+        )
+
+    def test_joint_sweep_keys_are_stable(self):
+        spec = sweeps.get("joint-penalty-grid")
+        assert (
+            artifacts.spec_key(spec)
+            == "d26ce01a2f7ad2596f7a2303a624c179c23bfae61e674807cc5cff1b09722570"
+        )
+        points = expand(spec)
+        assert len(points) == 24
+        assert (
+            artifacts.spec_key(points[0].scenario)
+            == "3c1b3932fa70958818ad73cd24827eaf514fcd977229ed0e5df6e1bbe953d5d6"
+        )
+
+
+class TestBucketSplitting:
+    def _points(self, n):
+        spec = sweeps.get("joint-penalty-grid")
+        points = expand(spec)
+        assert len(points) >= n
+        return points[:n], spec.n_replicas
+
+    def test_serial_never_splits(self):
+        points, block = self._points(24)
+        groups = [points]
+        assert split_oversized_groups(groups, jobs=1, replica_block=block) == groups
+
+    def test_one_bucket_shards_across_jobs(self):
+        points, block = self._points(24)
+        split = split_oversized_groups([points], jobs=4, replica_block=block)
+        assert len(split) > 1
+        # Slices are replica-aligned so stacked groups stay whole...
+        assert all(len(g) % block == 0 for g in split[:-1])
+        # ...contiguous, order-preserving, and lossless.
+        flat = [p.index for g in split for p in g]
+        assert flat == [p.index for p in points]
+
+    def test_small_buckets_pass_through(self):
+        points, block = self._points(8)
+        groups = [points[:4], points[4:8]]
+        assert split_oversized_groups(groups, jobs=4, replica_block=block) == groups
