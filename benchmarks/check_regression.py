@@ -29,6 +29,118 @@ import sys
 #: seconds of numpy work, so anything beyond timing noise is a bug.
 MAX_PROVIDER_OVERHEAD = 1.25
 
+#: Absolute speedup floors for the committed full-run record (the
+#: 365-day single-threaded numpy measurement on the reference box).
+#: These gate the *committed* numbers: a re-benchmark that lands below
+#: a floor must not be committed as the new baseline. Fresh CI runs
+#: are quick runs on shared runners and are gated relatively instead.
+#: The issue's 12x target for the joint cases was not reached on the
+#: single-core reference box (7-8x measured full-run; ~10.7x on quick
+#: runs where the per-step reference pays proportionally more
+#: overhead); the floors pin the realised full-run numbers with a
+#: ~15% noise margin.
+COMMITTED_SPEEDUP_FLOORS = {
+    "price_unconstrained": 9.5,
+    "price_followed_95_5": 10.5,
+    "baseline_proximity": 9.0,
+    "joint_soft_objective": 6.5,
+    "joint_followed_95_5": 6.0,
+}
+
+#: Float32 is opt-in and tolerance-based, not bit-identical; these are
+#: generous ceilings over the observed errors (~1e-9 aggregate cost,
+#: ~5e-7 per-step loads) so real precision regressions still trip.
+MAX_FLOAT32_COST_REL_ERR = 1e-6
+MAX_FLOAT32_LOAD_REL_ERR = 1e-4
+
+
+def check_profile(fresh: dict) -> list[str]:
+    """Gates on the fresh record's per-phase profile section."""
+    section = fresh.get("profile")
+    if section is None:
+        return []  # records from before the profiling harness
+    failures = []
+    for case, phases in section.get("cases", {}).items():
+        missing = [p for p in ("precompute", "routing", "reduce", "finalize") if p not in phases]
+        total = float(phases.get("total", 0.0))
+        status = "ok" if not missing and total > 0.0 else "FAIL"
+        print(
+            f"{'profile:' + case:24s} total {total:9.3f}s  "
+            f"routing {float(phases.get('routing', 0.0)):7.3f}s  {status}"
+        )
+        if missing:
+            failures.append(f"profile section for {case} lacks phases: {', '.join(missing)}")
+        if total <= 0.0:
+            failures.append(f"profile section for {case} recorded a non-positive total")
+    return failures
+
+
+def check_kernel(fresh: dict) -> list[str]:
+    """Gates on the fresh record's kernel/threading variant section."""
+    section = fresh.get("kernel")
+    if section is None:
+        return []  # records from before the kernel selector
+    failures = []
+    for name, variant in section.get("variants", {}).items():
+        if not variant.get("available", False):
+            print(f"{'kernel:' + name:24s} unavailable (optional dependency)  ok")
+            continue
+        identical = bool(variant.get("bit_identical", False))
+        status = "ok" if identical else "FAIL"
+        print(
+            f"{'kernel:' + name:24s} {float(variant.get('seconds', 0.0)):9.3f}s  "
+            f"bit_identical {identical}  {status}"
+        )
+        if not identical:
+            failures.append(f"kernel variant {name} diverged bitwise from the numpy engine")
+    return failures
+
+
+def check_float32(fresh: dict) -> list[str]:
+    """Gates on the fresh record's float32 engine-mode section."""
+    section = fresh.get("float32")
+    if section is None:
+        return []  # records from before the float32 mode
+    failures = []
+    cost_err = float(section.get("cost_rel_err", 0.0))
+    load_err = float(section.get("max_load_rel_err", 0.0))
+    ok = cost_err <= MAX_FLOAT32_COST_REL_ERR and load_err <= MAX_FLOAT32_LOAD_REL_ERR
+    print(
+        f"{'float32_mode':24s} cost rel err {cost_err:9.2e}  "
+        f"load rel err {load_err:9.2e}  {'ok' if ok else 'FAIL'}"
+    )
+    if cost_err > MAX_FLOAT32_COST_REL_ERR:
+        failures.append(
+            f"float32 total-cost relative error {cost_err:.2e} exceeds "
+            f"{MAX_FLOAT32_COST_REL_ERR:.0e}"
+        )
+    if load_err > MAX_FLOAT32_LOAD_REL_ERR:
+        failures.append(
+            f"float32 per-step load relative error {load_err:.2e} exceeds "
+            f"{MAX_FLOAT32_LOAD_REL_ERR:.0e}"
+        )
+    return failures
+
+
+def check_committed_floors(baseline: dict) -> list[str]:
+    """Absolute speedup floors on the committed full-run record."""
+    if int(baseline.get("trace", {}).get("days", 0)) < 365:
+        return []  # floors are calibrated for the full-run record only
+    failures = []
+    runs = baseline.get("runs", {})
+    for name, floor in COMMITTED_SPEEDUP_FLOORS.items():
+        if name not in runs:
+            continue
+        speedup = float(runs[name]["speedup"])
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"{'floor:' + name:24s} committed {speedup:6.2f}x  floor {floor:6.2f}x  {status}")
+        if speedup < floor:
+            failures.append(
+                f"{name}: committed speedup {speedup:.2f}x is below the "
+                f"absolute floor {floor:.2f}x"
+            )
+    return failures
+
 
 def check_provider(fresh: dict) -> list[str]:
     """Gates on the fresh record's provider-indirection section."""
@@ -72,7 +184,14 @@ def check_sweep(fresh: dict) -> list[str]:
 
 def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
     """Every violated gate, as human-readable failure messages."""
-    failures = check_provider(fresh) + check_sweep(fresh)
+    failures = (
+        check_committed_floors(baseline)
+        + check_provider(fresh)
+        + check_sweep(fresh)
+        + check_profile(fresh)
+        + check_kernel(fresh)
+        + check_float32(fresh)
+    )
     base_runs = baseline.get("runs", {})
     fresh_runs = fresh.get("runs", {})
     shared = sorted(set(base_runs) & set(fresh_runs))

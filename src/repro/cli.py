@@ -174,6 +174,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(sweep_sum_p)
 
+    bench_p = sub.add_parser("bench", help="engine performance tooling")
+    bench_sub = bench_p.add_subparsers(dest="bench_command")
+    bench_profile_p = bench_sub.add_parser(
+        "profile", help="per-phase wall-clock breakdown of the engine pipeline"
+    )
+    bench_profile_p.add_argument(
+        "--days",
+        type=int,
+        default=60,
+        metavar="N",
+        help="trace length in days for the profiled cases (default 60)",
+    )
+    bench_profile_p.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate calls accumulated per case (default 1)",
+    )
+
     providers_p = sub.add_parser("providers", help="inspect market-data providers")
     providers_sub = providers_p.add_subparsers(dest="providers_command")
     providers_sub.add_parser("list", help="list provider presets and the scenarios using them")
@@ -450,6 +470,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _SWEEP_COMMANDS[args.sweep_command](args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_command != "profile":
+        print("repro bench: choose a subcommand (profile)", file=sys.stderr)
+        return 2
+    from repro.kernels import engine_threads, kernel_name, numba_available
+    from repro.sim.profiling import PHASES, profile_cases
+
+    if args.days <= 0 or args.repeats <= 0:
+        print("repro bench profile: --days and --repeats must be positive", file=sys.stderr)
+        return 2
+    kernel = kernel_name()
+    active = "numba" if kernel == "numba" and numba_available() else "numpy"
+    threads = engine_threads()
+    print(f"kernel={active} (requested {kernel})  threads={threads or 'serial'}")
+    report = profile_cases(days=args.days, repeats=args.repeats)
+    columns = [p for p in PHASES] + ["total"]
+    header = "case".ljust(24) + "".join(c.rjust(14) for c in columns)
+    print(header)
+    for case, phases in report.items():
+        row = case.ljust(24)
+        for c in columns:
+            row += f"{phases.get(c, 0.0):14.4f}"
+        print(row)
+    print(
+        "(seconds; greedy_repair is nested inside routing, so phases "
+        "overlap there by design)"
+    )
+    return 0
+
+
 def _cmd_providers(args: argparse.Namespace) -> int:
     if args.providers_command != "list":
         print("repro providers: choose a subcommand (list)", file=sys.stderr)
@@ -488,6 +538,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "diff": _cmd_diff,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "providers": _cmd_providers,
     "clean": _cmd_clean,
 }

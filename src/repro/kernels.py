@@ -1,0 +1,211 @@
+"""Hot-path kernel selection for the simulation engine.
+
+The batched engine has two numerical workhorses — the greedy spill walk
+(:func:`repro.routing.base.greedy_fill_batch`) and the chunked
+allocation reduction (:class:`repro.sim.engine._AllocationReducer`).
+Both ship a pure-numpy implementation (the default, and the one every
+golden and bitwise suite pins) and an optional ``numba`` njit variant
+selected at run time::
+
+    REPRO_ENGINE_KERNEL=numpy   # default: vectorised numpy kernels
+    REPRO_ENGINE_KERNEL=numba   # njit kernels (falls back when absent)
+
+The numba kernels replay the *scalar* reference walk step by step —
+the same ``min``/subtract sequence on the same operands in the same
+order — so their results are bitwise identical to the numpy kernels,
+not merely close; the differential suites assert as much whenever
+numba is installed. When ``numba`` is requested but not importable the
+selector silently serves numpy: an environment variable must never
+turn a working engine into an ImportError.
+
+Independently, ``REPRO_ENGINE_THREADS=N`` (default 0 = off) lets
+:func:`repro.sim.engine.simulate` route independent chunks through a
+``ThreadPoolExecutor``. Chunk *routing* is embarrassingly parallel
+(steps never interact); the chunk *reduction* stays ordered and serial
+so float summation order — part of the bit-identity contract — is
+untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KERNEL_ENV",
+    "THREADS_ENV",
+    "kernel_name",
+    "numba_available",
+    "use_numba",
+    "engine_threads",
+    "greedy_fill_steps_numba",
+    "reduce_chunk_numba",
+]
+
+#: Environment variable naming the kernel implementation.
+KERNEL_ENV = "REPRO_ENGINE_KERNEL"
+
+#: Environment variable holding the chunk-routing thread count.
+THREADS_ENV = "REPRO_ENGINE_THREADS"
+
+_KERNELS = ("numpy", "numba")
+
+
+def kernel_name() -> str:
+    """The requested kernel implementation (``numpy`` or ``numba``)."""
+    name = os.environ.get(KERNEL_ENV, "numpy").strip().lower() or "numpy"
+    if name not in _KERNELS:
+        raise ConfigurationError(
+            f"unknown {KERNEL_ENV} value {name!r}; expected one of {_KERNELS}"
+        )
+    return name
+
+
+@lru_cache(maxsize=1)
+def numba_available() -> bool:
+    """Whether the optional numba dependency is importable."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def use_numba() -> bool:
+    """Whether the njit kernels should serve this call."""
+    return kernel_name() == "numba" and numba_available()
+
+
+def engine_threads() -> int:
+    """Thread count for chunk routing (0 or 1 means serial)."""
+    raw = os.environ.get(THREADS_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        threads = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"{THREADS_ENV} must be an integer, got {raw!r}") from exc
+    if threads < 0:
+        raise ConfigurationError(f"{THREADS_ENV} must be non-negative, got {threads}")
+    return threads
+
+
+# -- njit kernels -------------------------------------------------------------
+#
+# Compiled lazily on first use so importing repro never pays (or
+# requires) numba. Both kernels are deliberately written as the scalar
+# reference walks: bitwise identity comes from replaying the exact
+# float operation sequence, not from matching the numpy vectorisation.
+
+
+@lru_cache(maxsize=1)
+def _compiled():
+    from numba import njit
+
+    @njit(cache=False)
+    def greedy_steps(demand, prefs, headroom, order, allocation):
+        """Per-step greedy spill walk; returns (-1, -1, 0.0) on success.
+
+        On an unplaceable remainder, returns ``(t, s, remaining)`` for
+        the wrapper to raise with the standard message.
+        """
+        n_steps, n_states = demand.shape
+        n_clusters = headroom.shape[1]
+        n_prefs = prefs.shape[2]
+        listed = np.zeros(n_clusters, dtype=np.bool_)
+        by_headroom = np.empty(n_clusters, dtype=np.int64)
+        for t in range(n_steps):
+            for rank in range(n_states):
+                s = order[t, rank]
+                remaining = demand[t, s]
+                if remaining <= 0.0:
+                    continue
+                for k in range(n_prefs):
+                    if remaining <= 0.0:
+                        break
+                    c = prefs[t, s, k]
+                    h = headroom[t, c]
+                    take = remaining if remaining < h else h
+                    if take <= 0.0:
+                        continue
+                    allocation[t, s, c] += take
+                    headroom[t, c] = h - take
+                    remaining -= take
+                if remaining > 1e-9:
+                    # Fallback over the unlisted clusters by descending
+                    # headroom, ties toward the lower index (a stable
+                    # insertion sort — matches _fallback_order).
+                    for c in range(n_clusters):
+                        listed[c] = False
+                    for k in range(n_prefs):
+                        listed[prefs[t, s, k]] = True
+                    n_rest = 0
+                    for c in range(n_clusters):
+                        if listed[c]:
+                            continue
+                        key = headroom[t, c]
+                        pos = n_rest
+                        while pos > 0 and headroom[t, by_headroom[pos - 1]] < key:
+                            by_headroom[pos] = by_headroom[pos - 1]
+                            pos -= 1
+                        by_headroom[pos] = c
+                        n_rest += 1
+                    for i in range(n_rest):
+                        c = by_headroom[i]
+                        take = remaining if remaining < headroom[t, c] else headroom[t, c]
+                        if take <= 0.0:
+                            continue
+                        allocation[t, s, c] += take
+                        headroom[t, c] -= take
+                        remaining -= take
+                        if remaining <= 0.0:
+                            break
+                    if remaining > 1e-6:
+                        return t, s, remaining
+        return -1, -1, 0.0
+
+    @njit(cache=False)
+    def reduce_chunk(buffer, size, total):
+        """Identical to ``total += buffer[:size].sum(axis=0)``.
+
+        The chunk sum must finish *before* it joins the running total:
+        numpy folds the chunk left-to-right from step 0 and only then
+        adds the result, so ``(total + b0) + b1`` would differ by a
+        rounding in the last place. The partial starts at ``0.0``,
+        which is a bitwise no-op as the first addend because
+        allocations are clamped non-negative takes and never hold
+        ``-0.0``.
+        """
+        n_states, n_clusters = total.shape
+        partial = np.zeros((n_states, n_clusters), dtype=np.float64)
+        for i in range(size):
+            for s in range(n_states):
+                for c in range(n_clusters):
+                    partial[s, c] += buffer[i, s, c]
+        for s in range(n_states):
+            for c in range(n_clusters):
+                total[s, c] += partial[s, c]
+
+    return greedy_steps, reduce_chunk
+
+
+def greedy_fill_steps_numba(
+    demand: np.ndarray,
+    prefs: np.ndarray,
+    headroom: np.ndarray,
+    order: np.ndarray,
+    allocation: np.ndarray,
+) -> tuple[int, int, float]:
+    """Run the njit greedy walk over ``(T, S, k)`` preference orders."""
+    greedy_steps, _ = _compiled()
+    return greedy_steps(demand, prefs, headroom, order, allocation)
+
+
+def reduce_chunk_numba(buffer: np.ndarray, size: int, total: np.ndarray) -> None:
+    """Run the njit chunk reduction (step-ordered left fold)."""
+    _, reduce_chunk = _compiled()
+    reduce_chunk(buffer, size, total)

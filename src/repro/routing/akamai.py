@@ -25,7 +25,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.routing.base import RoutingProblem, greedy_fill, greedy_fill_batch
+from repro.routing.base import (
+    RoutingProblem,
+    _engine_float,
+    fallback_rest_table,
+    greedy_fill,
+    greedy_fill_batch,
+)
 
 __all__ = ["BaselineProximityRouter"]
 
@@ -51,6 +57,13 @@ class BaselineProximityRouter:
         zero locality); large values disable balancing entirely.
     """
 
+    #: ``allocate`` raises InfeasibleAllocationError exactly when a
+    #: step's total demand exceeds its summed finite limits (the
+    #: greedy_fill predicate; the balancing targets relax to the raw
+    #: limits whenever they would bind), so the engine may batch 95/5
+    #: burst steps.
+    strict_infeasibility = True
+
     def __init__(
         self,
         problem: RoutingProblem,
@@ -69,6 +82,8 @@ class BaselineProximityRouter:
         # Rectangular (n_states, n_clusters) view of the same orders
         # for the batched greedy fill.
         self._order_matrix = np.vstack(self._orders)
+        # Orders are full argsorts, so the fallback tables are empty.
+        self._fallback_rest = fallback_rest_table(self._orders, problem.n_clusters)
         capacities = problem.deployment.capacities
         self._shares = capacities / capacities.sum()
 
@@ -98,7 +113,7 @@ class BaselineProximityRouter:
         # but the external limits may bite; fall back to them alone.
         if float(np.sum(np.minimum(effective, 1e18))) < total:
             effective = limits
-        return greedy_fill(demand, self._orders, effective)
+        return greedy_fill(demand, self._orders, effective, fallback_rest=self._fallback_rest)
 
     def allocate_batch(
         self,
@@ -113,7 +128,7 @@ class BaselineProximityRouter:
         spill then runs once over the whole batch.
         """
         del prices
-        demand = np.asarray(demand, dtype=float)
+        demand = _engine_float(np.asarray(demand))
         n_steps = demand.shape[0]
         capacities = self._problem.deployment.capacities
         limits = np.asarray(limits, dtype=float)

@@ -11,6 +11,15 @@ form over a whole run of steps; :func:`batch_allocate` dispatches to it
 when present and otherwise falls back to sequential per-step
 ``allocate`` calls, so the simulation engine can always hand routers
 maximal runs of steps at once.
+
+Floating-point dtype: the engine runs in float64 by default, and every
+bitwise contract in the repository is pinned there. A
+:class:`RoutingProblem` built with ``dtype="float32"`` opts a run into
+the reduced-precision engine mode — inputs stay float32 through the
+routing kernels (half the memory traffic) and results carry a
+documented tolerance instead of bit-identity. The helpers here
+*preserve* float32 inputs rather than forcing float64, and promote
+everything else to float64 as before.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import ConfigurationError, InfeasibleAllocationError
 from repro.geo.distance import DistanceTable
 from repro.geo.states import all_states
@@ -30,8 +40,37 @@ __all__ = [
     "batch_allocate",
     "greedy_fill",
     "greedy_fill_batch",
+    "fallback_rest_table",
     "deployment_distance_table",
 ]
+
+#: Engine dtypes a routing problem may run under.
+ENGINE_DTYPES = ("float64", "float32")
+
+
+def _engine_float(values: np.ndarray) -> np.ndarray:
+    """``asarray`` that preserves float32 and promotes the rest to float64.
+
+    The float64 behaviour is exactly the old ``np.asarray(x,
+    dtype=float)`` coercion; float32 arrays — the opt-in engine mode —
+    pass through untouched so the batched kernels run at single
+    precision end to end.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == np.float32:
+        return arr
+    if arr.dtype == np.float64:
+        return arr
+    return arr.astype(np.float64)
+
+
+def _profiling():
+    # Imported lazily: repro.sim.engine imports this module, so a
+    # module-level import of repro.sim.profiling would be circular on
+    # some import orders.
+    from repro.sim import profiling
+
+    return profiling
 
 
 def deployment_distance_table(deployment: ClusterDeployment) -> DistanceTable:
@@ -42,20 +81,42 @@ def deployment_distance_table(deployment: ClusterDeployment) -> DistanceTable:
 class RoutingProblem:
     """Static context shared by all routers for one simulation.
 
-    Bundles the deployment, the distance table (states x clusters), and
-    the state ordering so routers can precompute whatever they need.
+    Bundles the deployment, the distance table (states x clusters), the
+    state ordering, and the engine dtype so routers can precompute
+    whatever they need at the right precision.
+
+    Parameters
+    ----------
+    deployment / distances:
+        The cluster roster and the state-to-cluster distance table.
+    dtype:
+        ``"float64"`` (default — the bit-identical engine) or
+        ``"float32"`` (the opt-in reduced-precision mode). Routers
+        build their precomputed score/distance tables in this dtype,
+        and the engine casts demand, prices, and limits to it before
+        routing.
     """
 
     def __init__(
         self,
         deployment: ClusterDeployment,
         distances: DistanceTable | None = None,
+        dtype: str = "float64",
     ) -> None:
+        if str(dtype) not in ENGINE_DTYPES:
+            raise ConfigurationError(
+                f"unknown engine dtype {dtype!r}; expected one of {ENGINE_DTYPES}"
+            )
         self.deployment = deployment
         self.distances = distances or deployment_distance_table(deployment)
         if self.distances.n_sites != deployment.n_clusters:
             raise ConfigurationError("distance table columns must match deployment clusters")
         self.state_codes = tuple(s.code for s in self.distances.states)
+        self.dtype = np.dtype(str(dtype))
+        #: Deployment capacities in the engine dtype (routers divide by
+        #: these in scoring; a float64 copy would silently promote every
+        #: float32 intermediate back to double).
+        self.capacities = deployment.capacities.astype(self.dtype)
 
     @property
     def n_states(self) -> int:
@@ -82,6 +143,16 @@ class Router(Protocol):
     exactly. It is deliberately not part of this protocol (scalar-only
     routers remain conformant); :func:`batch_allocate` discovers it by
     duck typing and supplies the sequential fallback otherwise.
+
+    Routers whose ``allocate`` raises
+    :class:`~repro.errors.InfeasibleAllocationError` *exactly* when a
+    step's total demand exceeds its summed finite limits (the
+    :func:`greedy_fill` predicate — true of every greedy-fill-backed
+    policy here) may advertise it with a class attribute
+    ``strict_infeasibility = True``; the engine then routes 95/5 burst
+    steps through one batched call against plain capacity instead of a
+    per-step try/except replay. Routers that ignore limits (the static
+    hub) or have bespoke infeasibility semantics must leave it unset.
     """
 
     def allocate(
@@ -119,19 +190,19 @@ def batch_allocate(
     step order (preserving per-step semantics for any router that only
     implements the scalar protocol).
     """
-    demand = np.asarray(demand, dtype=float)
+    demand = _engine_float(demand)
     if demand.ndim != 2:
         raise ConfigurationError(f"batch demand must be 2-D, got shape {demand.shape}")
     batch = getattr(router, "allocate_batch", None)
     if batch is not None:
         return batch(demand, prices, limits)
     n_steps = demand.shape[0]
-    prices = np.asarray(prices, dtype=float)
+    prices = _engine_float(prices)
     if prices.ndim != 2 or prices.shape[0] != n_steps:
         raise ConfigurationError(
             f"batch prices must be ({n_steps}, n_clusters), got shape {prices.shape}"
         )
-    limits = np.asarray(limits, dtype=float)
+    limits = _engine_float(limits)
     if limits.ndim not in (1, 2) or (limits.ndim == 2 and limits.shape[0] != n_steps):
         raise ConfigurationError(
             f"batch limits must be (n_clusters,) or ({n_steps}, n_clusters), "
@@ -142,11 +213,32 @@ def batch_allocate(
     # row — no (T, C) broadcast materialisation, and the shape checks
     # above run before the output tensor is allocated.
     shared_row = limits if limits.ndim == 1 else None
-    allocations = np.empty((n_steps, demand.shape[1], n_clusters))
+    allocations = np.empty((n_steps, demand.shape[1], n_clusters), dtype=demand.dtype)
     for t in range(n_steps):
         row = shared_row if shared_row is not None else limits[t]
         allocations[t] = router.allocate(demand[t], prices[t], row)
     return allocations
+
+
+def fallback_rest_table(
+    preference_orders: list[np.ndarray] | np.ndarray,
+    n_clusters: int,
+) -> list[np.ndarray]:
+    """Per-state unlisted-cluster tables for :func:`greedy_fill` callers.
+
+    For each state's preference list, the ascending indices of the
+    clusters it does *not* list — the only clusters the fallback pass
+    can actually take from. Preference lists are fixed per router (the
+    candidate *sets* never change even when per-step prices reorder
+    them), so callers compute this once at construction instead of
+    re-deriving the mask inside every scalar ``greedy_fill`` call.
+    """
+    table = []
+    for prefs in preference_orders:
+        listed = np.zeros(n_clusters, dtype=bool)
+        listed[np.asarray(prefs)] = True
+        table.append(np.flatnonzero(~listed))
+    return table
 
 
 def greedy_fill(
@@ -154,6 +246,7 @@ def greedy_fill(
     preference_orders: list[np.ndarray],
     limits: np.ndarray,
     state_order: np.ndarray | None = None,
+    fallback_rest: list[np.ndarray] | None = None,
 ) -> np.ndarray:
     """Allocate each state's demand along its cluster preference order.
 
@@ -177,6 +270,11 @@ def greedy_fill(
         Optional processing order (defaults to descending demand, so
         big states claim their preferred clusters first and fragmented
         spill is minimised).
+    fallback_rest:
+        Optional precomputed per-state unlisted-cluster tables (see
+        :func:`fallback_rest_table`). Purely a hot-path shortcut — the
+        fallback visits the same clusters in the same order either
+        way.
 
     Raises
     ------
@@ -194,8 +292,9 @@ def greedy_fill(
             f"demand {total_demand:.0f} hits/s exceeds total limit {total_limit:.0f}"
         )
 
-    allocation = np.zeros((n_states, n_clusters))
-    headroom = limits.astype(float).copy()
+    demand = np.asarray(demand)
+    allocation = np.zeros((n_states, n_clusters), dtype=_engine_float(demand).dtype)
+    headroom = _engine_float(limits).copy()
     order = state_order if state_order is not None else np.argsort(-demand)
 
     for s in order:
@@ -212,7 +311,8 @@ def greedy_fill(
             headroom[c] -= take
             remaining -= take
         if remaining > 1e-9:
-            for c in _fallback_order(preference_orders[s], headroom):
+            rest = fallback_rest[s] if fallback_rest is not None else None
+            for c in _fallback_order(preference_orders[s], headroom, rest):
                 take = min(remaining, headroom[c])
                 if take <= 0.0:
                     continue
@@ -228,7 +328,11 @@ def greedy_fill(
     return allocation
 
 
-def _fallback_order(prefs: np.ndarray, headroom: np.ndarray) -> np.ndarray:
+def _fallback_order(
+    prefs: np.ndarray,
+    headroom: np.ndarray,
+    rest: np.ndarray | None = None,
+) -> np.ndarray:
     """Visit order for demand that overflowed a partial preference list.
 
     The state's own preference order is honoured first — any listed
@@ -237,11 +341,18 @@ def _fallback_order(prefs: np.ndarray, headroom: np.ndarray) -> np.ndarray:
     headroom. Ties in headroom break toward the lower cluster index
     (stable sort), so spill is deterministic and independent of the
     sort algorithm's internals.
+
+    ``rest`` is the precomputed ascending unlisted-cluster table (see
+    :func:`fallback_rest_table`); when omitted it is derived here,
+    exactly as callers without a table always did.
     """
     prefs = np.asarray(prefs)
-    listed = np.zeros(headroom.shape[0], dtype=bool)
-    listed[prefs] = True
-    rest = np.flatnonzero(~listed)
+    if rest is None:
+        listed = np.zeros(headroom.shape[0], dtype=bool)
+        listed[prefs] = True
+        rest = np.flatnonzero(~listed)
+    if rest.size == 0:
+        return prefs
     rest = rest[np.argsort(-headroom[rest], kind="stable")]
     return np.concatenate([prefs, rest])
 
@@ -251,6 +362,10 @@ def greedy_fill_batch(
     preference_orders: np.ndarray,
     limits: np.ndarray,
     state_order: np.ndarray | None = None,
+    *,
+    distinct_prefs: bool = False,
+    out: np.ndarray | None = None,
+    out_rows: np.ndarray | None = None,
 ) -> np.ndarray:
     """Vectorised-over-time :func:`greedy_fill` for a run of steps.
 
@@ -260,6 +375,14 @@ def greedy_fill_batch(
     numerically identical, step for step, to calling
     :func:`greedy_fill` once per step: every take performs the same
     ``min``/subtract sequence on the same operands in the same order.
+
+    The inner walk is allocation-free: index arithmetic runs in int32
+    scratch buffers whenever the flat allocation span fits (always, at
+    paper scale), dead rows are compacted away once a rank's live set
+    halves, and takes scatter straight into the output tensor. With
+    ``REPRO_ENGINE_KERNEL=numba`` (and numba importable) the walk runs
+    as an njit kernel instead — same operand order, bitwise-identical
+    results.
 
     Parameters
     ----------
@@ -279,18 +402,30 @@ def greedy_fill_batch(
     state_order:
         ``(T, n_states)`` processing order per step; defaults to
         descending demand per step, matching :func:`greedy_fill`.
+    distinct_prefs:
+        Promise that every preference row is a permutation (no padded
+        repeats), letting the walk scatter with ``=`` instead of a
+        gather-add-scatter. Callers passing full ``argsort`` orders
+        (the joint router) set it; padded orders (the price router)
+        must not.
+    out / out_rows:
+        Optional destination: write step ``i``'s allocation into
+        ``out[out_rows[i]]`` instead of materialising a fresh tensor.
+        ``out`` rows must be zero-filled; this is how the spill repair
+        of a mostly-fast batch writes straight into the big allocation
+        tensor.
 
     Raises
     ------
     InfeasibleAllocationError
         If any step's total demand exceeds its summed limits.
     """
-    demand = np.asarray(demand, dtype=float)
+    demand = _engine_float(demand)
     n_steps, n_states = demand.shape
-    preference_orders = np.asarray(preference_orders)
-    limits = np.asarray(limits, dtype=float)
+    prefs = np.asarray(preference_orders)
+    limits = np.asarray(limits, dtype=demand.dtype)
     n_clusters = limits.shape[-1]
-    headroom = np.array(np.broadcast_to(limits, (n_steps, n_clusters)), dtype=float)
+    headroom = np.array(np.broadcast_to(limits, (n_steps, n_clusters)), dtype=demand.dtype)
 
     finite = np.isfinite(headroom)
     totals = demand.sum(axis=1)
@@ -307,93 +442,239 @@ def greedy_fill_batch(
             f"{total_limits[t]:.0f} at step {t}"
         )
 
-    allocation = np.zeros((n_steps, n_states, n_clusters))
     order = state_order if state_order is not None else np.argsort(-demand, axis=1)
-    rows = np.arange(n_steps)
-    per_step_prefs = preference_orders.ndim == 3
+    with _profiling().phase("greedy_repair"):
+        if kernels.use_numba():
+            return _greedy_fill_batch_numba(demand, prefs, headroom, order, out, out_rows)
+        return _greedy_fill_batch_numpy(
+            demand, prefs, headroom, order, distinct_prefs, out, out_rows
+        )
+
+
+def _greedy_fill_batch_numpy(
+    demand: np.ndarray,
+    prefs: np.ndarray,
+    headroom: np.ndarray,
+    order: np.ndarray,
+    distinct_prefs: bool,
+    out: np.ndarray | None,
+    out_rows: np.ndarray | None,
+) -> np.ndarray:
+    """The vectorised (rank x position) walk over flat scratch buffers."""
+    n_steps, n_states = demand.shape
+    n_clusters = headroom.shape[1]
+    if out is None:
+        allocation = np.zeros((n_steps, n_states, n_clusters), dtype=demand.dtype)
+        row_ids = None
+        flat_span = allocation.size
+    else:
+        if not out.flags.c_contiguous:
+            raise ConfigurationError("greedy_fill_batch out tensor must be C-contiguous")
+        allocation = out
+        row_ids = np.asarray(out_rows)
+        flat_span = allocation.size
+    alloc_flat = allocation.reshape(-1)
+
+    # Index arithmetic runs in int32 when the flat allocation span
+    # fits (it always does at paper scale); int64 otherwise.
+    ixt = np.int32 if flat_span < 2**31 else np.int64
+    per_step = prefs.ndim == 3
+    n_prefs = prefs.shape[-1]
+
+    # With non-negative limits every take is already >= 0, so the
+    # scalar walk's clamp is a bitwise no-op the hot loop can skip.
+    nonneg = bool(np.all(headroom >= 0))
+    demand_flat = demand.ravel()
+    head_flat = headroom.reshape(-1)
+    prefs_x = np.ascontiguousarray(prefs, dtype=ixt).reshape(-1)
+    arange_steps = np.arange(n_steps, dtype=ixt)
+    rows_s = arange_steps * ixt(n_states)
+    rows_c = arange_steps * ixt(n_clusters)
+    if row_ids is None:
+        out_rows_s = rows_s
+    else:
+        out_rows_s = row_ids.astype(ixt) * ixt(n_states)
+    order_t = np.ascontiguousarray(order.T, dtype=ixt)
+
+    # Per-call scratch: every inner-loop operand writes into one of
+    # these slices, so the (rank, position) walk allocates nothing.
+    i_c = np.empty(n_steps, dtype=ixt)
+    i_p = np.empty(n_steps, dtype=ixt)
+    i_h = np.empty(n_steps, dtype=ixt)
+    i_a = np.empty(n_steps, dtype=ixt)
+    f_h = np.empty(n_steps, dtype=demand.dtype)
+    f_t = np.empty(n_steps, dtype=demand.dtype)
+    s_pbase = np.empty(n_steps, dtype=ixt)
+    s_abase = np.empty(n_steps, dtype=ixt)
+    s_rem = np.empty(n_steps, dtype=demand.dtype)
+    s_idx = np.empty(n_steps, dtype=ixt)
+
     for rank in range(n_states):
-        s_t = order[:, rank]
-        remaining = demand[rows, s_t].copy()
-        prefs = preference_orders[rows, s_t] if per_step_prefs else preference_orders[s_t]
-        # Most steps are fully served by the state's first preference;
-        # after it, only the rows that still have demand stay active,
-        # so every further preference position touches a shrinking
-        # subset instead of the whole batch.
-        first = prefs[:, 0]
-        take = np.minimum(remaining, headroom[rows, first])
-        np.maximum(take, 0.0, out=take)
-        allocation[rows, s_t, first] += take
-        headroom[rows, first] -= take
-        remaining -= take
-        active = np.flatnonzero(remaining > 0.0)
-        for k in range(1, prefs.shape[1]):
-            if active.size == 0:
-                break
-            c_t = prefs[active, k]
-            take = np.minimum(remaining[active], headroom[active, c_t])
+        s_t = order_t[rank]
+        idx_rs = np.add(rows_s, s_t, out=s_idx)
+        remaining = np.take(demand_flat, idx_rs, out=s_rem)
+        if per_step:
+            pbase = np.multiply(idx_rs, ixt(n_prefs), out=s_pbase)
+        else:
+            pbase = np.multiply(s_t, ixt(n_prefs), out=s_pbase)
+        aidx_base = np.add(out_rows_s, s_t, out=s_abase)
+        np.multiply(aidx_base, ixt(n_clusters), out=aidx_base)
+        c = np.take(prefs_x, pbase, out=i_c)
+        hidx = np.add(rows_c, c, out=i_h)
+        h = np.take(head_flat, hidx, out=f_h)
+        take = np.minimum(remaining, h, out=f_t)
+        if not nonneg:
             np.maximum(take, 0.0, out=take)
-            allocation[active, s_t[active], c_t] += take
-            headroom[active, c_t] -= take
-            left = remaining[active] - take
-            remaining[active] = left
-            active = active[left > 0.0]
-        leftover = active[remaining[active] > 1e-9] if active.size else active
-        if leftover.size:
-            _fallback_spill_batch(
-                allocation,
-                headroom,
-                remaining,
-                leftover,
-                s_t,
-                preference_orders,
-                per_step_prefs,
-            )
-        if np.any(remaining > 1e-6):
-            t = int(np.argmax(remaining))
-            raise InfeasibleAllocationError(
-                f"could not place {remaining[t]:.1f} hits/s for state index "
-                f"{int(s_t[t])} at step {t}"
-            )
+        aidx = np.add(aidx_base, c, out=i_a)
+        # position 0 is the (t, s) row's first touch: '=' matches '+='
+        # on zeros bit for bit (take is never -0.0 after the clamp).
+        alloc_flat[aidx] = take
+        np.subtract(h, take, out=h)
+        head_flat[hidx] = h
+        np.subtract(remaining, take, out=remaining)
+        mask = remaining > 0.0
+        n_act = int(np.count_nonzero(mask))
+        if n_act == 0:
+            continue
+        hrow_base = rows_c
+        cur = n_steps
+        stale = 0
+        for k in range(1, n_prefs):
+            # Dead rows (remaining == 0) are bitwise no-ops; compact
+            # only once the live set has halved, so the common
+            # mostly-live case stays copy-free.
+            if n_act * 2 < cur:
+                remaining = remaining[mask]
+                pbase = pbase[mask]
+                aidx_base = aidx_base[mask]
+                hrow_base = hrow_base[mask]
+                cur = n_act
+            pidx = np.add(pbase, ixt(k), out=i_p[:cur])
+            c = np.take(prefs_x, pidx, out=i_c[:cur])
+            hidx = np.add(hrow_base, c, out=i_h[:cur])
+            h = np.take(head_flat, hidx, out=f_h[:cur])
+            take = np.minimum(remaining, h, out=f_t[:cur])
+            if not nonneg:
+                np.maximum(take, 0.0, out=take)
+            aidx = np.add(aidx_base, c, out=i_a[:cur])
+            if distinct_prefs:
+                alloc_flat[aidx] = take
+            else:
+                a = alloc_flat[aidx]
+                a += take
+                alloc_flat[aidx] = a
+            np.subtract(h, take, out=h)
+            head_flat[hidx] = h
+            np.subtract(remaining, take, out=remaining)
+            # Termination/compaction checks every other position: dead
+            # rows are bitwise no-ops, so a stale mask is only a
+            # throughput heuristic, never a correctness one.
+            stale += 1
+            if stale >= 2 or k == n_prefs - 1:
+                mask = remaining > 0.0
+                n_act = int(np.count_nonzero(mask))
+                stale = 0
+                if n_act == 0:
+                    break
+        if n_act:
+            remaining = remaining[mask]
+            pbase = pbase[mask]
+            aidx_base = aidx_base[mask]
+            hrow_base = hrow_base[mask]
+            over = remaining > 1e-9
+            if np.any(over):
+                remaining[over] = _fallback_spill_flat(
+                    alloc_flat,
+                    head_flat,
+                    remaining[over],
+                    aidx_base[over].astype(np.int64),
+                    hrow_base[over].astype(np.int64),
+                    pbase[over].astype(np.int64),
+                    prefs_x,
+                    n_prefs,
+                    n_clusters,
+                )
+            bad = remaining > 1e-6
+            if np.any(bad):
+                i = int(np.argmax(bad))
+                t = int(hrow_base[i]) // n_clusters
+                s = int(pbase[i]) // n_prefs
+                if per_step:
+                    s = s % n_states
+                raise InfeasibleAllocationError(
+                    f"could not place {remaining[i]:.1f} hits/s for state index "
+                    f"{s} at step {t}"
+                )
     return allocation
 
 
-def _fallback_spill_batch(
-    allocation: np.ndarray,
-    headroom: np.ndarray,
-    remaining: np.ndarray,
-    leftover: np.ndarray,
-    s_t: np.ndarray,
-    preference_orders: np.ndarray,
-    per_step_prefs: bool,
-) -> None:
-    """Vectorised fallback pass for rows that overflowed their list.
+def _fallback_spill_flat(
+    alloc_flat: np.ndarray,
+    head_flat: np.ndarray,
+    rem: np.ndarray,
+    aidx_base: np.ndarray,
+    hrow_base: np.ndarray,
+    pbase: np.ndarray,
+    prefs_flat: np.ndarray,
+    n_prefs: int,
+    n_clusters: int,
+) -> np.ndarray:
+    """Vectorised fallback pass over the compacted flat rows.
 
     A row only reaches the fallback after draining every listed
     cluster to exactly zero headroom, so revisiting listed clusters is
-    a guaranteed no-op; the pass therefore visits only the unlisted
-    clusters, in :func:`_fallback_order`'s order (descending headroom,
-    ties toward the lower index), which reproduces the scalar fallback
-    take for take.
+    a guaranteed no-op; the pass visits the unlisted clusters in
+    :func:`_fallback_order`'s order (descending headroom, ties toward
+    the lower index), which reproduces the scalar fallback take for
+    take.
     """
-    n_clusters = headroom.shape[1]
-    m = leftover.size
-    if per_step_prefs:
-        prefs_l = preference_orders[leftover, s_t[leftover]]
-    else:
-        prefs_l = preference_orders[s_t[leftover]]
+    m = rem.shape[0]
+    prefs_l = prefs_flat[pbase[:, None] + np.arange(n_prefs)[None, :]]
     listed = np.zeros((m, n_clusters), dtype=bool)
     listed[np.arange(m)[:, None], prefs_l] = True
-    head_l = headroom[leftover]
+    hrows = hrow_base[:, None] + np.arange(n_clusters)[None, :]
+    head_l = head_flat[hrows]
     key = np.where(listed, -np.inf, head_l)
     fb_order = np.argsort(-key, axis=1, kind="stable")
-    rem = remaining[leftover]
     lrows = np.arange(m)
     for k in range(n_clusters):
         c = fb_order[:, k]
         take = np.minimum(rem, head_l[lrows, c])
         np.maximum(take, 0.0, out=take)
-        allocation[leftover, s_t[leftover], c] += take
+        aidx = aidx_base + c
+        a = alloc_flat[aidx]
+        a += take
+        alloc_flat[aidx] = a
         head_l[lrows, c] -= take
         rem -= take
-    headroom[leftover] = head_l
-    remaining[leftover] = rem
+    head_flat[hrows] = head_l
+    return rem
+
+
+def _greedy_fill_batch_numba(
+    demand: np.ndarray,
+    prefs: np.ndarray,
+    headroom: np.ndarray,
+    order: np.ndarray,
+    out: np.ndarray | None,
+    out_rows: np.ndarray | None,
+) -> np.ndarray:
+    """Dispatch the walk to the njit kernel (bitwise-identical)."""
+    n_steps, n_states = demand.shape
+    n_clusters = headroom.shape[1]
+    prefs_all = np.ascontiguousarray(
+        np.broadcast_to(prefs, (n_steps, n_states, prefs.shape[-1])), dtype=np.int64
+    )
+    order64 = np.ascontiguousarray(order, dtype=np.int64)
+    allocation = np.zeros((n_steps, n_states, n_clusters), dtype=demand.dtype)
+    t, s, remaining = kernels.greedy_fill_steps_numba(
+        np.ascontiguousarray(demand), prefs_all, headroom, order64, allocation
+    )
+    if t >= 0:
+        raise InfeasibleAllocationError(
+            f"could not place {remaining:.1f} hits/s for state index {s} at step {t}"
+        )
+    if out is None:
+        return allocation
+    out[np.asarray(out_rows)] = allocation
+    return out

@@ -24,7 +24,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.routing.base import RoutingProblem, greedy_fill, greedy_fill_batch
+from repro.routing.base import (
+    RoutingProblem,
+    _engine_float,
+    fallback_rest_table,
+    greedy_fill,
+    greedy_fill_batch,
+)
 
 __all__ = ["JointOptimizationRouter"]
 
@@ -48,6 +54,11 @@ class JointOptimizationRouter:
         objective (None = unconstrained).
     """
 
+    #: ``allocate`` raises InfeasibleAllocationError exactly when a
+    #: step's total demand exceeds its summed finite limits (the
+    #: greedy_fill predicate), so the engine may batch 95/5 burst steps.
+    strict_infeasibility = True
+
     def __init__(
         self,
         problem: RoutingProblem,
@@ -62,7 +73,12 @@ class JointOptimizationRouter:
         self.congestion_penalty = congestion_penalty
         self.distance_threshold_km = distance_threshold_km
         distances = problem.distances.matrix
-        self._distance_cost = distance_penalty_per_1000km * distances / 1000.0
+        # Precomputed in the problem's engine dtype: on float64 this is
+        # a bitwise no-op; on float32 it keeps the (T, S, C) score
+        # tensors single-precision end to end.
+        self._distance_cost = (distance_penalty_per_1000km * distances / 1000.0).astype(
+            problem.dtype
+        )
         if distance_threshold_km is not None:
             allowed = distances <= distance_threshold_km
             # Metro fallback as in the price router: never strand a state.
@@ -72,6 +88,12 @@ class JointOptimizationRouter:
             self._forbidden = ~allowed
         else:
             self._forbidden = np.zeros_like(distances, dtype=bool)
+        self._has_forbidden = bool(self._forbidden.any())
+        # Scalar-path fallback tables: orders are full argsorts, so the
+        # unlisted-cluster set is empty for every state.
+        self._fallback_rest = fallback_rest_table(
+            [np.arange(problem.n_clusters)] * problem.n_states, problem.n_clusters
+        )
 
     def _scores(self, prices: np.ndarray, projected_utilization: np.ndarray) -> np.ndarray:
         # The quadratic ramp is deliberately unbounded: a cluster
@@ -105,7 +127,7 @@ class JointOptimizationRouter:
             allocation[np.arange(self._problem.n_states), preferred] = demand
             return allocation
         orders = [np.argsort(scores[s]) for s in range(self._problem.n_states)]
-        return greedy_fill(demand, orders, limits)
+        return greedy_fill(demand, orders, limits, fallback_rest=self._fallback_rest)
 
     def _scores_batch(self, prices: np.ndarray, projected_utilization: np.ndarray) -> np.ndarray:
         """:meth:`_scores` over a run: ``(T, C)`` inputs, ``(T, S, C)`` out.
@@ -138,31 +160,67 @@ class JointOptimizationRouter:
         limit re-score with the realised utilization and repair
         through :func:`greedy_fill_batch` on ``argsort(axis=-1)``
         orders, which replays the scalar greedy spill take for take.
+
+        Three facts about :meth:`_scores_batch` let the tensor passes
+        shed most of their work without moving a bit:
+
+        - the ``price + distance`` term is congestion-independent, so
+          one ``base`` tensor serves every pass;
+        - the first pass's congestion term is exactly zero, and adding
+          zero can only flip ``-0.0`` signs — invisible to the argmin
+          that is the term's sole consumer — so the add is skipped;
+        - ``np.where(forbidden, inf, .)`` with an all-False mask is an
+          elementwise copy, so it is skipped unless a distance
+          threshold actually forbids something.
+
+        The greedy repair then writes straight into the allocation
+        tensor (``out=``/``out_rows``) instead of materialising a
+        spill-sized tensor and copying it in.
         """
-        demand = np.asarray(demand, dtype=float)
-        prices = np.asarray(prices, dtype=float)
+        demand = _engine_float(np.asarray(demand))
+        prices = np.asarray(prices, dtype=demand.dtype)
         n_steps = demand.shape[0]
         n_states = self._problem.n_states
         n_clusters = self._problem.n_clusters
-        limits = np.asarray(limits, dtype=float)
+        limits = np.asarray(limits, dtype=demand.dtype)
         step_limits = np.broadcast_to(limits, (n_steps, n_clusters))
 
         capacities = self._problem.deployment.capacities
         rows = np.arange(n_steps)
-        utilization = np.zeros((n_steps, n_clusters))
-        for _ in range(2):
-            scores = self._scores_batch(prices, utilization)
-            preferred = np.argmin(scores, axis=2)
-            flat = (rows[:, None] * n_clusters + preferred).ravel()
-            loads = np.bincount(
-                flat,
-                weights=demand.ravel(),
-                minlength=n_steps * n_clusters,
-            ).reshape(n_steps, n_clusters)
-            utilization = loads / capacities[None, :]
+
+        # base = price + distance term, shared by every scoring pass.
+        base = prices[:, None, :] + self._distance_cost[None, :, :]
+
+        # Pass 1: empty system (congestion exactly zero).
+        if self._has_forbidden:
+            scores = np.where(self._forbidden[None, :, :], np.inf, base)
+        else:
+            scores = base
+        preferred = np.argmin(scores, axis=2)
+        flat = (rows[:, None] * n_clusters + preferred).ravel()
+        loads = np.bincount(
+            flat, weights=demand.ravel(), minlength=n_steps * n_clusters
+        ).reshape(n_steps, n_clusters)
+        utilization = loads / capacities[None, :]
+
+        # Pass 2: congestion refreshed with the realised loads. The
+        # add lands in a reusable scratch tensor (out= also keeps a
+        # float32 run single-precision instead of promoting).
+        congestion = self.congestion_penalty * np.square(utilization)
+        scratch = np.add(base, congestion[:, None, :], out=np.empty_like(base))
+        if self._has_forbidden:
+            scores = np.where(self._forbidden[None, :, :], np.inf, scratch)
+        else:
+            scores = scratch
+        preferred = np.argmin(scores, axis=2)
+        flat = (rows[:, None] * n_clusters + preferred).ravel()
+        loads = np.bincount(
+            flat, weights=demand.ravel(), minlength=n_steps * n_clusters
+        ).reshape(n_steps, n_clusters)
+        utilization = loads / capacities[None, :]
 
         fits = np.all(loads <= step_limits + 1e-9, axis=1)
-        allocation = np.zeros((n_steps, n_states, n_clusters))
+        allocation = np.zeros((n_steps, n_states, n_clusters), dtype=demand.dtype)
         fast = np.flatnonzero(fits)
         allocation[fast[:, None], np.arange(n_states)[None, :], preferred[fast]] = demand[fast]
         spill = np.flatnonzero(~fits)
@@ -170,7 +228,20 @@ class JointOptimizationRouter:
             # Only the violating steps pay for the final re-score and
             # the full argsort orders; elementwise the scores are the
             # same as the all-steps tensor would be.
-            scores = self._scores_batch(prices[spill], utilization[spill])
+            congestion = self.congestion_penalty * np.square(utilization[spill])
+            sub = np.take(base, spill, axis=0, out=scratch[: spill.size])
+            np.add(sub, congestion[:, None, :], out=sub)
+            if self._has_forbidden:
+                scores = np.where(self._forbidden[None, :, :], np.inf, sub)
+            else:
+                scores = sub
             orders = np.argsort(scores, axis=2)
-            allocation[spill] = greedy_fill_batch(demand[spill], orders, step_limits[spill])
+            greedy_fill_batch(
+                demand[spill],
+                orders,
+                step_limits[spill],
+                distinct_prefs=True,
+                out=allocation,
+                out_rows=spill,
+            )
         return allocation

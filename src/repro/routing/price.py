@@ -26,7 +26,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.routing.base import RoutingProblem, greedy_fill, greedy_fill_batch
+from repro.routing.base import (
+    RoutingProblem,
+    _engine_float,
+    fallback_rest_table,
+    greedy_fill,
+    greedy_fill_batch,
+)
 
 __all__ = ["PriceConsciousRouter", "DEFAULT_PRICE_THRESHOLD", "METRO_RADIUS_KM"]
 
@@ -40,6 +46,11 @@ METRO_RADIUS_KM = 50.0
 
 class PriceConsciousRouter:
     """Cheapest-electricity routing under distance/price thresholds."""
+
+    #: ``allocate`` raises InfeasibleAllocationError exactly when a
+    #: step's total demand exceeds its summed finite limits (the
+    #: greedy_fill predicate), so the engine may batch 95/5 burst steps.
+    strict_infeasibility = True
 
     def __init__(
         self,
@@ -70,8 +81,14 @@ class PriceConsciousRouter:
         self._mask = np.zeros_like(distances, dtype=bool)
         for s, cands in enumerate(self._candidates):
             self._mask[s, cands] = True
-        self._masked_distance = np.where(self._mask, distances, np.inf)
+        # Engine-dtype copy: a bitwise no-op on float64, and what
+        # keeps the per-step choice tensors single-precision on float32.
+        self._masked_distance = np.where(self._mask, distances, np.inf).astype(problem.dtype)
         self._candidate_counts = np.array([c.size for c in self._candidates])
+        # Scalar-path fallback tables: the spill pass can only draw
+        # from each state's non-candidate clusters, whose set is fixed
+        # at construction even though prices reorder the candidates.
+        self._fallback_rest = fallback_rest_table(self._candidates, problem.n_clusters)
 
     @property
     def candidate_sets(self) -> list[np.ndarray]:
@@ -118,7 +135,7 @@ class PriceConsciousRouter:
             return allocation
 
         orders = [self._preference(s, prices) for s in range(n_states)]
-        return greedy_fill(demand, orders, limits)
+        return greedy_fill(demand, orders, limits, fallback_rest=self._fallback_rest)
 
     def allocate_batch(
         self,
@@ -135,11 +152,11 @@ class PriceConsciousRouter:
         choice would overflow a limit drop back to the scalar greedy
         spill, so each step's slice equals ``allocate`` on that step.
         """
-        demand = np.asarray(demand, dtype=float)
-        prices = np.asarray(prices, dtype=float)
+        demand = _engine_float(np.asarray(demand))
+        prices = np.asarray(prices, dtype=demand.dtype)
         n_steps = demand.shape[0]
         n_states, n_clusters = self._mask.shape
-        limits = np.asarray(limits, dtype=float)
+        limits = np.asarray(limits, dtype=demand.dtype)
         step_limits = np.broadcast_to(limits, (n_steps, n_clusters))
 
         masked_prices = np.where(self._mask[None, :, :], prices[:, None, :], np.inf)
@@ -156,15 +173,20 @@ class PriceConsciousRouter:
         ).reshape(n_steps, n_clusters)
         fits = np.all(loads <= step_limits + 1e-9, axis=1)
 
-        allocation = np.zeros((n_steps, n_states, n_clusters))
+        allocation = np.zeros((n_steps, n_states, n_clusters), dtype=demand.dtype)
         fast = np.flatnonzero(fits)
         allocation[fast[:, None], np.arange(n_states)[None, :], preferred[fast]] = demand[fast]
         spill = np.flatnonzero(~fits)
         if spill.size:
-            allocation[spill] = greedy_fill_batch(
+            # The greedy repair writes straight into the allocation
+            # tensor; padded preference rows mean repeats, so the
+            # gather-add-scatter (non-distinct) walk is required.
+            greedy_fill_batch(
                 demand[spill],
                 self._preference_batch(prices[spill]),
                 step_limits[spill],
+                out=allocation,
+                out_rows=spill,
             )
         return allocation
 

@@ -110,10 +110,15 @@ def _dataset_cached(market: MarketSpec, provider: ProviderSpec) -> MarketDataset
     return build_provider(provider).dataset(market)
 
 
-@lru_cache(maxsize=1)
-def problem() -> RoutingProblem:
-    """The shared Akamai-like nine-cluster routing problem."""
-    return RoutingProblem(akamai_like_deployment())
+@lru_cache(maxsize=2)
+def problem(dtype: str = "float64") -> RoutingProblem:
+    """The shared Akamai-like nine-cluster routing problem.
+
+    One cached instance per engine dtype: the float64 default every
+    bitwise contract pins, and the opt-in float32 problem a scenario
+    with ``engine_dtype="float32"`` runs under.
+    """
+    return RoutingProblem(akamai_like_deployment(), dtype=dtype)
 
 
 @lru_cache(maxsize=32)
@@ -154,7 +159,7 @@ def build_router(scenario: Scenario) -> Router:
     """
     kind = scenario.router.kind
     kwargs = scenario.router.kwargs
-    prob = problem()
+    prob = problem(scenario.engine_dtype)
     if kind == "baseline":
         return BaselineProximityRouter(prob, **kwargs)
     if kind in ("price", "weather"):
@@ -278,7 +283,7 @@ def _run_cached(scenario: Scenario) -> SimulationResult:
 
 def _execute(scenario: Scenario) -> SimulationResult:
     data = dataset(scenario.market, scenario.provider)
-    prob = problem()
+    prob = problem(scenario.engine_dtype)
     run_trace = trace(scenario.trace, scenario.market)
 
     caps = None
@@ -348,7 +353,7 @@ def _execute_stacked(group: list[Scenario]) -> None:
     """Run one stack group through :func:`simulate_many`, park results."""
     first = group[0]
     data = dataset(first.market, first.provider)
-    prob = problem()
+    prob = problem(first.engine_dtype)
     traces = [trace(s.trace, s.market) for s in group]
     options = SimulationOptions(
         reaction_delay_hours=first.reaction_delay_hours,

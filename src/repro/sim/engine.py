@@ -57,14 +57,18 @@ longer chunks under the same ceiling.
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import ConfigurationError, InfeasibleAllocationError
 from repro.markets.generator import MarketDataset
 from repro.routing.base import Router, RoutingProblem, batch_allocate
+from repro.sim import profiling
 from repro.sim.results import DISTANCE_BIN_KM, DISTANCE_MAX_KM, SimulationResult
 from repro.traffic.percentile import Bandwidth95Tracker
 from repro.traffic.trace import TrafficTrace
@@ -117,11 +121,19 @@ class _AllocationReducer:
     at chunk boundaries — which makes the distance histograms of
     :func:`simulate` and :func:`simulate_per_step` agree *bit for bit*,
     not merely to rounding tolerance.
+
+    The chunk buffer holds allocations in the engine dtype (so a
+    float32 run never materialises float64 copies of its chunks) while
+    the running totals always accumulate in float64 —
+    ``sum(axis=0, dtype=np.float64)`` is the identical operation on the
+    default float64 path and the accuracy-preserving one on float32.
     """
 
-    def __init__(self, n_steps: int, n_states: int, n_clusters: int) -> None:
+    def __init__(
+        self, n_steps: int, n_states: int, n_clusters: int, dtype: np.dtype | type = np.float64
+    ) -> None:
         self._chunk = min(n_steps, batch_chunk_steps(n_states, n_clusters))
-        self._buffer = np.zeros((self._chunk, n_states, n_clusters))
+        self._buffer = np.zeros((self._chunk, n_states, n_clusters), dtype=dtype)
         self.total = np.zeros((n_states, n_clusters))
 
     def put(self, offsets: np.ndarray | int, allocations: np.ndarray) -> None:
@@ -130,7 +142,10 @@ class _AllocationReducer:
 
     def reduce_chunk(self, size: int) -> None:
         """Fold the first ``size`` buffered steps into the totals."""
-        self.total += self._buffer[:size].sum(axis=0)
+        if kernels.use_numba() and self._buffer.dtype == np.float64:
+            kernels.reduce_chunk_numba(self._buffer, size, self.total)
+        else:
+            self.total += self._buffer[:size].sum(axis=0, dtype=np.float64)
 
     def histogram(self, bin_index: np.ndarray, n_bins: int) -> np.ndarray:
         """The demand-weighted distance histogram of the whole run."""
@@ -379,74 +394,169 @@ def simulate(
         an override (lag it yourself if the signal calls for it).
     """
     opts = options or SimulationOptions()
-    prepared = _prepare(trace, dataset, problem, opts, router_prices)
+    with profiling.phase("precompute"):
+        prepared = _prepare(trace, dataset, problem, opts, router_prices)
+        route = _RouteArrays.build(problem, prepared, trace.demand)
     n_steps = trace.n_steps
     n_clusters = problem.n_clusters
     chunk_steps = batch_chunk_steps(problem.n_states, n_clusters)
 
     loads = np.empty((n_steps, n_clusters))
-    reducer = _AllocationReducer(n_steps, problem.n_states, n_clusters)
+    reducer = _AllocationReducer(n_steps, problem.n_states, n_clusters, dtype=problem.dtype)
 
-    for lo in range(0, n_steps, chunk_steps):
-        hi = min(lo + chunk_steps, n_steps)
+    strict_burst = _strict_burst(router, problem, prepared)
+
+    def route_chunk(lo: int, hi: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Allocate one chunk's steps; returns (steps, allocations) runs."""
+        segments = []
         chunk_burst = prepared.burst_steps[lo:hi]
-        for selector, is_burst in ((~chunk_burst, False), (chunk_burst, True)):
-            steps = lo + np.flatnonzero(selector)
-            if steps.size == 0:
-                continue
-            if is_burst:
-                # Steps whose total demand exceeds the summed 95/5
-                # caps are replayed per step under the original
-                # contract, which any router semantics (raising,
-                # clipping, ignoring limits) reproduce exactly. They
-                # are at most the free 5% of intervals, so the batch
-                # path's throughput is untouched.
-                allocations = _replay_with_retry(router, trace, prepared, steps)
-            else:
-                try:
-                    allocations = batch_allocate(
-                        router,
-                        trace.demand[steps],
-                        prepared.seen_prices[steps],
-                        prepared.limits,
-                    )
-                except InfeasibleAllocationError:
-                    if prepared.tracker is None:
-                        raise
-                    # The burst predicate only anticipates total-demand
-                    # overflow; a router may still raise on per-cluster
-                    # structure (e.g. a capped candidate set). Fall
-                    # back to the per-step contract for these steps.
-                    allocations = _replay_with_retry(router, trace, prepared, steps)
-            loads[steps] = allocations.sum(axis=1)
-            reducer.put(steps - lo, allocations)
-        reducer.reduce_chunk(hi - lo)
+        with profiling.phase("routing"):
+            for selector, is_burst in ((~chunk_burst, False), (chunk_burst, True)):
+                steps = lo + np.flatnonzero(selector)
+                if steps.size == 0:
+                    continue
+                if is_burst:
+                    if strict_burst:
+                        # Burst steps under a strict router: raising on
+                        # the capped limits is *guaranteed* (the burst
+                        # predicate is the router's own infeasibility
+                        # test), so the try/except replay collapses to
+                        # one batched call against plain capacity.
+                        allocations = batch_allocate(
+                            router,
+                            route.demand[steps],
+                            route.prices[steps],
+                            route.capacity_limits,
+                        )
+                    else:
+                        # Steps whose total demand exceeds the summed
+                        # 95/5 caps are replayed per step under the
+                        # original contract, which any router semantics
+                        # (raising, clipping, ignoring limits)
+                        # reproduce exactly. They are at most the free
+                        # 5% of intervals, so the batch path's
+                        # throughput is untouched.
+                        allocations = _replay_with_retry(router, route, steps)
+                else:
+                    try:
+                        allocations = batch_allocate(
+                            router,
+                            route.demand[steps],
+                            route.prices[steps],
+                            route.limits,
+                        )
+                    except InfeasibleAllocationError:
+                        if prepared.tracker is None:
+                            raise
+                        # The burst predicate only anticipates
+                        # total-demand overflow; a router may still
+                        # raise on per-cluster structure (e.g. a capped
+                        # candidate set). Fall back to the per-step
+                        # contract for these steps.
+                        allocations = _replay_with_retry(router, route, steps)
+                segments.append((steps, allocations))
+        return segments
 
-    if prepared.tracker is not None:
-        prepared.tracker.record_batch(loads)
+    def consume(lo: int, hi: int, segments: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        with profiling.phase("reduce"):
+            for steps, allocations in segments:
+                loads[steps] = allocations.sum(axis=1)
+                reducer.put(steps - lo, allocations)
+            reducer.reduce_chunk(hi - lo)
 
-    histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
-    return _finalize(trace, problem, prepared, loads, histogram, server_counts)
+    bounds = [(lo, min(lo + chunk_steps, n_steps)) for lo in range(0, n_steps, chunk_steps)]
+    n_threads = kernels.engine_threads()
+    if n_threads > 1 and len(bounds) > 1:
+        # Chunk routing is embarrassingly parallel (steps never
+        # interact); the reduction below stays serial and in chunk
+        # order, so the float summation order — part of the
+        # bit-identity contract — is untouched. In-flight futures are
+        # bounded so peak memory stays at ~n_threads chunk tensors.
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            pending = deque()
+            it = iter(bounds)
+            for b in bounds[:n_threads]:
+                next(it)
+                pending.append((b, pool.submit(route_chunk, *b)))
+            while pending:
+                (lo, hi), fut = pending.popleft()
+                consume(lo, hi, fut.result())
+                nxt = next(it, None)
+                if nxt is not None:
+                    pending.append((nxt, pool.submit(route_chunk, *nxt)))
+    else:
+        for lo, hi in bounds:
+            consume(lo, hi, route_chunk(lo, hi))
+
+    with profiling.phase("finalize"):
+        if prepared.tracker is not None:
+            prepared.tracker.record_batch(loads)
+        histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
+        return _finalize(trace, problem, prepared, loads, histogram, server_counts)
+
+
+@dataclass(frozen=True, slots=True)
+class _RouteArrays:
+    """The arrays the router actually sees, in the engine dtype.
+
+    On the default float64 path these are the prepared tensors
+    themselves (no copies); a float32 problem casts demand, prices,
+    and both limit vectors once up front so every routing call runs
+    single-precision end to end. Billing (``paid_prices``), loads, and
+    the reducer totals stay float64 either way.
+    """
+
+    demand: np.ndarray
+    prices: np.ndarray
+    limits: np.ndarray
+    capacity_limits: np.ndarray
+
+    @classmethod
+    def build(
+        cls, problem: RoutingProblem, prepared: _PreparedRun, demand: np.ndarray
+    ) -> _RouteArrays:
+        if problem.dtype == np.float64:
+            return cls(demand, prepared.seen_prices, prepared.limits, prepared.capacity_limits)
+        return cls(
+            demand.astype(problem.dtype),
+            prepared.seen_prices.astype(problem.dtype),
+            prepared.limits.astype(problem.dtype),
+            prepared.capacity_limits.astype(problem.dtype),
+        )
+
+
+def _strict_burst(router: Router, problem: RoutingProblem, prepared: _PreparedRun) -> bool:
+    """Whether burst steps may be batched instead of replayed.
+
+    Requires the router's ``strict_infeasibility`` promise *and* the
+    float64 engine: the burst predicate is float-identical to
+    greedy_fill's infeasibility test only when both run at the same
+    precision as the precompute.
+    """
+    return (
+        prepared.tracker is not None
+        and problem.dtype == np.float64
+        and bool(getattr(router, "strict_infeasibility", False))
+    )
 
 
 def _replay_with_retry(
     router: Router,
-    trace: TrafficTrace,
-    prepared: _PreparedRun,
+    route: _RouteArrays,
     steps: np.ndarray,
 ) -> np.ndarray:
     """Reference semantics, one step at a time: capped limits first,
     plain capacity when the router raises."""
-    n_clusters = prepared.capacity_limits.shape[0]
-    out = np.empty((steps.size, trace.n_states, n_clusters))
+    n_clusters = route.capacity_limits.shape[0]
+    out = np.empty((steps.size, route.demand.shape[1], n_clusters), dtype=route.demand.dtype)
     for i, t in enumerate(steps):
         try:
-            out[i] = router.allocate(trace.demand[t], prepared.seen_prices[t], prepared.limits)
+            out[i] = router.allocate(route.demand[t], route.prices[t], route.limits)
         except InfeasibleAllocationError:
             out[i] = router.allocate(
-                trace.demand[t],
-                prepared.seen_prices[t],
-                prepared.capacity_limits,
+                route.demand[t],
+                route.prices[t],
+                route.capacity_limits,
             )
     return out
 
@@ -469,22 +579,23 @@ def simulate_per_step(
     """
     opts = options or SimulationOptions()
     prepared = _prepare(trace, dataset, problem, opts, router_prices)
+    route = _RouteArrays.build(problem, prepared, trace.demand)
     n_clusters = problem.n_clusters
     chunk_steps = batch_chunk_steps(problem.n_states, n_clusters)
 
-    reducer = _AllocationReducer(trace.n_steps, problem.n_states, n_clusters)
+    reducer = _AllocationReducer(trace.n_steps, problem.n_states, n_clusters, dtype=problem.dtype)
     loads = np.empty((trace.n_steps, n_clusters))
     for t in range(trace.n_steps):
         try:
-            allocation = router.allocate(trace.demand[t], prepared.seen_prices[t], prepared.limits)
+            allocation = router.allocate(route.demand[t], route.prices[t], route.limits)
         except InfeasibleAllocationError:
             if prepared.tracker is None:
                 raise
             # Demand cannot fit under the 95/5 caps this step: burst.
             allocation = router.allocate(
-                trace.demand[t],
-                prepared.seen_prices[t],
-                prepared.capacity_limits,
+                route.demand[t],
+                route.prices[t],
+                route.capacity_limits,
             )
         step_loads = allocation.sum(axis=0)
         loads[t] = step_loads
@@ -554,12 +665,15 @@ def simulate_many(
         if tr.state_codes != first.state_codes:
             raise ConfigurationError("simulate_many traces must share state order")
 
-    prepared = _prepare(first, dataset, problem, opts, None)
+    with profiling.phase("precompute"):
+        prepared = _prepare(first, dataset, problem, opts, None)
+        routes = [_RouteArrays.build(problem, prepared, tr.demand) for tr in traces]
     n_replicas = len(traces)
     n_steps = first.n_steps
     n_states = problem.n_states
     n_clusters = problem.n_clusters
     chunk_steps = batch_chunk_steps(n_states, n_clusters)
+    strict_burst = _strict_burst(router, problem, prepared)
 
     # Burst accounting is demand-driven, so it is per replica even
     # though the caps (and the derived limits) are shared.
@@ -571,21 +685,24 @@ def simulate_many(
         bursts = [prepared.burst_steps] * n_replicas  # all-False, shared
 
     loads = [np.empty((n_steps, n_clusters)) for _ in range(n_replicas)]
-    reducers = [_AllocationReducer(n_steps, n_states, n_clusters) for _ in range(n_replicas)]
+    reducers = [
+        _AllocationReducer(n_steps, n_states, n_clusters, dtype=problem.dtype)
+        for _ in range(n_replicas)
+    ]
 
     def _fast_segment(r: int, steps: np.ndarray) -> np.ndarray:
         """One replica's non-burst steps under simulate's semantics."""
         try:
             return batch_allocate(
                 router,
-                traces[r].demand[steps],
-                prepared.seen_prices[steps],
-                prepared.limits,
+                routes[r].demand[steps],
+                routes[r].prices[steps],
+                routes[r].limits,
             )
         except InfeasibleAllocationError:
             if trackers[r] is None:
                 raise
-            return _replay_with_retry(router, traces[r], prepared, steps)
+            return _replay_with_retry(router, routes[r], steps)
 
     for lo in range(0, n_steps, chunk_steps):
         hi = min(lo + chunk_steps, n_steps)
@@ -610,39 +727,56 @@ def simulate_many(
                 group_rows += item[1].size
                 continue
             if group:
-                try:
-                    fused = batch_allocate(
-                        router,
-                        np.concatenate([traces[r].demand[steps] for r, steps in group]),
-                        np.concatenate([prepared.seen_prices[steps] for _, steps in group]),
-                        prepared.limits,
-                    )
-                except InfeasibleAllocationError:
-                    fused = None  # re-run the group per replica below
-                offset = 0
-                for r, steps in group:
+                with profiling.phase("routing"):
+                    try:
+                        fused = batch_allocate(
+                            router,
+                            np.concatenate([routes[r].demand[steps] for r, steps in group]),
+                            np.concatenate([routes[0].prices[steps] for _, steps in group]),
+                            routes[0].limits,
+                        )
+                    except InfeasibleAllocationError:
+                        fused = None  # re-run the group per replica below
                     if fused is None:
-                        allocations = _fast_segment(r, steps)
-                    else:
-                        allocations = fused[offset : offset + steps.size]
-                    offset += steps.size
-                    loads[r][steps] = allocations.sum(axis=1)
-                    reducers[r].put(steps - lo, allocations)
+                        parts = [_fast_segment(r, steps) for r, steps in group]
+                with profiling.phase("reduce"):
+                    offset = 0
+                    for g, (r, steps) in enumerate(group):
+                        if fused is None:
+                            allocations = parts[g]
+                        else:
+                            allocations = fused[offset : offset + steps.size]
+                        offset += steps.size
+                        loads[r][steps] = allocations.sum(axis=1)
+                        reducers[r].put(steps - lo, allocations)
             group = [item] if item is not None else []
             group_rows = item[1].size if item is not None else 0
 
         for r in range(n_replicas):
             burst_steps = lo + np.flatnonzero(bursts[r][lo:hi])
             if burst_steps.size:
-                allocations = _replay_with_retry(router, traces[r], prepared, burst_steps)
+                with profiling.phase("routing"):
+                    if strict_burst:
+                        allocations = batch_allocate(
+                            router,
+                            routes[r].demand[burst_steps],
+                            routes[r].prices[burst_steps],
+                            routes[r].capacity_limits,
+                        )
+                    else:
+                        allocations = _replay_with_retry(router, routes[r], burst_steps)
                 loads[r][burst_steps] = allocations.sum(axis=1)
                 reducers[r].put(burst_steps - lo, allocations)
-            reducers[r].reduce_chunk(hi - lo)
+            with profiling.phase("reduce"):
+                reducers[r].reduce_chunk(hi - lo)
 
-    results = []
-    for r in range(n_replicas):
-        if trackers[r] is not None:
-            trackers[r].record_batch(loads[r])
-        histogram = reducers[r].histogram(prepared.bin_index, prepared.n_bins)
-        results.append(_finalize(traces[r], problem, prepared, loads[r], histogram, server_counts))
-    return tuple(results)
+    with profiling.phase("finalize"):
+        results = []
+        for r in range(n_replicas):
+            if trackers[r] is not None:
+                trackers[r].record_batch(loads[r])
+            histogram = reducers[r].histogram(prepared.bin_index, prepared.n_bins)
+            results.append(
+                _finalize(traces[r], problem, prepared, loads[r], histogram, server_counts)
+            )
+        return tuple(results)

@@ -1,0 +1,288 @@
+"""Kernel selection, threaded chunk routing, and the float32 mode.
+
+The engine's raw-speed knobs must never move a result: the numba
+kernels (when the optional dependency is installed) and threaded chunk
+routing are gated on *bitwise* agreement with the default serial numpy
+engine across router kinds and cap modes, and the opt-in float32 mode
+is gated on documented tolerances rather than bit-identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.errors import ConfigurationError
+from repro.routing.akamai import BaselineProximityRouter
+from repro.routing.base import RoutingProblem
+from repro.routing.joint import JointOptimizationRouter
+from repro.routing.price import PriceConsciousRouter
+from repro.routing.static import StaticSingleHubRouter
+from repro.scenarios.spec import RouterSpec, Scenario
+from repro.sim import engine as engine_mod
+from repro.sim import profiling
+from repro.sim.engine import SimulationOptions, simulate
+from repro.traffic import akamai_like_deployment
+
+# ---------------------------------------------------------------------------
+# Environment-variable parsing
+
+
+def test_default_kernel_is_numpy(monkeypatch):
+    monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+    assert kernels.kernel_name() == "numpy"
+    assert not kernels.use_numba()
+
+
+def test_kernel_env_parses_known_values(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "  NUMBA ")
+    assert kernels.kernel_name() == "numba"
+    monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+    assert kernels.kernel_name() == "numpy"
+    monkeypatch.setenv(kernels.KERNEL_ENV, "")
+    assert kernels.kernel_name() == "numpy"
+
+
+def test_unknown_kernel_rejected(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "fortran")
+    with pytest.raises(ConfigurationError, match="REPRO_ENGINE_KERNEL"):
+        kernels.kernel_name()
+
+
+def test_numba_request_without_numba_falls_back(monkeypatch):
+    """Requesting numba on a box without it must serve numpy, not raise."""
+    monkeypatch.setenv(kernels.KERNEL_ENV, "numba")
+    if kernels.numba_available():
+        assert kernels.use_numba()
+    else:
+        assert not kernels.use_numba()
+    assert kernels.kernel_name() == "numba"  # the request itself is valid
+
+
+def test_threads_env_parsing(monkeypatch):
+    monkeypatch.delenv(kernels.THREADS_ENV, raising=False)
+    assert kernels.engine_threads() == 0
+    monkeypatch.setenv(kernels.THREADS_ENV, " 4 ")
+    assert kernels.engine_threads() == 4
+    monkeypatch.setenv(kernels.THREADS_ENV, "")
+    assert kernels.engine_threads() == 0
+
+
+@pytest.mark.parametrize("raw", ["two", "1.5", "-1"])
+def test_threads_env_rejects_bad_values(monkeypatch, raw):
+    monkeypatch.setenv(kernels.THREADS_ENV, raw)
+    with pytest.raises(ConfigurationError, match="REPRO_ENGINE_THREADS"):
+        kernels.engine_threads()
+
+
+# ---------------------------------------------------------------------------
+# Bitwise identity of the speed knobs
+
+ROUTERS = ["baseline", "price", "joint", "static"]
+
+
+def _build_router(kind: str, problem):
+    if kind == "baseline":
+        return BaselineProximityRouter(problem)
+    if kind == "price":
+        return PriceConsciousRouter(problem, distance_threshold_km=1500.0)
+    if kind == "joint":
+        return JointOptimizationRouter(problem)
+    return StaticSingleHubRouter(problem, 0)
+
+
+def _snapshot(result):
+    return (
+        result.loads.tobytes(),
+        result.paid_prices.tobytes(),
+        result.distance_profile.histogram.tobytes(),
+    )
+
+
+@pytest.fixture(scope="module")
+def references(short_trace, small_dataset, problem):
+    """Default-engine snapshots for every (router, caps) combination."""
+    out = {}
+    for kind in ROUTERS:
+        router = _build_router(kind, problem)
+        plain = simulate(short_trace, small_dataset, problem, router)
+        caps = plain.percentiles_95() * 0.9
+        capped = simulate(
+            short_trace,
+            small_dataset,
+            problem,
+            router,
+            SimulationOptions(bandwidth_caps=caps),
+        )
+        out[kind] = {"caps": caps, None: _snapshot(plain), "95_5": _snapshot(capped)}
+    return out
+
+
+@pytest.mark.parametrize("mode", [None, "95_5"])
+@pytest.mark.parametrize("kind", ROUTERS)
+def test_numba_kernel_bitwise_identical(
+    monkeypatch, short_trace, small_dataset, problem, references, kind, mode
+):
+    if not kernels.numba_available():
+        pytest.skip("numba not installed; CI's perf leg exercises this")
+    monkeypatch.setenv(kernels.KERNEL_ENV, "numba")
+    options = SimulationOptions(bandwidth_caps=references[kind]["caps"]) if mode else None
+    result = simulate(short_trace, small_dataset, problem, _build_router(kind, problem), options)
+    assert _snapshot(result) == references[kind][mode]
+
+
+@pytest.mark.parametrize("mode", [None, "95_5"])
+@pytest.mark.parametrize("kind", ROUTERS)
+def test_threaded_chunks_bitwise_identical(
+    monkeypatch, short_trace, small_dataset, problem, references, kind, mode
+):
+    # Shrink chunks so the two-day trace spans several of them; the
+    # serial reference uses the *same* chunking because chunk size
+    # legitimately regroups the float reductions. Threading must then
+    # change nothing: chunks route concurrently but reduce in order.
+    monkeypatch.setattr(engine_mod, "BATCH_CHUNK_MIB", 0.25)
+    router = _build_router(kind, problem)
+    options = SimulationOptions(bandwidth_caps=references[kind]["caps"]) if mode else None
+    serial = simulate(short_trace, small_dataset, problem, router, options)
+    monkeypatch.setenv(kernels.THREADS_ENV, "3")
+    threaded = simulate(short_trace, small_dataset, problem, router, options)
+    assert _snapshot(threaded) == _snapshot(serial)
+
+
+def test_thread_count_one_stays_serial(monkeypatch, short_trace, small_dataset, problem):
+    monkeypatch.setenv(kernels.THREADS_ENV, "1")
+    router = _build_router("price", problem)
+    result = simulate(short_trace, small_dataset, problem, router)
+    assert np.isfinite(result.loads).all()
+
+
+# ---------------------------------------------------------------------------
+# Float32 engine mode
+
+
+def test_problem_rejects_unknown_dtype():
+    with pytest.raises(ConfigurationError, match="dtype"):
+        RoutingProblem(akamai_like_deployment(), dtype="float16")
+
+
+def test_float32_problem_exposes_engine_dtype(problem):
+    p32 = RoutingProblem(akamai_like_deployment(), dtype="float32")
+    assert p32.dtype == np.float32
+    assert p32.capacities.dtype == np.float32
+    assert problem.dtype == np.float64
+    # The float64 capacities view must be bitwise the deployment's.
+    assert problem.capacities.tobytes() == problem.deployment.capacities.tobytes()
+
+
+@pytest.mark.parametrize("kind", ["baseline", "price", "joint"])
+def test_float32_mode_within_tolerance(short_trace, small_dataset, problem, kind):
+    """Float32 runs end to end and lands within documented tolerances."""
+    p32 = RoutingProblem(akamai_like_deployment(), dtype="float32")
+    r64 = simulate(short_trace, small_dataset, problem, _build_router(kind, problem))
+    r32 = simulate(short_trace, small_dataset, p32, _build_router(kind, p32))
+    scale = float(np.max(r64.loads))
+    assert float(np.max(np.abs(r32.loads - r64.loads))) / scale < 1e-4
+    cost64 = float((r64.loads * r64.paid_prices).sum())
+    cost32 = float((r32.loads * r32.paid_prices).sum())
+    assert abs(cost32 - cost64) / abs(cost64) < 1e-6
+    # Demand conservation holds exactly in aggregate terms.
+    np.testing.assert_allclose(
+        r32.loads.sum(axis=1), r64.loads.sum(axis=1), rtol=1e-5, atol=1e-6
+    )
+
+
+def test_float32_with_caps(short_trace, small_dataset, problem):
+    p32 = RoutingProblem(akamai_like_deployment(), dtype="float32")
+    r64 = simulate(short_trace, small_dataset, problem, JointOptimizationRouter(problem))
+    caps = r64.percentiles_95() * 0.9
+    opts = SimulationOptions(bandwidth_caps=caps)
+    capped64 = simulate(
+        short_trace, small_dataset, problem, JointOptimizationRouter(problem), opts
+    )
+    capped32 = simulate(short_trace, small_dataset, p32, JointOptimizationRouter(p32), opts)
+    scale = float(np.max(capped64.loads))
+    assert float(np.max(np.abs(capped32.loads - capped64.loads))) / scale < 1e-4
+
+
+def test_scenario_engine_dtype_validation():
+    with pytest.raises(ConfigurationError, match="engine_dtype"):
+        Scenario(name="bad", engine_dtype="float16")
+
+
+def test_scenario_engine_dtype_default_omitted_from_canonical():
+    """The default keeps pre-existing artifact hashes byte-identical."""
+    from repro.artifacts.codec import canonical, spec_key
+
+    default = Scenario(name="s", router=RouterSpec.of("price", distance_threshold_km=1500.0))
+    explicit = Scenario(
+        name="s",
+        router=RouterSpec.of("price", distance_threshold_km=1500.0),
+        engine_dtype="float32",
+    )
+    assert "engine_dtype" not in canonical(default)
+    assert "engine_dtype" in canonical(explicit)
+    assert spec_key(default) != spec_key(explicit)
+
+
+# ---------------------------------------------------------------------------
+# Profiling harness
+
+
+def test_profiling_disabled_by_default():
+    assert not profiling.enabled()
+    with profiling.phase("routing"):
+        pass  # must be a no-op, not an error
+    assert not profiling.enabled()
+
+
+def test_profiled_collects_engine_phases(short_trace, small_dataset, problem):
+    router = _build_router("joint", problem)
+    with profiling.profiled() as phases:
+        simulate(short_trace, small_dataset, problem, router)
+    assert profiling.enabled() is False
+    for name in ("precompute", "routing", "reduce", "finalize"):
+        assert name in phases, name
+        assert phases[name] >= 0.0
+    assert set(phases) <= set(profiling.PHASES)
+
+
+def test_profiled_blocks_nest():
+    with profiling.profiled() as outer:
+        with profiling.profiled() as inner:
+            with profiling.phase("routing"):
+                pass
+        with profiling.phase("reduce"):
+            pass
+    assert "routing" in outer and "routing" in inner
+    assert "reduce" in outer and "reduce" not in inner
+
+
+def test_greedy_repair_nested_inside_routing(short_trace, small_dataset, problem):
+    """When the greedy spill runs, its time is a subset of routing."""
+    router = _build_router("joint", problem)
+    base = simulate(short_trace, small_dataset, problem, router)
+    caps = base.percentiles_95() * 0.9
+    with profiling.profiled() as phases:
+        simulate(
+            short_trace,
+            small_dataset,
+            problem,
+            router,
+            SimulationOptions(bandwidth_caps=caps),
+        )
+    if "greedy_repair" in phases:
+        assert phases["greedy_repair"] <= phases["routing"] + 1e-6
+
+
+def test_profile_cases_structure():
+    report = profiling.profile_cases(days=2)
+    assert set(report) == {
+        "baseline_proximity",
+        "price_unconstrained",
+        "joint_soft_objective",
+        "joint_followed_95_5",
+    }
+    for phases in report.values():
+        assert phases["total"] > 0.0
+        assert "routing" in phases
