@@ -284,6 +284,17 @@ def bench_float32(trace, dataset, problem, router, options, repeats: int) -> dic
     return section
 
 
+def bench_serve_section(quick: bool) -> dict:
+    """Serving QPS/latency through the asyncio server (bench_serve.py)."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_serve import bench_serve
+
+    return bench_serve(requests_per_level=400 if quick else 2000)
+
+
 def bench(days: int, repeats: int) -> dict:
     months = max(3, days // 30 + 2)
     dataset = generate_market(MarketConfig(start=MARKET_START, months=months, seed=2009))
@@ -369,6 +380,7 @@ def bench(days: int, repeats: int) -> dict:
         ),
         "provider": bench_provider(repeats),
         "sweep": bench_sweep(jobs=2),
+        "serve": bench_serve_section(quick=days < 365),
     }
 
 
@@ -398,6 +410,10 @@ def main() -> int:
     if not record["sweep"]["serial_equals_parallel"]:
         print("FAIL: sweep results differ across serial / parallel / stacked paths")
         return 1
+    for name, level in record["serve"]["levels"].items():
+        if not level["allocations_identical"]:
+            print(f"FAIL: served allocations diverged from the offline replay ({name})")
+            return 1
     return 0
 
 

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Serving benchmark: sustained QPS and tail latency of ``/route``.
+
+The engine benchmark measures trace throughput; this one measures the
+online path a client actually experiences — request latency through
+the asyncio server and micro-batcher under concurrent load. For each
+concurrency level it boots a fresh :class:`RoutingServer` on an
+ephemeral loopback port, drives closed-loop clients over keep-alive
+connections until the request budget is spent, and records sustained
+QPS plus p50/p95/p99 latency. Every level also replays its recorded
+demand through an offline :class:`RoutingSession` and asserts the
+served per-cluster loads match **bitwise** — load never changes a
+routing decision.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+
+Standalone runs print a table; ``bench_engine.py`` embeds the same
+section into ``BENCH_engine.json``, where ``check_regression.py``
+gates it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from dataclasses import replace
+
+import numpy as np
+
+from repro import scenarios
+from repro.serve import HttpClient, RoutingServer, ServerConfig
+
+#: Concurrency levels: a lone client (pure latency), a small pool, and
+#: a burst wide enough that the micro-batcher must coalesce.
+CONCURRENCY_LEVELS = (1, 8, 32)
+
+SCENARIO = "serve-smoke"
+WINDOW_MS = 2.0
+MAX_BATCH = 64
+
+
+def _bench_scenario(n_steps: int):
+    """The smoke scenario with its horizon stretched to the budget."""
+    scenario = scenarios.get(SCENARIO)
+    return scenario.derive(trace=replace(scenario.trace, n_steps=n_steps))
+
+
+async def _run_level(scenario, rows: np.ndarray, concurrency: int) -> dict:
+    n_requests = len(rows)
+    session = scenarios.open_session(scenario, n_steps=n_requests)
+    labels = session.cluster_labels
+    server = RoutingServer(
+        session,
+        ServerConfig(
+            host="127.0.0.1", port=0, window_ms=WINDOW_MS, max_batch=MAX_BATCH,
+            scenario=SCENARIO,
+        ),
+    )
+    await server.start()
+    loop = asyncio.get_running_loop()
+    latencies: list[float] = []
+    demand_by_step = np.empty_like(rows)
+    served_loads = np.empty((n_requests, len(labels)))
+    try:
+        clients = [HttpClient("127.0.0.1", server.port) for _ in range(concurrency)]
+        for client in clients:
+            await client.connect()
+        try:
+
+            async def worker(client: HttpClient, indices: range) -> None:
+                for i in indices:
+                    t0 = loop.time()
+                    body = await client.route(rows[i].tolist())
+                    latencies.append(loop.time() - t0)
+                    step = body["step"]
+                    demand_by_step[step] = rows[i]
+                    served_loads[step] = [body["loads"][label] for label in labels]
+
+            shares = [range(c, n_requests, concurrency) for c in range(concurrency)]
+            t_start = loop.time()
+            await asyncio.gather(*(worker(cl, sh) for cl, sh in zip(clients, shares)))
+            wall = loop.time() - t_start
+        finally:
+            for client in clients:
+                await client.close()
+        stats = server.batcher.stats
+        batch_mean = stats.batch_size_mean
+        batch_max = stats.batch_size_max
+    finally:
+        await server.stop()
+
+    # Bitwise identity: an offline session fed the same rows in step
+    # order must produce exactly the loads the server returned.
+    replay = scenarios.open_session(scenario, n_steps=n_requests)
+    replay.feed(demand_by_step)
+    identical = bool(np.array_equal(served_loads, replay.result().loads))
+
+    lat_ms = np.asarray(latencies) * 1000.0
+    return {
+        "concurrency": concurrency,
+        "requests": n_requests,
+        "qps": round(n_requests / wall, 1),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+        "p95_ms": round(float(np.percentile(lat_ms, 95)), 3),
+        "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+        "batch_size_mean": round(batch_mean, 2),
+        "batch_size_max": batch_max,
+        "allocations_identical": identical,
+    }
+
+
+def bench_serve(requests_per_level: int = 2000) -> dict:
+    """The ``serve`` section of the benchmark record."""
+    scenario = _bench_scenario(
+        max(requests_per_level, 288)
+    )  # one horizon per level; sized to the budget
+    grid = scenarios.trace(scenario.trace, scenario.market)
+    rows = grid.demand[:requests_per_level]
+
+    levels = {}
+    for concurrency in CONCURRENCY_LEVELS:
+        level = asyncio.run(_run_level(scenario, rows, concurrency))
+        levels[f"c{concurrency}"] = level
+        print(
+            f"{'serve:c' + str(concurrency):24s} qps {level['qps']:8.1f}  "
+            f"p50 {level['p50_ms']:7.2f}ms  p95 {level['p95_ms']:7.2f}ms  "
+            f"p99 {level['p99_ms']:7.2f}ms  batch mean {level['batch_size_mean']:5.2f}  "
+            f"identical {level['allocations_identical']}"
+        )
+    return {
+        "scenario": SCENARIO,
+        "router": scenarios.get(SCENARIO).router.kind,
+        "window_ms": WINDOW_MS,
+        "max_batch": MAX_BATCH,
+        "requests_per_level": requests_per_level,
+        "levels": levels,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small request budget for CI")
+    parser.add_argument("--output", default=None, help="write the section to a JSON file")
+    args = parser.parse_args()
+
+    section = bench_serve(requests_per_level=400 if args.quick else 2000)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(section, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    for level in section["levels"].values():
+        if not level["allocations_identical"]:
+            print("FAIL: served allocations diverged from the offline replay")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

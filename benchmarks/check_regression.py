@@ -53,6 +53,21 @@ COMMITTED_SPEEDUP_FLOORS = {
 MAX_FLOAT32_COST_REL_ERR = 1e-6
 MAX_FLOAT32_LOAD_REL_ERR = 1e-4
 
+#: Absolute QPS floors for the committed serving benchmark (full-run
+#: records only, like COMMITTED_SPEEDUP_FLOORS). Calibrated ~35-40%
+#: below the reference box's sustained rates (~150 / ~800 / ~1500 qps
+#: at concurrency 1 / 8 / 32 with a 2 ms micro-batch window).
+COMMITTED_SERVE_QPS_FLOORS = {"c1": 90.0, "c8": 500.0, "c32": 1000.0}
+
+#: Fresh serving runs on shared CI runners keep a generous margin:
+#: a level fails only below this fraction of the committed QPS.
+MIN_SERVE_QPS_RATIO = 0.4
+
+#: At the widest concurrency level the micro-batcher must actually
+#: coalesce; a mean batch size at ~1 means serving has silently
+#: degraded to one engine call per request.
+MIN_SERVE_BATCH_MEAN = 4.0
+
 
 def check_profile(fresh: dict) -> list[str]:
     """Gates on the fresh record's per-phase profile section."""
@@ -182,6 +197,65 @@ def check_sweep(fresh: dict) -> list[str]:
     return []
 
 
+def check_serve(baseline: dict, fresh: dict) -> list[str]:
+    """Gates on the serving benchmark: identity, batching, and QPS."""
+    section = fresh.get("serve")
+    if section is None:
+        return []  # records from before the serving layer
+    failures = []
+    levels = section.get("levels", {})
+    base_levels = baseline.get("serve", {}).get("levels", {})
+    widest = max(levels, key=lambda key: levels[key]["concurrency"], default=None)
+    for key, level in sorted(levels.items(), key=lambda item: item[1]["concurrency"]):
+        problems = []
+        if not level.get("allocations_identical", False):
+            problems.append(f"serve {key}: served allocations diverged from the offline replay")
+        qps = float(level["qps"])
+        if key in base_levels:
+            floor = float(base_levels[key]["qps"]) * MIN_SERVE_QPS_RATIO
+            if qps < floor:
+                problems.append(
+                    f"serve {key}: fresh {qps:.0f} qps is below "
+                    f"{MIN_SERVE_QPS_RATIO:.0%} of the committed "
+                    f"{float(base_levels[key]['qps']):.0f} qps"
+                )
+        if key == widest and float(level["batch_size_mean"]) < MIN_SERVE_BATCH_MEAN:
+            problems.append(
+                f"serve {key}: mean batch size {level['batch_size_mean']:.2f} shows "
+                f"the micro-batcher is not coalescing (floor {MIN_SERVE_BATCH_MEAN:.1f})"
+            )
+        print(
+            f"{'serve:' + key:24s} qps {qps:8.1f}  p99 {float(level['p99_ms']):7.2f}ms  "
+            f"batch mean {float(level['batch_size_mean']):5.2f}  "
+            f"identical {bool(level.get('allocations_identical', False))}  "
+            f"{'ok' if not problems else 'FAIL'}"
+        )
+        failures.extend(problems)
+    # Absolute floors pin the committed record, full runs only.
+    if int(baseline.get("trace", {}).get("days", 0)) >= 365:
+        for key, floor in COMMITTED_SERVE_QPS_FLOORS.items():
+            if key not in base_levels:
+                continue
+            qps = float(base_levels[key]["qps"])
+            status = "ok" if qps >= floor else "FAIL"
+            print(
+                f"{'floor:serve:' + key:24s} committed {qps:8.1f} qps  "
+                f"floor {floor:6.0f}  {status}"
+            )
+            if qps < floor:
+                failures.append(
+                    f"serve {key}: committed {qps:.0f} qps is below the "
+                    f"absolute floor {floor:.0f}"
+                )
+        for key, level in base_levels.items():
+            if not level.get("allocations_identical", False):
+                failures.append(
+                    f"serve {key}: committed record shows served allocations "
+                    "diverged from the offline replay"
+                )
+    return failures
+
+
 def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
     """Every violated gate, as human-readable failure messages."""
     failures = (
@@ -191,6 +265,7 @@ def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
         + check_profile(fresh)
         + check_kernel(fresh)
         + check_float32(fresh)
+        + check_serve(baseline, fresh)
     )
     base_runs = baseline.get("runs", {})
     fresh_runs = fresh.get("runs", {})

@@ -1,6 +1,6 @@
 """The unified ``repro`` command line.
 
-Five subcommands over one artifact store::
+Subcommands over one artifact store::
 
     repro run fig06 fig16 --jobs 4   # regenerate figures (parallel)
     repro run --all                  # the paper's whole figure set
@@ -12,6 +12,8 @@ Five subcommands over one artifact store::
     repro sweep run fig15-ensemble --jobs 4   # Monte-Carlo ensembles
     repro sweep list                 # sweep names + artifact status
     repro sweep summarize smoke-grid # print a cached sweep's statistics
+    repro serve --scenario serve-smoke --port 8351  # online routing server
+    repro serve --smoke              # serving self-test (CI)
     repro clean                      # drop the on-disk artifact store
 
 The store lives at ``--artifacts DIR`` (default ``.repro-artifacts``,
@@ -192,6 +194,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="simulate calls accumulated per case (default 1)",
+    )
+
+    serve_p = sub.add_parser("serve", help="run the online routing server")
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve_p.add_argument(
+        "--port", type=int, default=8351, help="bind port (default 8351, 0 = ephemeral)"
+    )
+    serve_p.add_argument(
+        "--scenario",
+        default="serve-smoke",
+        metavar="NAME",
+        help="registered scenario supplying market, router, and step grid "
+        "(default serve-smoke)",
+    )
+    serve_p.add_argument(
+        "--provider",
+        metavar="NAME",
+        default=None,
+        help="market-data provider preset override (see `repro providers list`)",
+    )
+    serve_p.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="micro-batch collection window after the first request (default 5)",
+    )
+    serve_p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="maximum requests coalesced into one engine call (default 64)",
+    )
+    serve_p.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve only the first N steps of the scenario horizon",
+    )
+    serve_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot on an ephemeral port, fire a concurrent self-test burst, and exit",
     )
 
     providers_p = sub.add_parser("providers", help="inspect market-data providers")
@@ -500,6 +547,74 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import scenarios
+    from repro.scenarios.runner import provider_override
+    from repro.serve import RoutingServer, ServerConfig, run_smoke
+
+    try:
+        provider = _resolve_provider(args)
+    except ConfigurationError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+
+    with provider_override(provider):
+        if args.smoke:
+            try:
+                summary = run_smoke(
+                    args.scenario,
+                    window_ms=args.batch_window_ms,
+                    max_batch=args.max_batch,
+                )
+            except (ConfigurationError, RuntimeError) as exc:
+                print(f"repro serve --smoke: FAIL: {exc}", file=sys.stderr)
+                return 1
+            print(
+                "repro serve --smoke: ok "
+                f"(scenario={summary['scenario']}, requests={summary['requests']}, "
+                f"batches={summary['batches_total']}, "
+                f"batch_mean={summary['batch_size_mean']:.1f}, "
+                f"identical={summary['allocations_identical']})"
+            )
+            return 0
+
+        try:
+            scenario = scenarios.get(args.scenario)
+            session = scenarios.open_session(scenario, n_steps=args.steps)
+        except (ConfigurationError, KeyError) as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 2
+        server = RoutingServer(
+            session,
+            ServerConfig(
+                host=args.host,
+                port=args.port,
+                window_ms=args.batch_window_ms,
+                max_batch=args.max_batch,
+                scenario=args.scenario,
+            ),
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            print(
+                f"repro serve: scenario={args.scenario} router={scenario.router.kind} "
+                f"on http://{args.host}:{server.port} "
+                f"(horizon {session.n_steps} steps, window {args.batch_window_ms}ms, "
+                f"max batch {args.max_batch})",
+                file=sys.stderr,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("repro serve: stopped", file=sys.stderr)
+        return 0
+
+
 def _cmd_providers(args: argparse.Namespace) -> int:
     if args.providers_command != "list":
         print("repro providers: choose a subcommand (list)", file=sys.stderr)
@@ -539,6 +654,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "providers": _cmd_providers,
     "clean": _cmd_clean,
 }

@@ -162,7 +162,26 @@ SYNTHETIC = ProviderSpec()
 
 @runtime_checkable
 class PriceProvider(Protocol):
-    """Anything that can turn a market window into a price dataset."""
+    """Anything that can turn a market window into a price dataset.
+
+    The contract a conforming provider owes the rest of the system:
+
+    * **Determinism.** ``dataset`` must be a pure function of
+      ``(self.spec, market)`` — same spec and window, same bits out.
+      Caches, artifact hashes, and sweep replicas all assume it.
+    * **Self-description.** ``spec`` is the provider's frozen,
+      hashable identity (:class:`ProviderSpec`); it rides on every
+      :class:`~repro.scenarios.spec.Scenario` and (except for the
+      synthetic default) participates in artifact content addresses.
+    * **Complete coverage.** The returned dataset must span the whole
+      market window with every hub present; gap and timezone policy
+      are the provider's job (see the ``csv-replay`` options), never
+      the consumer's.
+
+    Providers are registered by kind in ``_PROVIDER_CLASSES`` and
+    materialised through :func:`build_provider`; user-facing presets
+    live in :func:`preset` / ``repro providers list``.
+    """
 
     spec: ProviderSpec
 

@@ -35,6 +35,7 @@ from repro.scenarios.runner import (
     build_router,
     clear_caches,
     dataset,
+    open_session,
     problem,
     provider_override,
     run,
@@ -59,6 +60,7 @@ __all__ = [
     "build_router",
     "clear_caches",
     "dataset",
+    "open_session",
     "problem",
     "provider_override",
     "run",

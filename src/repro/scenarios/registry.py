@@ -186,6 +186,22 @@ def _builtin_scenarios() -> tuple[Scenario, ...]:
                 "joint", distance_penalty_per_1000km=10.0, congestion_penalty=50.0
             ),
         ),
+        # -- serving ---------------------------------------------------------
+        Scenario(
+            name="serve-smoke",
+            description=(
+                "one day of five-minute steps on a compact synthetic market: "
+                "the routing server's smoke/CI scenario"
+            ),
+            market=_REPLAY_MARKET,
+            trace=TraceSpec(
+                kind="five-minute",
+                start=datetime(2008, 12, 1),
+                n_steps=288,
+                seed=7,
+            ),
+            router=RouterSpec.of("price", distance_threshold_km=_PAPER_THRESHOLD_KM),
+        ),
         # -- provider scenario families --------------------------------------
         Scenario(
             name="replay-smoke",

@@ -37,6 +37,7 @@ from repro.routing.static import StaticSingleHubRouter, cheapest_cluster_index
 from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
 from repro.sim.engine import SimulationOptions, simulate, simulate_many
 from repro.sim.results import SimulationResult
+from repro.sim.session import RoutingSession
 from repro.traffic.clusters import akamai_like_deployment
 from repro.traffic.synthetic import TraceConfig, make_trace, make_turn_of_year_trace
 from repro.traffic.trace import HourOfWeekWorkload, TrafficTrace
@@ -50,6 +51,7 @@ __all__ = [
     "baseline_result",
     "run",
     "run_many",
+    "open_session",
     "clear_caches",
     "provider_override",
     "active_provider",
@@ -321,6 +323,76 @@ def _execute(scenario: Scenario) -> SimulationResult:
         options,
         server_counts=server_counts,
         router_prices=_signal_rows(scenario),
+    )
+
+
+def open_session(scenario: Scenario, n_steps: int | None = None) -> RoutingSession:
+    """Open an incremental :class:`~repro.sim.session.RoutingSession`.
+
+    The online counterpart of :func:`run`: the same scenario spec
+    assembles the same ingredients — provider-backed market data set,
+    routing problem, router, engine options (including the memoised
+    baseline's 95/5 caps for ``follow_95_5`` scenarios, and relocated
+    server counts) — but instead of replaying the scenario's synthetic
+    trace, the session adopts only its step *grid* (start, step size,
+    horizon) and waits for demand to arrive step by step. Feeding the
+    scenario's own trace rows reproduces :func:`run`'s result bit for
+    bit.
+
+    ``n_steps`` shortens the horizon (serving a prefix of the
+    scenario's window); it cannot extend past the scenario's trace.
+    Signal-driven router kinds (``carbon``, ``weather``) replay
+    per-trace price overrides and have no online form.
+    """
+    scenario = _resolve(scenario)
+    if scenario.router.kind in ("carbon", "weather"):
+        raise ConfigurationError(
+            f"router kind {scenario.router.kind!r} routes on a per-trace signal "
+            "override and cannot serve an incremental session"
+        )
+    data = dataset(scenario.market, scenario.provider)
+    prob = problem(scenario.engine_dtype)
+    grid = trace(scenario.trace, scenario.market)
+    horizon = grid.n_steps if n_steps is None else int(n_steps)
+    if not 1 <= horizon <= grid.n_steps:
+        raise ConfigurationError(
+            f"session horizon must be in [1, {grid.n_steps}], got {horizon}"
+        )
+
+    caps = None
+    if scenario.follow_95_5:
+        caps = baseline_result(
+            scenario.market, scenario.trace, scenario.provider
+        ).percentiles_95()
+    options = SimulationOptions(
+        reaction_delay_hours=scenario.reaction_delay_hours,
+        capacity_margin=scenario.capacity_margin,
+        relax_capacity=scenario.relax_capacity,
+        bandwidth_caps=caps,
+    )
+
+    server_counts = None
+    if scenario.relocate_fleet:
+        if scenario.router.kind == "static-cheapest":
+            target = _static_cheapest_index(scenario)
+        elif scenario.router.kind == "static":
+            target = int(scenario.router.kwargs["cluster_index"])
+        else:
+            raise ConfigurationError("relocate_fleet requires a static router kind")
+        deployment = prob.deployment
+        counts = np.zeros(deployment.n_clusters)
+        counts[target] = sum(c.n_servers for c in deployment.clusters)
+        server_counts = counts
+
+    return RoutingSession(
+        data,
+        prob,
+        build_router(scenario),
+        options,
+        start=grid.start,
+        step_seconds=grid.step_seconds,
+        n_steps=horizon,
+        server_counts=server_counts,
     )
 
 

@@ -1,0 +1,32 @@
+"""Routing-as-a-service: the online serving layer.
+
+The offline engine replays whole traces; this package serves routing
+decisions to concurrent clients, one step at a time, on top of the
+incremental :class:`~repro.sim.session.RoutingSession`:
+
+* :class:`~repro.serve.batcher.MicroBatcher` — coalesces concurrent
+  requests into vectorised session feed calls inside a bounded
+  time/size window;
+* :class:`~repro.serve.server.RoutingServer` — the long-lived asyncio
+  HTTP server (``/route``, ``/healthz``, ``/stats``);
+* :class:`~repro.serve.client.HttpClient` — the dependency-free
+  client the tests, smoke run, and serving benchmark share;
+* :func:`~repro.serve.smoke.run_smoke` — the ``repro serve --smoke``
+  self-test CI boots on every push.
+
+See ``docs/serving.md`` for the API reference and tuning guide.
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.client import HttpClient
+from repro.serve.server import RoutingServer, ServerConfig
+from repro.serve.smoke import run_smoke
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "HttpClient",
+    "RoutingServer",
+    "ServerConfig",
+    "run_smoke",
+]

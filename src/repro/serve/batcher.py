@@ -1,0 +1,170 @@
+"""Micro-batching bridge between concurrent requests and the session.
+
+The server accepts many concurrent ``/route`` requests, but a
+:class:`~repro.sim.session.RoutingSession` consumes demand as an
+ordered sequence of steps. The :class:`MicroBatcher` is the bridge:
+requests enqueue their demand rows, a single collector task drains the
+queue in arrival order, coalesces up to ``max_batch`` rows arriving
+within a bounded ``window_ms`` wait, and feeds them to the session as
+one :meth:`~repro.sim.session.RoutingSession.feed` call — one
+vectorised ``allocate_batch`` pass instead of N scalar calls.
+
+Because feeding ``[a, b]`` in one call is bit-identical to feeding
+``a`` then ``b`` (the session contract), the batch window is purely a
+latency/throughput trade: widening it amortises router calls across
+more requests without changing any response. Only the collector task
+ever touches the session, so no locking is needed and step indices are
+assigned in strict arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.session import RoutingSession, SessionExhaustedError
+
+__all__ = ["MicroBatcher", "BatcherStats"]
+
+
+@dataclass
+class BatcherStats:
+    """Running counters the ``/stats`` endpoint reports."""
+
+    requests_total: int = 0
+    batches_total: int = 0
+    batch_size_max: int = 0
+    batch_rows_total: int = 0
+    rejected_total: int = 0
+    errors_total: int = 0
+    _sizes: list[int] = field(default_factory=list, repr=False)
+
+    @property
+    def batch_size_mean(self) -> float:
+        if self.batches_total == 0:
+            return 0.0
+        return self.batch_rows_total / self.batches_total
+
+    def record_batch(self, size: int) -> None:
+        self.batches_total += 1
+        self.batch_rows_total += size
+        self.batch_size_max = max(self.batch_size_max, size)
+
+
+class MicroBatcher:
+    """Coalesce concurrent routing requests into session feed calls.
+
+    Parameters
+    ----------
+    session:
+        The incremental engine state this batcher drives. The batcher
+        assumes exclusive ownership: nothing else may feed it.
+    window_ms:
+        How long the collector waits for more requests after the first
+        one arrives, before closing the batch. ``0`` disables
+        coalescing (every request becomes its own feed call).
+    max_batch:
+        Hard cap on rows per feed call; a full batch closes
+        immediately without waiting out the window.
+    """
+
+    def __init__(
+        self,
+        session: RoutingSession,
+        *,
+        window_ms: float = 5.0,
+        max_batch: int = 64,
+    ) -> None:
+        if window_ms < 0:
+            raise ValueError("window_ms must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.session = session
+        self.window_ms = float(window_ms)
+        self.max_batch = int(max_batch)
+        self.stats = BatcherStats()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+
+    async def start(self) -> None:
+        """Start the collector task (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._collect())
+
+    async def stop(self) -> None:
+        """Cancel the collector and fail any queued requests."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while not self._queue.empty():
+            _, fut = self._queue.get_nowait()
+            if not fut.done():
+                fut.set_exception(SessionExhaustedError("server shutting down"))
+
+    async def route(self, demand: np.ndarray) -> tuple[int, np.ndarray]:
+        """Submit one step of demand; resolves to ``(step, allocation)``.
+
+        ``step`` is the horizon position this request was routed at
+        (assigned in arrival order) and ``allocation`` the step's
+        ``(n_states, n_clusters)`` matrix — exactly what the offline
+        engine would have produced at that position.
+        """
+        self.stats.requests_total += 1
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((demand, fut))
+        return await fut
+
+    async def _collect(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            if self.window_ms > 0:
+                deadline = loop.time() + self.window_ms / 1000.0
+                while len(batch) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            else:
+                while len(batch) < self.max_batch and not self._queue.empty():
+                    batch.append(self._queue.get_nowait())
+            await self._feed(batch)
+
+    async def _feed(self, batch: list[tuple[np.ndarray, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        keep = min(len(batch), self.session.steps_remaining)
+        for _, fut in batch[keep:]:
+            self.stats.rejected_total += 1
+            if not fut.done():
+                fut.set_exception(
+                    SessionExhaustedError("session horizon exhausted")
+                )
+        if keep == 0:
+            return
+        rows = np.stack([demand for demand, _ in batch[:keep]])
+        t0 = self.session.steps_fed
+        try:
+            # The numpy work runs in a worker thread so the event loop
+            # keeps accepting (and queueing) requests meanwhile.
+            allocations = await loop.run_in_executor(None, self.session.feed, rows)
+        except Exception as exc:
+            self.stats.errors_total += 1
+            for _, fut in batch[:keep]:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        self.stats.record_batch(keep)
+        for i, (_, fut) in enumerate(batch[:keep]):
+            if not fut.done():
+                fut.set_result((t0 + i, allocations[i]))

@@ -1,0 +1,101 @@
+"""Minimal asyncio HTTP/1.1 client for the routing server.
+
+Used by the smoke self-test, the integration tests, and the serving
+benchmark — all of which need many concurrent keep-alive connections
+without pulling in an HTTP dependency. One :class:`HttpClient` is one
+connection; requests on it are sequential (HTTP/1.1 without
+pipelining), concurrency comes from opening several clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["HttpClient"]
+
+
+class HttpClient:
+    """One keep-alive connection to a :class:`~repro.serve.server.RoutingServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        # One in-flight request per connection: concurrent callers on
+        # the same client queue here instead of interleaving frames.
+        self._lock = asyncio.Lock()
+
+    async def __aenter__(self) -> HttpClient:
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One request/response round trip; returns ``(status, json_body)``."""
+        async with self._lock:
+            return await self._request(method, path, payload)
+
+    async def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client is not connected")
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode()
+        self._writer.write(head + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2:
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(raw)
+
+    async def route(self, demand, full: bool = False) -> dict:
+        """POST one step of demand; returns the response body.
+
+        Raises ``RuntimeError`` on any non-200 status (the body's
+        ``error`` field is included in the message).
+        """
+        payload = {"demand": demand}
+        if full:
+            payload["full"] = True
+        status, body = await self.request("POST", "/route", payload)
+        if status != 200:
+            raise RuntimeError(f"/route returned {status}: {body.get('error')}")
+        return body

@@ -1,0 +1,283 @@
+"""The long-lived routing server: asyncio + hand-rolled HTTP/1.1.
+
+``RoutingServer`` fronts one :class:`~repro.sim.session.RoutingSession`
+with a :class:`~repro.serve.batcher.MicroBatcher` and speaks a minimal
+HTTP/1.1 (stdlib asyncio streams, keep-alive, ``Content-Length``
+bodies — no framework, no new dependencies):
+
+``POST /route``
+    Body ``{"demand": [...]}`` — either a full per-state list in
+    ``session.state_codes`` order or a ``{state_code: hits_per_s}``
+    mapping (absent states are zero). Responds with the step index the
+    request was routed at, the step's wall-clock, per-cluster loads
+    and paid prices, and (with ``"full": true``) the whole
+    state-by-cluster allocation matrix. ``400`` on malformed demand,
+    ``409`` once the session horizon is exhausted.
+``GET /healthz``
+    Liveness + horizon progress.
+``GET /stats``
+    Batcher counters (requests, batches, batch-size max/mean,
+    rejections) and the serving configuration.
+
+Responses are JSON with full-precision floats (``repr`` round-trip),
+so a client replaying its recorded demand through an offline session
+can check the served loads *bitwise* — the serving benchmark does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.sim.session import RoutingSession, SessionExhaustedError
+
+__all__ = ["RoutingServer", "ServerConfig"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Network + micro-batch settings for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8351
+    window_ms: float = 5.0
+    max_batch: int = 64
+    scenario: str = ""
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class RoutingServer:
+    """One session, one batcher, one listening socket."""
+
+    def __init__(self, session: RoutingSession, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.session = session
+        self.batcher = MicroBatcher(
+            session, window_ms=self.config.window_ms, max_batch=self.config.max_batch
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- HTTP plumbing ---------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    return
+                except asyncio.LimitOverrunError:
+                    await self._respond(writer, 431, {"error": "headers too large"})
+                    return
+                if len(head) > _MAX_HEADER_BYTES:
+                    await self._respond(writer, 431, {"error": "headers too large"})
+                    return
+                headers: dict[str, str] = {}
+                try:
+                    method, path, headers = _parse_head(head)
+                    body = b""
+                    length = int(headers.get("content-length", "0"))
+                    if length > _MAX_BODY_BYTES:
+                        raise _HttpError(413, "body too large")
+                    if length:
+                        body = await reader.readexactly(length)
+                    status, payload = await self._dispatch(method, path, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool = False,
+    ) -> None:
+        reasons = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            409: "Conflict",
+            413: "Payload Too Large",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error",
+        }
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- endpoints -------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, self._healthz()
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, self._stats()
+        if path == "/route":
+            if method != "POST":
+                raise _HttpError(405, "use POST")
+            return await self._route(body)
+        raise _HttpError(404, f"unknown path {path!r}")
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "steps_fed": self.session.steps_fed,
+            "steps_remaining": self.session.steps_remaining,
+            "exhausted": self.session.exhausted,
+        }
+
+    def _stats(self) -> dict:
+        stats = self.batcher.stats
+        return {
+            "requests_total": stats.requests_total,
+            "batches_total": stats.batches_total,
+            "batch_size_max": stats.batch_size_max,
+            "batch_size_mean": stats.batch_size_mean,
+            "rejected_total": stats.rejected_total,
+            "errors_total": stats.errors_total,
+            "steps_fed": self.session.steps_fed,
+            "steps_remaining": self.session.steps_remaining,
+            "window_ms": self.config.window_ms,
+            "max_batch": self.config.max_batch,
+            "scenario": self.config.scenario,
+            "n_states": len(self.session.state_codes),
+            "clusters": list(self.session.cluster_labels),
+        }
+
+    def _parse_demand(self, raw: object) -> np.ndarray:
+        codes = self.session.state_codes
+        if isinstance(raw, dict):
+            row = np.zeros(len(codes))
+            index = {code: i for i, code in enumerate(codes)}
+            for code, value in raw.items():
+                if code not in index:
+                    raise _HttpError(400, f"unknown state code {code!r}")
+                row[index[code]] = value
+        elif isinstance(raw, list):
+            if len(raw) != len(codes):
+                raise _HttpError(
+                    400, f"demand list must have {len(codes)} entries, got {len(raw)}"
+                )
+            row = np.asarray(raw, dtype=float)
+        else:
+            raise _HttpError(400, "demand must be a list or {state: hits/s} mapping")
+        if not np.all(np.isfinite(row)) or np.any(row < 0):
+            raise _HttpError(400, "demand must be finite and non-negative")
+        return row
+
+    async def _route(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict) or "demand" not in payload:
+            raise _HttpError(400, 'body must be {"demand": ...}')
+        row = self._parse_demand(payload["demand"])
+        try:
+            step, allocation = await self.batcher.route(row)
+        except SessionExhaustedError as exc:
+            raise _HttpError(409, str(exc)) from exc
+
+        loads = allocation.sum(axis=0)
+        labels = self.session.cluster_labels
+        response = {
+            "step": step,
+            "clock": self.session.clock(step).isoformat(),
+            "loads": {label: float(loads[i]) for i, label in enumerate(labels)},
+            "prices": {
+                label: float(price)
+                for label, price in zip(labels, self.session.paid_prices(step))
+            },
+        }
+        if payload.get("full"):
+            response["allocation"] = {
+                "state_codes": list(self.session.state_codes),
+                "cluster_labels": list(labels),
+                "matrix": np.asarray(allocation, dtype=float).tolist(),
+            }
+        return 200, response
+
+
+def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise _HttpError(400, "malformed request line") from exc
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return method, path, headers

@@ -1,0 +1,129 @@
+"""The serving self-test behind ``repro serve --smoke``.
+
+Boots a real :class:`~repro.serve.server.RoutingServer` on an
+ephemeral port, fires a concurrent burst of ``/route`` requests over
+several keep-alive connections, and checks the full serving contract:
+
+* every request is answered, and the assigned step indices are exactly
+  a permutation of the horizon prefix (arrival-order assignment);
+* the served per-cluster loads are **bit-identical** to an offline
+  :class:`~repro.sim.session.RoutingSession` replay of the same demand
+  rows in step order — micro-batching changed scheduling, never
+  results;
+* ``/healthz`` reports the fed horizon and ``/stats`` counters add up
+  (all requests seen, at least one multi-request batch when the burst
+  is concurrent).
+
+CI runs this as the serve-smoke job; it needs no network beyond
+loopback and finishes in a few seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro import scenarios
+from repro.serve.client import HttpClient
+from repro.serve.server import RoutingServer, ServerConfig
+
+__all__ = ["run_smoke"]
+
+
+async def _burst(
+    host: str, port: int, rows: np.ndarray, n_connections: int
+) -> list[dict]:
+    """Send one /route request per row, spread over concurrent clients."""
+    clients = [HttpClient(host, port) for _ in range(n_connections)]
+    for client in clients:
+        await client.connect()
+    try:
+        tasks = [
+            asyncio.ensure_future(clients[i % n_connections].route(row.tolist()))
+            for i, row in enumerate(rows)
+        ]
+        return list(await asyncio.gather(*tasks))
+    finally:
+        for client in clients:
+            await client.close()
+
+
+def run_smoke(
+    scenario_name: str = "serve-smoke",
+    *,
+    n_requests: int = 48,
+    n_connections: int = 8,
+    window_ms: float = 10.0,
+    max_batch: int = 32,
+) -> dict:
+    """Run the self-test; returns the summary dict, raises on failure."""
+    scenario = scenarios.get(scenario_name)
+    grid = scenarios.trace(scenario.trace, scenario.market)
+    n_requests = min(n_requests, grid.n_steps)
+    rows = grid.demand[:n_requests]
+
+    async def _run() -> dict:
+        session = scenarios.open_session(scenario, n_steps=n_requests)
+        server = RoutingServer(
+            session,
+            ServerConfig(
+                host="127.0.0.1",
+                port=0,
+                window_ms=window_ms,
+                max_batch=max_batch,
+                scenario=scenario_name,
+            ),
+        )
+        await server.start()
+        try:
+            host, port = "127.0.0.1", server.port
+            responses = await _burst(host, port, rows, n_connections)
+            async with HttpClient(host, port) as probe:
+                health_status, health = await probe.request("GET", "/healthz")
+                stats_status, stats = await probe.request("GET", "/stats")
+            return {
+                "responses": responses,
+                "health_status": health_status,
+                "health": health,
+                "stats_status": stats_status,
+                "stats": stats,
+            }
+        finally:
+            await server.stop()
+
+    out = asyncio.run(_run())
+    responses, stats = out["responses"], out["stats"]
+
+    steps = sorted(r["step"] for r in responses)
+    if steps != list(range(n_requests)):
+        raise RuntimeError(f"served steps are not the horizon prefix: {steps[:10]}...")
+    if out["health_status"] != 200 or out["health"]["steps_fed"] != n_requests:
+        raise RuntimeError(f"healthz mismatch: {out['health']}")
+    if stats["requests_total"] != n_requests or stats["steps_fed"] != n_requests:
+        raise RuntimeError(f"stats counters mismatch: {stats}")
+    if stats["batches_total"] < 1 or stats["batches_total"] > n_requests:
+        raise RuntimeError(f"implausible batch count: {stats}")
+
+    # Offline replay of the same rows in step order must match bitwise.
+    replay = scenarios.open_session(scenario, n_steps=n_requests)
+    replay.feed(rows)
+    labels = replay.cluster_labels
+    served = np.empty((n_requests, len(labels)))
+    for r in responses:
+        served[r["step"]] = [r["loads"][label] for label in labels]
+    offline = replay.result().loads
+    identical = bool(np.array_equal(served, offline))
+    if not identical:
+        raise RuntimeError("served loads differ from offline replay")
+
+    return {
+        "scenario": scenario_name,
+        "requests": n_requests,
+        "connections": n_connections,
+        "window_ms": window_ms,
+        "batches_total": stats["batches_total"],
+        "batch_size_max": stats["batch_size_max"],
+        "batch_size_mean": stats["batch_size_mean"],
+        "allocations_identical": identical,
+    }

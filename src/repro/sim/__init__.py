@@ -8,6 +8,7 @@ from repro.sim.engine import (
     simulate_per_step,
 )
 from repro.sim.results import DistanceProfile, SimulationResult
+from repro.sim.session import RoutingSession, SessionExhaustedError
 
 __all__ = [
     "SimulationOptions",
@@ -17,4 +18,6 @@ __all__ = [
     "simulate_per_step",
     "DistanceProfile",
     "SimulationResult",
+    "RoutingSession",
+    "SessionExhaustedError",
 ]

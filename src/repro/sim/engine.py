@@ -227,6 +227,16 @@ def _hour_indices(trace: TrafficTrace, dataset: MarketDataset) -> np.ndarray:
     return hours
 
 
+def _distance_bins(problem: RoutingProblem) -> tuple[np.ndarray, int]:
+    """Flat (state, cluster) -> histogram-bin mapping for a problem."""
+    distances = problem.distances.matrix
+    bin_index = np.minimum(
+        (distances / DISTANCE_BIN_KM).astype(np.int64),
+        int(DISTANCE_MAX_KM / DISTANCE_BIN_KM) - 1,
+    ).ravel()
+    return bin_index, int(DISTANCE_MAX_KM / DISTANCE_BIN_KM)
+
+
 @dataclass(frozen=True, slots=True)
 class _PreparedRun:
     """Stage-1 output: everything derivable before any allocation."""
@@ -292,12 +302,7 @@ def _prepare(
         # mirrors greedy_fill's infeasibility test.
         burst_steps = _burst_mask(limits, trace.demand)
 
-    distances = problem.distances.matrix
-    bin_index = np.minimum(
-        (distances / DISTANCE_BIN_KM).astype(np.int64),
-        int(DISTANCE_MAX_KM / DISTANCE_BIN_KM) - 1,
-    ).ravel()
-    n_bins = int(DISTANCE_MAX_KM / DISTANCE_BIN_KM)
+    bin_index, n_bins = _distance_bins(problem)
 
     return _PreparedRun(
         seen_prices=seen_prices,
@@ -312,14 +317,20 @@ def _prepare(
 
 
 def _finalize(
-    trace: TrafficTrace,
+    start,
+    step_seconds: int,
     problem: RoutingProblem,
-    prepared: _PreparedRun,
+    paid_prices: np.ndarray,
     loads: np.ndarray,
     histogram: np.ndarray,
     server_counts: np.ndarray | None,
 ) -> SimulationResult:
-    """Stage-3 output: package loads and accounting into a result."""
+    """Stage-3 output: package loads and accounting into a result.
+
+    Shared by the offline pipelines and the incremental
+    :class:`~repro.sim.session.RoutingSession`, so every path packages
+    identical accounting from identical inputs.
+    """
     deployment = problem.deployment
     capacities = deployment.capacities
     default_counts = np.array([c.n_servers for c in deployment.clusters], dtype=float)
@@ -337,13 +348,13 @@ def _finalize(
         accounting_capacities = capacities.copy()
 
     return SimulationResult(
-        start=trace.start,
-        step_seconds=trace.step_seconds,
+        start=start,
+        step_seconds=step_seconds,
         cluster_labels=deployment.labels,
         capacities=accounting_capacities,
         server_counts=counts,
         loads=loads,
-        paid_prices=prepared.paid_prices.copy(),
+        paid_prices=paid_prices.copy(),
         distance_histogram=histogram,
     )
 
@@ -364,7 +375,10 @@ def simulate(
     price tensors the engine hands the router maximal runs of steps at
     once — chunked to bound memory — and reserves per-step work for
     the burst steps where demand exceeds the capped limits. Results
-    are identical, step for step, to :func:`simulate_per_step`.
+    are identical, step for step, to :func:`simulate_per_step`, to the
+    stacked multi-replica pass (:func:`simulate_many`), and to an
+    incremental :class:`~repro.sim.session.RoutingSession` fed the
+    same demand rows.
 
     Parameters
     ----------
@@ -492,7 +506,15 @@ def simulate(
         if prepared.tracker is not None:
             prepared.tracker.record_batch(loads)
         histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
-        return _finalize(trace, problem, prepared, loads, histogram, server_counts)
+        return _finalize(
+            trace.start,
+            trace.step_seconds,
+            problem,
+            prepared.paid_prices,
+            loads,
+            histogram,
+            server_counts,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -606,7 +628,15 @@ def simulate_per_step(
         if offset == chunk_steps - 1 or t == trace.n_steps - 1:
             reducer.reduce_chunk(offset + 1)
     histogram = reducer.histogram(prepared.bin_index, prepared.n_bins)
-    return _finalize(trace, problem, prepared, loads, histogram, server_counts)
+    return _finalize(
+        trace.start,
+        trace.step_seconds,
+        problem,
+        prepared.paid_prices,
+        loads,
+        histogram,
+        server_counts,
+    )
 
 
 def simulate_many(
@@ -777,6 +807,14 @@ def simulate_many(
                 trackers[r].record_batch(loads[r])
             histogram = reducers[r].histogram(prepared.bin_index, prepared.n_bins)
             results.append(
-                _finalize(traces[r], problem, prepared, loads[r], histogram, server_counts)
+                _finalize(
+                    traces[r].start,
+                    traces[r].step_seconds,
+                    problem,
+                    prepared.paid_prices,
+                    loads[r],
+                    histogram,
+                    server_counts,
+                )
             )
         return tuple(results)

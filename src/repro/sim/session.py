@@ -1,0 +1,350 @@
+"""Incremental engine mode: one allocation per arriving step.
+
+The offline pipelines (:func:`repro.sim.simulate` and friends) replay
+a complete :class:`~repro.traffic.trace.TrafficTrace`; a
+:class:`RoutingSession` is the same engine turned inside out for the
+online serving path. The session is opened against a market window —
+prices for every step of the declared horizon are materialised up
+front from any :class:`~repro.markets.providers.PriceProvider`-backed
+dataset, since prices never depend on demand — and demand then arrives
+*step by step* (or in micro-batches): each :meth:`feed` call routes
+the new steps immediately and returns their allocations.
+
+The contract is the repository's usual one, extended to time: feeding
+a demand sequence through a session is **bit-identical** to running
+:func:`~repro.sim.simulate` offline over a trace with the same rows.
+Concretely,
+
+* each step is routed under :func:`simulate_per_step`'s semantics
+  (capped limits first, plain capacity when a 95/5-capped step's
+  demand cannot fit — the per-step try/except contract every pipeline
+  reproduces), with micro-batches going through the router's
+  vectorised ``allocate_batch`` (whose step ``t`` slice equals the
+  scalar call bitwise, per the batched-router contract);
+* the rolling :class:`~repro.traffic.percentile.Bandwidth95Tracker`
+  accounts realised loads exactly as the offline run would; and
+* allocations fold through the engine's shared chunked
+  :class:`~repro.sim.engine._AllocationReducer` at the *same* chunk
+  boundaries, so when the horizon completes, :meth:`result` returns a
+  :class:`~repro.sim.results.SimulationResult` whose loads, paid
+  prices, and distance histogram match the offline run bit for bit
+  (pinned by ``tests/test_sim_session.py``).
+
+Sessions are the substrate of :mod:`repro.serve`'s micro-batching
+server; open one from a registered scenario with
+:func:`repro.scenarios.open_session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleAllocationError
+from repro.markets.generator import MarketDataset
+from repro.routing.base import Router, RoutingProblem, batch_allocate
+from repro.sim.engine import (
+    SimulationOptions,
+    _AllocationReducer,
+    _distance_bins,
+    _finalize,
+    _hour_indices,
+    _replay_with_retry,
+    _RouteArrays,
+    batch_chunk_steps,
+)
+from repro.sim.results import SimulationResult
+from repro.traffic.percentile import Bandwidth95Tracker
+
+__all__ = ["RoutingSession", "SessionExhaustedError"]
+
+
+class SessionExhaustedError(ConfigurationError):
+    """Raised when demand is fed past the session's declared horizon."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Window:
+    """The trace-shaped window handed to the engine's hour mapper."""
+
+    start: datetime
+    step_seconds: int
+    n_steps: int
+
+
+class RoutingSession:
+    """Rolling engine state that routes demand one step at a time.
+
+    Parameters
+    ----------
+    dataset:
+        Market prices; every cluster's hub must be present. Typically
+        materialised by a :class:`~repro.markets.providers.PriceProvider`.
+    problem:
+        Deployment + distances shared across routers (and the engine
+        dtype the session runs under).
+    router:
+        The allocation policy serving this session.
+    options:
+        Engine controls, exactly as for :func:`~repro.sim.simulate`:
+        reaction delay, capacity margin, optional 95/5
+        ``bandwidth_caps`` (the session then holds a rolling
+        :class:`~repro.traffic.percentile.Bandwidth95Tracker`).
+    start / step_seconds / n_steps:
+        The step grid: wall-clock start of step 0, seconds per step,
+        and the session horizon. The horizon is declared up front
+        because 95/5 accounting (the free-interval budget) and the
+        finalisation contract are defined over a billing window, not
+        an open-ended stream; it must fit the dataset's calendar.
+    server_counts:
+        Energy-accounting server counts per cluster (see
+        :func:`~repro.sim.simulate`).
+    """
+
+    def __init__(
+        self,
+        dataset: MarketDataset,
+        problem: RoutingProblem,
+        router: Router,
+        options: SimulationOptions | None = None,
+        *,
+        start: datetime,
+        step_seconds: int,
+        n_steps: int,
+        server_counts: np.ndarray | None = None,
+    ) -> None:
+        if n_steps < 1:
+            raise ConfigurationError("session horizon must be at least one step")
+        if step_seconds < 1:
+            raise ConfigurationError("step_seconds must be positive")
+        opts = options or SimulationOptions()
+        deployment = problem.deployment
+
+        window = _Window(start=start, step_seconds=step_seconds, n_steps=n_steps)
+        hour_idx = _hour_indices(window, dataset)
+        hub_columns = np.array([dataset.hub_column(code) for code in deployment.hub_codes])
+        # Prices depend only on the calendar, never on demand, so the
+        # whole horizon's price state is precomputed exactly as the
+        # offline _prepare stage would (same fancy-indexing, same bits).
+        lagged = dataset.lagged_price_matrix(opts.reaction_delay_hours)
+        self._seen_prices = lagged[hour_idx][:, hub_columns]
+        self._paid_prices = dataset.price_matrix[hour_idx][:, hub_columns]
+
+        if opts.relax_capacity:
+            capacity_limits = np.full(deployment.n_clusters, np.inf)
+        else:
+            capacity_limits = deployment.capacities * opts.capacity_margin
+
+        self._tracker: Bandwidth95Tracker | None = None
+        limits = capacity_limits
+        if opts.bandwidth_caps is not None:
+            if opts.bandwidth_caps.shape != (deployment.n_clusters,):
+                raise ConfigurationError(
+                    "bandwidth caps must have one entry per cluster, got "
+                    f"{opts.bandwidth_caps.shape[0]} for {deployment.n_clusters} clusters"
+                )
+            self._tracker = Bandwidth95Tracker(opts.bandwidth_caps, n_steps)
+            limits = np.minimum(capacity_limits, self._tracker.limits())
+
+        self._dataset = dataset
+        self._problem = problem
+        self._router = router
+        self._options = opts
+        self._start = start
+        self._step_seconds = int(step_seconds)
+        self._n_steps = int(n_steps)
+        self._server_counts = server_counts
+        self._bin_index, self._n_bins = _distance_bins(problem)
+
+        # The router sees arrays in the engine dtype; billing and the
+        # reducer totals stay float64 (the _RouteArrays split).
+        if problem.dtype == np.float64:
+            self._route_prices = self._seen_prices
+            self._limits = limits
+            self._capacity_limits = capacity_limits
+        else:
+            self._route_prices = self._seen_prices.astype(problem.dtype)
+            self._limits = limits.astype(problem.dtype)
+            self._capacity_limits = capacity_limits.astype(problem.dtype)
+
+        self._chunk_steps = batch_chunk_steps(problem.n_states, problem.n_clusters)
+        self._reducer = _AllocationReducer(
+            n_steps, problem.n_states, problem.n_clusters, dtype=problem.dtype
+        )
+        self._loads = np.empty((n_steps, problem.n_clusters))
+        self._cursor = 0
+        self._result: SimulationResult | None = None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_steps(self) -> int:
+        """The declared horizon, in steps."""
+        return self._n_steps
+
+    @property
+    def steps_fed(self) -> int:
+        """How many steps have been routed so far."""
+        return self._cursor
+
+    @property
+    def steps_remaining(self) -> int:
+        """Horizon steps not yet fed."""
+        return self._n_steps - self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the whole horizon has been routed."""
+        return self._cursor >= self._n_steps
+
+    @property
+    def cluster_labels(self) -> tuple[str, ...]:
+        return self._problem.deployment.labels
+
+    @property
+    def state_codes(self) -> tuple[str, ...]:
+        """Column order :meth:`feed` expects demand in."""
+        return self._problem.state_codes
+
+    @property
+    def tracker(self) -> Bandwidth95Tracker | None:
+        """The rolling 95/5 tracker (None when the run is unconstrained)."""
+        return self._tracker
+
+    def clock(self, step: int | None = None) -> datetime:
+        """Wall-clock start of ``step`` (default: the next unfed step)."""
+        t = self._cursor if step is None else step
+        return self._start + timedelta(seconds=t * self._step_seconds)
+
+    def seen_prices(self, step: int) -> np.ndarray:
+        """The (lagged) per-cluster prices the router sees at ``step``."""
+        return self._seen_prices[step].copy()
+
+    def paid_prices(self, step: int) -> np.ndarray:
+        """The per-cluster market prices billed at ``step``."""
+        return self._paid_prices[step].copy()
+
+    # -- feeding ---------------------------------------------------------------
+
+    def _validate_demand(self, demand: np.ndarray) -> np.ndarray:
+        arr = np.asarray(demand, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self._problem.n_states:
+            raise ConfigurationError(
+                f"demand must be ({self._problem.n_states},) or "
+                f"(k, {self._problem.n_states}), got shape {np.asarray(demand).shape}"
+            )
+        if arr.shape[0] == 0:
+            raise ConfigurationError("feed needs at least one step of demand")
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise ConfigurationError("demand must be finite and non-negative")
+        return arr
+
+    def step(self, demand: np.ndarray) -> np.ndarray:
+        """Route one step of demand; returns its allocation matrix.
+
+        The ``(n_states, n_clusters)`` return equals what the offline
+        engine would have allocated at this position in the horizon.
+        """
+        return self.feed(np.asarray(demand, dtype=float)[None, :])[0]
+
+    def feed(self, demand: np.ndarray) -> np.ndarray:
+        """Route a micro-batch of ``k`` consecutive steps.
+
+        ``demand`` is ``(k, n_states)`` (a single ``(n_states,)`` row
+        is promoted); the return is the ``(k, n_states, n_clusters)``
+        allocation tensor. Feeding ``[a, b]`` in one call is
+        bit-identical to ``feed([a]); feed([b])`` — micro-batching is
+        a throughput decision, never a semantic one — which is what
+        lets the serving layer coalesce concurrent requests freely.
+
+        Raises
+        ------
+        SessionExhaustedError
+            If the batch would run past the declared horizon.
+        InfeasibleAllocationError
+            If a step's demand cannot be placed even against plain
+            capacity (or, unconstrained, at all).
+        """
+        rows = self._validate_demand(demand)
+        k = rows.shape[0]
+        t0 = self._cursor
+        if t0 + k > self._n_steps:
+            raise SessionExhaustedError(
+                f"feeding {k} step(s) at step {t0} exceeds the session horizon "
+                f"({self._n_steps} steps)"
+            )
+
+        route_demand = rows if self._problem.dtype == np.float64 else rows.astype(
+            self._problem.dtype
+        )
+        prices = self._route_prices[t0 : t0 + k]
+        try:
+            allocations = batch_allocate(self._router, route_demand, prices, self._limits)
+        except InfeasibleAllocationError:
+            if self._tracker is None:
+                raise
+            # The offline per-step contract: capped limits first, plain
+            # capacity when the router raises (a 95/5 burst step).
+            route = _RouteArrays(
+                demand=route_demand,
+                prices=prices,
+                limits=self._limits,
+                capacity_limits=self._capacity_limits,
+            )
+            allocations = _replay_with_retry(self._router, route, np.arange(k))
+
+        loads = allocations.sum(axis=1)
+        self._loads[t0 : t0 + k] = loads
+        if self._tracker is not None:
+            self._tracker.record_batch(self._loads[t0 : t0 + k])
+
+        # Fold through the shared reducer at the offline chunk
+        # boundaries (offsets are chunk-relative; a batch may span a
+        # boundary, so the fold is segmented).
+        chunk = self._chunk_steps
+        i = 0
+        while i < k:
+            t = t0 + i
+            offset = t % chunk
+            span = min(k - i, chunk - offset, self._n_steps - t)
+            self._reducer.put(
+                np.arange(offset, offset + span), allocations[i : i + span]
+            )
+            last = t + span - 1
+            if (last + 1) % chunk == 0 or last == self._n_steps - 1:
+                self._reducer.reduce_chunk((last % chunk) + 1)
+            i += span
+
+        self._cursor = t0 + k
+        return allocations
+
+    # -- finalisation ----------------------------------------------------------
+
+    def result(self) -> SimulationResult:
+        """The completed run's :class:`SimulationResult`.
+
+        Only available once the whole horizon has been fed; the result
+        is bit-identical to :func:`~repro.sim.simulate` over a trace
+        carrying the same demand rows.
+        """
+        if not self.exhausted:
+            raise ConfigurationError(
+                f"session has routed {self._cursor}/{self._n_steps} steps; "
+                "the result is defined over the full horizon"
+            )
+        if self._result is None:
+            histogram = self._reducer.histogram(self._bin_index, self._n_bins)
+            self._result = _finalize(
+                self._start,
+                self._step_seconds,
+                self._problem,
+                self._paid_prices,
+                self._loads,
+                histogram,
+                self._server_counts,
+            )
+        return self._result

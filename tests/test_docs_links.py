@@ -1,0 +1,85 @@
+"""Docs hygiene: no dead relative links or anchors in the markdown tree.
+
+Checks every ``[text](target)`` link in README.md, ROADMAP.md, and
+docs/*.md: relative file targets must exist on disk, and fragment
+targets (``#section`` or ``file.md#section``) must match a heading in
+the referenced document, GitHub slug rules. External URLs are only
+shape-checked (scheme present), never fetched.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+# [text](target) — but not images' inner ]( of ![alt](src), which this
+# pattern also matches harmlessly (image paths must exist too).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks so example snippets aren't link-checked."""
+    lines, keep, fenced = text.splitlines(), [], False
+    for line in lines:
+        if _CODE_FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            keep.append(line)
+    return "\n".join(keep)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes for spaces."""
+    text = re.sub(r"[*_`]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    for line in _strip_fences(path.read_text()).splitlines():
+        match = _HEADING.match(line)
+        if match:
+            slugs.add(_github_slug(match.group(1)))
+    return slugs
+
+
+def _links(path: Path) -> list[str]:
+    return _LINK.findall(_strip_fences(path.read_text()))
+
+
+def test_doc_tree_is_present():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "ROADMAP.md", "architecture.md", "serving.md", "performance.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_no_dead_links(doc: Path):
+    problems = []
+    for target in _links(doc):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # external URL / mailto
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{target}: file not found")
+                continue
+        else:
+            resolved = doc
+        if fragment:
+            if resolved.suffix == ".md" and fragment not in _anchors(resolved):
+                problems.append(f"{target}: no heading for anchor #{fragment}")
+    assert not problems, f"dead links in {doc.name}: {problems}"

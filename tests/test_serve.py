@@ -1,0 +1,173 @@
+"""Integration tests for the routing server and micro-batcher.
+
+Everything runs a real asyncio server on an ephemeral loopback port
+through the stdlib-only :class:`~repro.serve.client.HttpClient`; the
+central claim under test is that concurrent requests coalesced by the
+micro-batcher return exactly the allocations a direct offline session
+feed produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.serve import HttpClient, RoutingServer, ServerConfig, run_smoke
+
+SCENARIO = "serve-smoke"
+
+
+def _scenario():
+    return scenarios.get(SCENARIO)
+
+
+def _rows(n: int) -> np.ndarray:
+    scenario = _scenario()
+    return scenarios.trace(scenario.trace, scenario.market).demand[:n]
+
+
+def _with_server(n_steps: int, coro_fn, *, window_ms: float = 5.0, max_batch: int = 16):
+    """Boot a server on an ephemeral port, run ``coro_fn(server)``, stop."""
+
+    async def runner():
+        session = scenarios.open_session(_scenario(), n_steps=n_steps)
+        server = RoutingServer(
+            session,
+            ServerConfig(
+                host="127.0.0.1", port=0, window_ms=window_ms, max_batch=max_batch,
+                scenario=SCENARIO,
+            ),
+        )
+        await server.start()
+        try:
+            return await coro_fn(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(runner())
+
+
+def test_smoke_self_test_passes():
+    out = run_smoke(SCENARIO, n_requests=24, n_connections=6, window_ms=10.0, max_batch=16)
+    assert out["allocations_identical"]
+    assert out["requests"] == 24
+    assert 1 <= out["batches_total"] <= 24
+
+
+def test_concurrent_requests_match_direct_batched_feed():
+    n = 20
+    rows = _rows(n)
+
+    async def drive(server):
+        clients = [HttpClient("127.0.0.1", server.port) for _ in range(5)]
+        for c in clients:
+            await c.connect()
+        try:
+            bodies = await asyncio.gather(
+                *(clients[i % 5].route(rows[i].tolist(), full=True) for i in range(n))
+            )
+        finally:
+            for c in clients:
+                await c.close()
+        return bodies
+
+    bodies = _with_server(n, drive)
+
+    # Reconstruct the served allocation tensor in step order, then
+    # replay the same demand sequence through a direct offline feed.
+    demand_by_step = np.empty_like(rows)
+    served = np.empty((n, len(rows[0]), 9))
+    for i, body in enumerate(bodies):
+        step = body["step"]
+        demand_by_step[step] = rows[i]
+        served[step] = np.asarray(body["allocation"]["matrix"])
+    direct = scenarios.open_session(_scenario(), n_steps=n)
+    allocations = direct.feed(demand_by_step)
+    assert np.array_equal(served, allocations)
+    # Steps were assigned in arrival order with no gaps.
+    assert sorted(b["step"] for b in bodies) == list(range(n))
+
+
+def test_route_response_shape_and_stats():
+    rows = _rows(3)
+
+    async def drive(server):
+        async with HttpClient("127.0.0.1", server.port) as client:
+            first = await client.route(rows[0].tolist())
+            second = await client.route({
+                code: float(value)
+                for code, value in zip(server.session.state_codes, rows[1])
+                if value > 0
+            })
+            _, health = await client.request("GET", "/healthz")
+            _, stats = await client.request("GET", "/stats")
+        return first, second, health, stats
+
+    first, second, health, stats = _with_server(3, drive)
+    labels = list(scenarios.problem().deployment.labels)
+    assert first["step"] == 0 and second["step"] == 1
+    assert sorted(first["loads"]) == sorted(labels)
+    assert sorted(first["prices"]) == sorted(labels)
+    assert "T" in first["clock"]  # ISO timestamp
+    assert health["status"] == "ok" and health["steps_fed"] == 2
+    assert stats["requests_total"] == 2
+    assert stats["steps_fed"] == 2 and stats["steps_remaining"] == 1
+    assert stats["scenario"] == SCENARIO
+
+
+def test_http_error_paths():
+    rows = _rows(2)
+
+    async def drive(server):
+        async with HttpClient("127.0.0.1", server.port) as client:
+            results = {}
+            results["not_found"] = await client.request("GET", "/nope")
+            results["bad_method"] = await client.request("GET", "/route")
+            results["bad_json"] = await client.request("POST", "/route", None)
+            results["bad_key"] = await client.request("POST", "/route", {"x": 1})
+            results["bad_len"] = await client.request("POST", "/route", {"demand": [1.0]})
+            results["bad_state"] = await client.request(
+                "POST", "/route", {"demand": {"ZZ": 1.0}}
+            )
+            results["negative"] = await client.request(
+                "POST", "/route", {"demand": (-rows[0]).tolist()}
+            )
+            await client.route(rows[0].tolist())
+            await client.route(rows[1].tolist())
+            results["exhausted"] = await client.request(
+                "POST", "/route", {"demand": rows[0].tolist()}
+            )
+        return results
+
+    results = _with_server(2, drive)
+    assert results["not_found"][0] == 404
+    assert results["bad_method"][0] == 405
+    assert results["bad_key"][0] == 400
+    assert results["bad_len"][0] == 400
+    assert results["bad_state"][0] == 400
+    assert results["negative"][0] == 400
+    assert results["exhausted"][0] == 409
+    for key in ("bad_key", "bad_len", "bad_state", "negative", "exhausted"):
+        assert "error" in results[key][1]
+
+
+def test_keep_alive_connection_serves_sequential_steps():
+    rows = _rows(6)
+
+    async def drive(server):
+        async with HttpClient("127.0.0.1", server.port) as client:
+            return [await client.route(row.tolist()) for row in rows]
+
+    bodies = _with_server(6, drive)
+    assert [b["step"] for b in bodies] == list(range(6))
+
+
+def test_open_session_rejects_signal_router_kinds():
+    scenario = _scenario()
+    for kind in ("carbon", "weather"):
+        bad = scenario.derive(router=scenario.router.__class__.of(kind))
+        with pytest.raises(Exception, match="incremental session"):
+            scenarios.open_session(bad)
