@@ -24,12 +24,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 from dataclasses import replace
 
 import numpy as np
 
 from repro import scenarios
 from repro.serve import HttpClient, RoutingServer, ServerConfig
+from repro.serve.shard import ShardedServer, reuse_port_supported
 
 #: Concurrency levels: a lone client (pure latency), a small pool, and
 #: a burst wide enough that the micro-batcher must coalesce.
@@ -38,6 +40,18 @@ CONCURRENCY_LEVELS = (1, 8, 32)
 SCENARIO = "serve-smoke"
 WINDOW_MS = 2.0
 MAX_BATCH = 64
+
+#: Worker processes for the sharded section. Whether sharding *helps*
+#: depends on the box: with >= 2 idle cores the kernel spreads the
+#: connections over genuinely parallel workers; on a single core the
+#: shards time-slice and the section documents the (honest) overhead.
+SHARD_WORKERS = 2
+SHARD_CONCURRENCY = 32
+
+#: The sharded workers serve *rolling* sessions (the registered
+#: scenario's trace is only 288 steps; chained billing windows of one
+#: trace-length each cover any request budget).
+SHARD_ROLLING_WINDOW = 288
 
 
 def _bench_scenario(n_steps: int):
@@ -110,6 +124,91 @@ async def _run_level(scenario, rows: np.ndarray, concurrency: int) -> dict:
     }
 
 
+async def _run_sharded(sharded: ShardedServer, rows: np.ndarray, concurrency: int) -> dict:
+    """Closed-loop load against an already-started sharded deployment."""
+    n_requests = len(rows)
+    loop = asyncio.get_running_loop()
+    latencies: list[float] = []
+    responses: list[dict | None] = [None] * n_requests
+
+    clients = [HttpClient("127.0.0.1", sharded.port) for _ in range(concurrency)]
+    for client in clients:
+        await client.connect()
+    try:
+
+        async def worker(client: HttpClient, indices: range) -> None:
+            for i in indices:
+                t0 = loop.time()
+                body = await client.route(rows[i].tolist())
+                latencies.append(loop.time() - t0)
+                responses[i] = body
+
+        shares = [range(c, n_requests, concurrency) for c in range(concurrency)]
+        t_start = loop.time()
+        await asyncio.gather(*(worker(cl, sh) for cl, sh in zip(clients, shares)))
+        wall = loop.time() - t_start
+        _, stats = await clients[0].request("GET", "/stats")
+    finally:
+        for client in clients:
+            await client.close()
+
+    return {"wall": wall, "latencies": latencies, "responses": responses, "stats": stats}
+
+
+def bench_serve_sharded(rows: np.ndarray) -> dict:
+    """The sharded leg: SHARD_WORKERS processes, one port, c32 load."""
+    if not reuse_port_supported():
+        return {"skipped": "platform lacks SO_REUSEPORT"}
+
+    n_requests = len(rows)
+    with ShardedServer(
+        SCENARIO,
+        workers=SHARD_WORKERS,
+        window_ms=WINDOW_MS,
+        max_batch=MAX_BATCH,
+        rolling_window=SHARD_ROLLING_WINDOW,
+    ) as sharded:
+        out = asyncio.run(_run_sharded(sharded, rows, SHARD_CONCURRENCY))
+
+    # Per-shard bitwise identity: each shard is its own rolling
+    # session, so replay each shard's rows (in that shard's step
+    # order) through an identical offline roller.
+    identical = True
+    per_shard: dict[int, list[tuple[int, int]]] = {}
+    for i, body in enumerate(out["responses"]):
+        per_shard.setdefault(body["shard"], []).append((body["step"], i))
+    for members in per_shard.values():
+        members.sort()
+        replay = scenarios.open_rolling_session(
+            scenarios.get(SCENARIO), window_steps=SHARD_ROLLING_WINDOW
+        )
+        allocations = replay.feed(np.stack([rows[i] for _, i in members]))
+        served = np.array(
+            [
+                [out["responses"][i]["loads"][label] for label in replay.cluster_labels]
+                for _, i in members
+            ]
+        )
+        identical = identical and bool(np.array_equal(served, allocations.sum(axis=1)))
+
+    lat_ms = np.asarray(out["latencies"]) * 1000.0
+    aggregate = out["stats"]["shards"]
+    return {
+        "workers": SHARD_WORKERS,
+        "concurrency": SHARD_CONCURRENCY,
+        "requests": n_requests,
+        "qps": round(n_requests / out["wall"], 1),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+        "p95_ms": round(float(np.percentile(lat_ms, 95)), 3),
+        "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+        "shards_hit": sorted(per_shard),
+        "batch_size_mean": round(
+            aggregate["batch_rows_total"] / max(aggregate["batches_total"], 1), 2
+        ),
+        "allocations_identical": identical,
+    }
+
+
 def bench_serve(requests_per_level: int = 2000) -> dict:
     """The ``serve`` section of the benchmark record."""
     scenario = _bench_scenario(
@@ -128,13 +227,27 @@ def bench_serve(requests_per_level: int = 2000) -> dict:
             f"p99 {level['p99_ms']:7.2f}ms  batch mean {level['batch_size_mean']:5.2f}  "
             f"identical {level['allocations_identical']}"
         )
+
+    sharded = bench_serve_sharded(rows)
+    if "skipped" in sharded:
+        print(f"{'serve:sharded':24s} skipped ({sharded['skipped']})")
+    else:
+        print(
+            f"{'serve:sharded':24s} qps {sharded['qps']:8.1f}  "
+            f"p50 {sharded['p50_ms']:7.2f}ms  p95 {sharded['p95_ms']:7.2f}ms  "
+            f"p99 {sharded['p99_ms']:7.2f}ms  workers {sharded['workers']}  "
+            f"identical {sharded['allocations_identical']}"
+        )
+
     return {
         "scenario": SCENARIO,
         "router": scenarios.get(SCENARIO).router.kind,
         "window_ms": WINDOW_MS,
         "max_batch": MAX_BATCH,
         "requests_per_level": requests_per_level,
+        "cpu_count": os.cpu_count(),
         "levels": levels,
+        "sharded": sharded,
     }
 
 

@@ -55,9 +55,25 @@ MAX_FLOAT32_LOAD_REL_ERR = 1e-4
 
 #: Absolute QPS floors for the committed serving benchmark (full-run
 #: records only, like COMMITTED_SPEEDUP_FLOORS). Calibrated ~35-40%
-#: below the reference box's sustained rates (~150 / ~800 / ~1500 qps
-#: at concurrency 1 / 8 / 32 with a 2 ms micro-batch window).
-COMMITTED_SERVE_QPS_FLOORS = {"c1": 90.0, "c8": 500.0, "c32": 1000.0}
+#: below the reference box's sustained rates (~930 / ~830 / ~1640 qps
+#: at concurrency 1 / 8 / 32; the lone client skips the 2 ms
+#: micro-batch window entirely, hence the c1 jump over c8).
+COMMITTED_SERVE_QPS_FLOORS = {"c1": 550.0, "c8": 500.0, "c32": 1000.0}
+
+#: The lone-client median must stay below the pre-fast-path 6.3 ms
+#: (the c1 p50 when every singleton request paid the batch window and
+#: the batched-allocator setup; committed record, full runs only).
+COMMITTED_SERVE_C1_P50_MS = 6.3
+
+#: Sharded serving vs the single-worker c32 record: with at least
+#: 2x workers cores the kernel runs the shards genuinely in parallel
+#: and the group must at least double the single-worker throughput.
+#: With fewer cores (the 1-core reference box, most CI runners) the
+#: shards time-slice one core and the gate is a no-collapse floor —
+#: process sharding may cost scheduling overhead, but must keep at
+#: least half the single-worker rate.
+SHARDED_PARALLEL_SPEEDUP = 2.0
+SHARDED_NO_COLLAPSE_RATIO = 0.5
 
 #: Fresh serving runs on shared CI runners keep a generous margin:
 #: a level fails only below this fraction of the committed QPS.
@@ -231,6 +247,7 @@ def check_serve(baseline: dict, fresh: dict) -> list[str]:
             f"{'ok' if not problems else 'FAIL'}"
         )
         failures.extend(problems)
+    failures.extend(_check_sharded(baseline, section))
     # Absolute floors pin the committed record, full runs only.
     if int(baseline.get("trace", {}).get("days", 0)) >= 365:
         for key, floor in COMMITTED_SERVE_QPS_FLOORS.items():
@@ -247,11 +264,81 @@ def check_serve(baseline: dict, fresh: dict) -> list[str]:
                     f"serve {key}: committed {qps:.0f} qps is below the "
                     f"absolute floor {floor:.0f}"
                 )
+        if "c1" in base_levels and "p50_ms" in base_levels["c1"]:
+            p50 = float(base_levels["c1"]["p50_ms"])
+            status = "ok" if p50 <= COMMITTED_SERVE_C1_P50_MS else "FAIL"
+            print(
+                f"{'floor:serve:c1:p50':24s} committed {p50:8.2f} ms   "
+                f"ceil  {COMMITTED_SERVE_C1_P50_MS:6.1f}  {status}"
+            )
+            if p50 > COMMITTED_SERVE_C1_P50_MS:
+                failures.append(
+                    f"serve c1: committed p50 {p50:.2f} ms exceeds the "
+                    f"{COMMITTED_SERVE_C1_P50_MS:.1f} ms ceiling — the lone-client "
+                    "fast path has regressed"
+                )
         for key, level in base_levels.items():
             if not level.get("allocations_identical", False):
                 failures.append(
                     f"serve {key}: committed record shows served allocations "
                     "diverged from the offline replay"
+                )
+    return failures
+
+
+def _check_sharded(baseline: dict, fresh_section: dict) -> list[str]:
+    """Gates on the sharded serving leg (fresh identity + committed scaling)."""
+    failures = []
+    sharded = fresh_section.get("sharded")
+    if sharded and "skipped" not in sharded:
+        if not sharded.get("allocations_identical", False):
+            failures.append(
+                "serve sharded: a shard's served allocations diverged from its "
+                "offline replay"
+            )
+        base_sharded = baseline.get("serve", {}).get("sharded", {})
+        qps = float(sharded["qps"])
+        if base_sharded.get("qps"):
+            floor = float(base_sharded["qps"]) * MIN_SERVE_QPS_RATIO
+            if qps < floor:
+                failures.append(
+                    f"serve sharded: fresh {qps:.0f} qps is below "
+                    f"{MIN_SERVE_QPS_RATIO:.0%} of the committed "
+                    f"{float(base_sharded['qps']):.0f} qps"
+                )
+        print(
+            f"{'serve:sharded':24s} qps {qps:8.1f}  "
+            f"p99 {float(sharded['p99_ms']):7.2f}ms  "
+            f"workers {sharded['workers']}  "
+            f"identical {bool(sharded.get('allocations_identical', False))}  "
+            f"{'ok' if not failures else 'FAIL'}"
+        )
+
+    # Committed scaling gate, full runs only: the recorded cpu count
+    # decides whether sharding must win (parallel cores) or merely
+    # must not collapse (time-sliced cores).
+    if int(baseline.get("trace", {}).get("days", 0)) >= 365:
+        base_serve = baseline.get("serve", {})
+        base_sharded = base_serve.get("sharded", {})
+        base_c32 = base_serve.get("levels", {}).get("c32", {})
+        if base_sharded.get("qps") and base_c32.get("qps"):
+            cpu_count = int(base_serve.get("cpu_count") or 1)
+            workers = int(base_sharded.get("workers", 2))
+            parallel = cpu_count >= 2 * workers
+            ratio = SHARDED_PARALLEL_SPEEDUP if parallel else SHARDED_NO_COLLAPSE_RATIO
+            mode = "parallel" if parallel else "no-collapse"
+            floor = float(base_c32["qps"]) * ratio
+            qps = float(base_sharded["qps"])
+            status = "ok" if qps >= floor else "FAIL"
+            print(
+                f"{'floor:serve:sharded':24s} committed {qps:8.1f} qps  "
+                f"floor {floor:6.0f} ({mode}, {cpu_count} cpus)  {status}"
+            )
+            if qps < floor:
+                failures.append(
+                    f"serve sharded: committed {qps:.0f} qps is below the {mode} "
+                    f"floor {floor:.0f} ({ratio:.1f}x of the single-worker c32 "
+                    f"record on a {cpu_count}-cpu box)"
                 )
     return failures
 

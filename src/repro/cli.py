@@ -236,6 +236,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve only the first N steps of the scenario horizon",
     )
     serve_p.add_argument(
+        "--rolling-window",
+        type=int,
+        default=None,
+        metavar="STEPS",
+        help="chain billing windows of STEPS steps (rolling horizon) instead of "
+        "one fixed scenario horizon",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the port across N worker processes via SO_REUSEPORT (default 1)",
+    )
+    serve_p.add_argument(
         "--smoke",
         action="store_true",
         help="boot on an ephemeral port, fire a concurrent self-test burst, and exit",
@@ -560,6 +575,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"repro serve: {exc}", file=sys.stderr)
         return 2
 
+    if args.workers < 1:
+        print("repro serve: --workers must be at least 1", file=sys.stderr)
+        return 2
+
     with provider_override(provider):
         if args.smoke:
             try:
@@ -567,22 +586,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     args.scenario,
                     window_ms=args.batch_window_ms,
                     max_batch=args.max_batch,
+                    workers=args.workers,
                 )
             except (ConfigurationError, RuntimeError) as exc:
                 print(f"repro serve --smoke: FAIL: {exc}", file=sys.stderr)
                 return 1
+            sharded = f", workers={summary['workers']}" if "workers" in summary else ""
             print(
                 "repro serve --smoke: ok "
                 f"(scenario={summary['scenario']}, requests={summary['requests']}, "
                 f"batches={summary['batches_total']}, "
                 f"batch_mean={summary['batch_size_mean']:.1f}, "
-                f"identical={summary['allocations_identical']})"
+                f"identical={summary['allocations_identical']}{sharded})"
             )
             return 0
 
+        if args.workers > 1:
+            return _serve_sharded(args)
+
         try:
             scenario = scenarios.get(args.scenario)
-            session = scenarios.open_session(scenario, n_steps=args.steps)
+            if args.rolling_window is not None:
+                session = scenarios.open_rolling_session(
+                    scenario, window_steps=args.rolling_window
+                )
+            else:
+                session = scenarios.open_session(scenario, n_steps=args.steps)
         except (ConfigurationError, KeyError) as exc:
             print(f"repro serve: {exc}", file=sys.stderr)
             return 2
@@ -599,10 +628,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         async def _serve() -> None:
             await server.start()
+            horizon = session.n_steps
+            shape = (
+                f"rolling {args.rolling_window}-step windows, {horizon} steps total"
+                if args.rolling_window is not None
+                else f"horizon {horizon} steps"
+            )
             print(
                 f"repro serve: scenario={args.scenario} router={scenario.router.kind} "
                 f"on http://{args.host}:{server.port} "
-                f"(horizon {session.n_steps} steps, window {args.batch_window_ms}ms, "
+                f"({shape}, window {args.batch_window_ms}ms, "
                 f"max batch {args.max_batch})",
                 file=sys.stderr,
             )
@@ -613,6 +648,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             print("repro serve: stopped", file=sys.stderr)
         return 0
+
+
+def _serve_sharded(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve.shard import ShardedServer
+
+    try:
+        sharded = ShardedServer(
+            args.scenario,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            session_steps=args.steps,
+            rolling_window=args.rolling_window,
+            provider=args.provider,
+        )
+        sharded.start()
+        sharded.wait_ready()
+    except (ConfigurationError, RuntimeError, TimeoutError, OSError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"repro serve: scenario={args.scenario} sharded across {args.workers} workers "
+        f"on http://{args.host}:{sharded.port}",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("repro serve: stopped", file=sys.stderr)
+    finally:
+        sharded.stop()
+    return 0
 
 
 def _cmd_providers(args: argparse.Namespace) -> int:

@@ -35,6 +35,7 @@ from repro.scenarios.runner import (
     build_router,
     clear_caches,
     dataset,
+    open_rolling_session,
     open_session,
     problem,
     provider_override,
@@ -60,6 +61,7 @@ __all__ = [
     "build_router",
     "clear_caches",
     "dataset",
+    "open_rolling_session",
     "open_session",
     "problem",
     "provider_override",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import replace
+from datetime import timedelta
 from functools import lru_cache
 from typing import Iterable, Iterator
 
@@ -37,10 +38,12 @@ from repro.routing.static import StaticSingleHubRouter, cheapest_cluster_index
 from repro.scenarios.spec import MarketSpec, RouterSpec, Scenario, TraceSpec
 from repro.sim.engine import SimulationOptions, simulate, simulate_many
 from repro.sim.results import SimulationResult
+from repro.sim.rolling import RollingSession
 from repro.sim.session import RoutingSession
 from repro.traffic.clusters import akamai_like_deployment
 from repro.traffic.synthetic import TraceConfig, make_trace, make_turn_of_year_trace
 from repro.traffic.trace import HourOfWeekWorkload, TrafficTrace
+from repro.units import SECONDS_PER_HOUR
 
 __all__ = [
     "dataset",
@@ -52,6 +55,7 @@ __all__ = [
     "run",
     "run_many",
     "open_session",
+    "open_rolling_session",
     "clear_caches",
     "provider_override",
     "active_provider",
@@ -326,25 +330,17 @@ def _execute(scenario: Scenario) -> SimulationResult:
     )
 
 
-def open_session(scenario: Scenario, n_steps: int | None = None) -> RoutingSession:
-    """Open an incremental :class:`~repro.sim.session.RoutingSession`.
+def _session_ingredients(
+    scenario: Scenario,
+) -> tuple[MarketDataset, RoutingProblem, SimulationOptions, np.ndarray | None]:
+    """The shared online-session ingredients of a *resolved* scenario.
 
-    The online counterpart of :func:`run`: the same scenario spec
-    assembles the same ingredients — provider-backed market data set,
-    routing problem, router, engine options (including the memoised
-    baseline's 95/5 caps for ``follow_95_5`` scenarios, and relocated
-    server counts) — but instead of replaying the scenario's synthetic
-    trace, the session adopts only its step *grid* (start, step size,
-    horizon) and waits for demand to arrive step by step. Feeding the
-    scenario's own trace rows reproduces :func:`run`'s result bit for
-    bit.
-
-    ``n_steps`` shortens the horizon (serving a prefix of the
-    scenario's window); it cannot extend past the scenario's trace.
-    Signal-driven router kinds (``carbon``, ``weather``) replay
+    Dataset, problem, engine options (including the memoised
+    baseline's 95/5 caps for ``follow_95_5`` scenarios), and relocated
+    server counts — everything :func:`run` would assemble except the
+    trace. Signal-driven router kinds (``carbon``, ``weather``) replay
     per-trace price overrides and have no online form.
     """
-    scenario = _resolve(scenario)
     if scenario.router.kind in ("carbon", "weather"):
         raise ConfigurationError(
             f"router kind {scenario.router.kind!r} routes on a per-trace signal "
@@ -352,12 +348,6 @@ def open_session(scenario: Scenario, n_steps: int | None = None) -> RoutingSessi
         )
     data = dataset(scenario.market, scenario.provider)
     prob = problem(scenario.engine_dtype)
-    grid = trace(scenario.trace, scenario.market)
-    horizon = grid.n_steps if n_steps is None else int(n_steps)
-    if not 1 <= horizon <= grid.n_steps:
-        raise ConfigurationError(
-            f"session horizon must be in [1, {grid.n_steps}], got {horizon}"
-        )
 
     caps = None
     if scenario.follow_95_5:
@@ -384,6 +374,36 @@ def open_session(scenario: Scenario, n_steps: int | None = None) -> RoutingSessi
         counts[target] = sum(c.n_servers for c in deployment.clusters)
         server_counts = counts
 
+    return data, prob, options, server_counts
+
+
+def open_session(scenario: Scenario, n_steps: int | None = None) -> RoutingSession:
+    """Open an incremental :class:`~repro.sim.session.RoutingSession`.
+
+    The online counterpart of :func:`run`: the same scenario spec
+    assembles the same ingredients — provider-backed market data set,
+    routing problem, router, engine options (including the memoised
+    baseline's 95/5 caps for ``follow_95_5`` scenarios, and relocated
+    server counts) — but instead of replaying the scenario's synthetic
+    trace, the session adopts only its step *grid* (start, step size,
+    horizon) and waits for demand to arrive step by step. Feeding the
+    scenario's own trace rows reproduces :func:`run`'s result bit for
+    bit.
+
+    ``n_steps`` shortens the horizon (serving a prefix of the
+    scenario's window); it cannot extend past the scenario's trace.
+    Signal-driven router kinds (``carbon``, ``weather``) replay
+    per-trace price overrides and have no online form.
+    """
+    scenario = _resolve(scenario)
+    data, prob, options, server_counts = _session_ingredients(scenario)
+    grid = trace(scenario.trace, scenario.market)
+    horizon = grid.n_steps if n_steps is None else int(n_steps)
+    if not 1 <= horizon <= grid.n_steps:
+        raise ConfigurationError(
+            f"session horizon must be in [1, {grid.n_steps}], got {horizon}"
+        )
+
     return RoutingSession(
         data,
         prob,
@@ -393,6 +413,83 @@ def open_session(scenario: Scenario, n_steps: int | None = None) -> RoutingSessi
         step_seconds=grid.step_seconds,
         n_steps=horizon,
         server_counts=server_counts,
+    )
+
+
+def open_rolling_session(
+    scenario: Scenario,
+    *,
+    window_steps: int,
+    max_windows: int | None = None,
+    retain_windows: int | None = None,
+) -> RollingSession:
+    """Open a :class:`~repro.sim.rolling.RollingSession` over a scenario.
+
+    The rolling counterpart of :func:`open_session`: the scenario's
+    step grid is sliced into consecutive billing windows of
+    ``window_steps`` steps each, and a window provider materialises
+    the next :class:`RoutingSession` every time the current window
+    fills — for as long as the scenario's *price provider* covers the
+    calendar, which can run well past the scenario's own trace (the
+    trace contributes only the grid's start and step size). Each
+    window gets fresh 95/5 accounting against the same memoised
+    baseline caps — billing windows are independent.
+
+    ``max_windows`` bounds the chain explicitly; it cannot exceed what
+    the provider's calendar covers. The total horizon is always known
+    (``RollingSession.n_steps``), so the serving layer can reject
+    overflow with a clean exhaustion error rather than mid-feed.
+    """
+    scenario = _resolve(scenario)
+    if window_steps < 1:
+        raise ConfigurationError("window_steps must be at least one step")
+    data, prob, options, server_counts = _session_ingredients(scenario)
+    grid = trace(scenario.trace, scenario.market)
+
+    calendar = data.calendar
+    window_seconds = window_steps * grid.step_seconds
+    offset_seconds = (grid.start - calendar.start).total_seconds()
+    if offset_seconds < 0:
+        raise ConfigurationError("scenario grid starts before the market calendar")
+    available = calendar.n_hours * SECONDS_PER_HOUR - offset_seconds
+    n_available = int(available // window_seconds)
+    if n_available < 1:
+        raise ConfigurationError(
+            f"a {window_steps}-step window does not fit the provider's calendar "
+            f"({int(available // grid.step_seconds)} steps available)"
+        )
+    if max_windows is not None:
+        if max_windows < 1:
+            raise ConfigurationError("max_windows must be positive")
+        if max_windows > n_available:
+            raise ConfigurationError(
+                f"max_windows={max_windows} exceeds the provider's calendar "
+                f"coverage ({n_available} windows of {window_steps} steps)"
+            )
+        n_windows = max_windows
+    else:
+        n_windows = n_available
+
+    router = build_router(scenario)
+
+    def window(index: int) -> RoutingSession | None:
+        if index >= n_windows:
+            return None
+        return RoutingSession(
+            data,
+            prob,
+            router,
+            options,
+            start=grid.start + timedelta(seconds=index * window_seconds),
+            step_seconds=grid.step_seconds,
+            n_steps=window_steps,
+            server_counts=server_counts,
+        )
+
+    return RollingSession(
+        window,
+        total_steps=n_windows * window_steps,
+        retain_windows=retain_windows,
     )
 
 

@@ -9,6 +9,9 @@ incremental :class:`~repro.sim.session.RoutingSession`:
   time/size window;
 * :class:`~repro.serve.server.RoutingServer` — the long-lived asyncio
   HTTP server (``/route``, ``/healthz``, ``/stats``);
+* :class:`~repro.serve.shard.ShardedServer` — ``--workers N`` worker
+  processes sharding one port via ``SO_REUSEPORT``, publishing
+  counters to a shared :class:`~repro.serve.shard.ShardBoard`;
 * :class:`~repro.serve.client.HttpClient` — the dependency-free
   client the tests, smoke run, and serving benchmark share;
 * :func:`~repro.serve.smoke.run_smoke` — the ``repro serve --smoke``
@@ -20,6 +23,7 @@ See ``docs/serving.md`` for the API reference and tuning guide.
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.client import HttpClient
 from repro.serve.server import RoutingServer, ServerConfig
+from repro.serve.shard import ShardBoard, ShardedServer
 from repro.serve.smoke import run_smoke
 
 __all__ = [
@@ -28,5 +32,7 @@ __all__ = [
     "HttpClient",
     "RoutingServer",
     "ServerConfig",
+    "ShardBoard",
+    "ShardedServer",
     "run_smoke",
 ]

@@ -15,15 +15,32 @@ latency/throughput trade: widening it amortises router calls across
 more requests without changing any response. Only the collector task
 ever touches the session, so no locking is needed and step indices are
 assigned in strict arrival order.
+
+Two refinements keep the trade honest:
+
+* A lone client never pays the window. When the queue is empty and no
+  other request is unresolved, the collector closes the batch
+  immediately — batching exists to amortise *concurrency*, and with
+  one client there is nothing to amortise.
+* A request whose future is already done (the client gave up) is
+  dropped before the batch is sized, so cancelled requests never burn
+  horizon steps.
+
+Every request lands in exactly one :class:`BatcherStats` bucket once
+resolved — ``batch_rows_total`` (routed), ``rejected_total`` (horizon
+exhausted, or shutdown), ``errors_total`` (its feed call raised), or
+``cancelled_total`` (client gave up first) — so the counters reconcile
+with ``requests_total`` whenever the batcher is quiescent.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.rolling import RollingSession
 from repro.sim.session import RoutingSession, SessionExhaustedError
 
 __all__ = ["MicroBatcher", "BatcherStats"]
@@ -39,13 +56,27 @@ class BatcherStats:
     batch_rows_total: int = 0
     rejected_total: int = 0
     errors_total: int = 0
-    _sizes: list[int] = field(default_factory=list, repr=False)
+    cancelled_total: int = 0
 
     @property
     def batch_size_mean(self) -> float:
         if self.batches_total == 0:
             return 0.0
         return self.batch_rows_total / self.batches_total
+
+    @property
+    def resolved_total(self) -> int:
+        """Requests accounted to a terminal bucket.
+
+        Equals ``requests_total`` minus the requests still queued or
+        in flight.
+        """
+        return (
+            self.batch_rows_total
+            + self.rejected_total
+            + self.errors_total
+            + self.cancelled_total
+        )
 
     def record_batch(self, size: int) -> None:
         self.batches_total += 1
@@ -59,12 +90,16 @@ class MicroBatcher:
     Parameters
     ----------
     session:
-        The incremental engine state this batcher drives. The batcher
-        assumes exclusive ownership: nothing else may feed it.
+        The incremental engine state this batcher drives — a
+        :class:`RoutingSession` or a
+        :class:`~repro.sim.rolling.RollingSession` (whose horizon may
+        be open-ended). The batcher assumes exclusive ownership:
+        nothing else may feed it.
     window_ms:
         How long the collector waits for more requests after the first
         one arrives, before closing the batch. ``0`` disables
-        coalescing (every request becomes its own feed call).
+        coalescing (every request becomes its own feed call). A sole
+        in-flight request skips the window either way.
     max_batch:
         Hard cap on rows per feed call; a full batch closes
         immediately without waiting out the window.
@@ -72,7 +107,7 @@ class MicroBatcher:
 
     def __init__(
         self,
-        session: RoutingSession,
+        session: RoutingSession | RollingSession,
         *,
         window_ms: float = 5.0,
         max_batch: int = 64,
@@ -87,6 +122,12 @@ class MicroBatcher:
         self.stats = BatcherStats()
         self._queue: asyncio.Queue = asyncio.Queue()
         self._task: asyncio.Task | None = None
+        self._unresolved = 0
+
+    @property
+    def unresolved(self) -> int:
+        """Requests submitted whose futures have not resolved yet."""
+        return self._unresolved
 
     async def start(self) -> None:
         """Start the collector task (idempotent)."""
@@ -94,7 +135,12 @@ class MicroBatcher:
             self._task = asyncio.get_running_loop().create_task(self._collect())
 
     async def stop(self) -> None:
-        """Cancel the collector and fail any queued requests."""
+        """Cancel the collector and fail every unresolved request.
+
+        Requests mid-feed when the cancel lands (the collector was
+        between dequeuing a batch and resolving its futures) are
+        failed too — a client must never hang on a stopped batcher.
+        """
         if self._task is not None:
             self._task.cancel()
             try:
@@ -104,8 +150,7 @@ class MicroBatcher:
             self._task = None
         while not self._queue.empty():
             _, fut = self._queue.get_nowait()
-            if not fut.done():
-                fut.set_exception(SessionExhaustedError("server shutting down"))
+            self._reject(fut, "server shutting down")
 
     async def route(self, demand: np.ndarray) -> tuple[int, np.ndarray]:
         """Submit one step of demand; resolves to ``(step, allocation)``.
@@ -117,54 +162,85 @@ class MicroBatcher:
         """
         self.stats.requests_total += 1
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._unresolved += 1
+        fut.add_done_callback(self._resolved)
         self._queue.put_nowait((demand, fut))
         return await fut
+
+    def _resolved(self, _fut: asyncio.Future) -> None:
+        self._unresolved -= 1
+
+    def _reject(self, fut: asyncio.Future, message: str) -> None:
+        if not fut.done():
+            self.stats.rejected_total += 1
+            fut.set_exception(SessionExhaustedError(message))
 
     async def _collect(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
             batch = [await self._queue.get()]
-            if self.window_ms > 0:
-                deadline = loop.time() + self.window_ms / 1000.0
-                while len(batch) < self.max_batch:
-                    remaining = deadline - loop.time()
-                    if remaining <= 0:
-                        break
-                    try:
-                        batch.append(
-                            await asyncio.wait_for(self._queue.get(), timeout=remaining)
-                        )
-                    except asyncio.TimeoutError:
-                        break
-            else:
-                while len(batch) < self.max_batch and not self._queue.empty():
-                    batch.append(self._queue.get_nowait())
-            await self._feed(batch)
+            try:
+                # A sole client skips the batch window: nothing else is
+                # queued or unresolved, so there is nothing to coalesce
+                # with and the wait would be pure added latency.
+                sole = self._queue.empty() and self._unresolved <= 1
+                if self.window_ms > 0 and not sole:
+                    deadline = loop.time() + self.window_ms / 1000.0
+                    while len(batch) < self.max_batch:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            batch.append(
+                                await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                else:
+                    while len(batch) < self.max_batch and not self._queue.empty():
+                        batch.append(self._queue.get_nowait())
+                await self._feed(batch)
+            except asyncio.CancelledError:
+                for _, fut in batch:
+                    self._reject(fut, "server shutting down")
+                raise
 
     async def _feed(self, batch: list[tuple[np.ndarray, asyncio.Future]]) -> None:
         loop = asyncio.get_running_loop()
-        keep = min(len(batch), self.session.steps_remaining)
-        for _, fut in batch[keep:]:
-            self.stats.rejected_total += 1
-            if not fut.done():
-                fut.set_exception(
-                    SessionExhaustedError("session horizon exhausted")
-                )
+        # Drop requests whose client already gave up *before* sizing the
+        # batch — a cancelled request must not burn a horizon step.
+        live = []
+        for demand, fut in batch:
+            if fut.done():
+                self.stats.cancelled_total += 1
+            else:
+                live.append((demand, fut))
+        remaining = self.session.steps_remaining
+        keep = len(live) if remaining is None else min(len(live), remaining)
+        for _, fut in live[keep:]:
+            self._reject(fut, "session horizon exhausted")
         if keep == 0:
             return
-        rows = np.stack([demand for demand, _ in batch[:keep]])
+        rows = np.stack([demand for demand, _ in live[:keep]])
         t0 = self.session.steps_fed
         try:
-            # The numpy work runs in a worker thread so the event loop
-            # keeps accepting (and queueing) requests meanwhile.
-            allocations = await loop.run_in_executor(None, self.session.feed, rows)
+            if keep == 1:
+                # Scalar fast path: a one-row feed is microseconds of
+                # numpy — the executor hop would cost more than it
+                # hides from the event loop.
+                allocations = self.session.feed(rows)
+            else:
+                # The numpy work runs in a worker thread so the event
+                # loop keeps accepting (and queueing) requests
+                # meanwhile.
+                allocations = await loop.run_in_executor(None, self.session.feed, rows)
         except Exception as exc:
-            self.stats.errors_total += 1
-            for _, fut in batch[:keep]:
+            self.stats.errors_total += keep
+            for _, fut in live[:keep]:
                 if not fut.done():
                     fut.set_exception(exc)
             return
         self.stats.record_batch(keep)
-        for i, (_, fut) in enumerate(batch[:keep]):
+        for i, (_, fut) in enumerate(live[:keep]):
             if not fut.done():
                 fut.set_result((t0 + i, allocations[i]))

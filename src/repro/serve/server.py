@@ -14,14 +14,27 @@ bodies — no framework, no new dependencies):
     state-by-cluster allocation matrix. ``400`` on malformed demand,
     ``409`` once the session horizon is exhausted.
 ``GET /healthz``
-    Liveness + horizon progress.
+    Liveness + horizon progress (and the shard index when sharded).
 ``GET /stats``
     Batcher counters (requests, batches, batch-size max/mean,
-    rejections) and the serving configuration.
+    rejections, cancellations), the serving configuration, and — when
+    the server is one shard of a :class:`~repro.serve.shard.ShardBoard`
+    group — the aggregate counters across every shard.
+
+Request bodies are bounded (``ServerConfig.max_body_bytes``): an
+oversized or unparseable ``Content-Length`` gets a ``413``/``400``
+and the connection is closed, because the body was never read and
+keep-alive framing cannot be trusted past it.
 
 Responses are JSON with full-precision floats (``repr`` round-trip),
 so a client replaying its recorded demand through an offline session
 can check the served loads *bitwise* — the serving benchmark does.
+
+The session behind the server may be a plain
+:class:`~repro.sim.session.RoutingSession` (one billing window, then
+``409``) or a :class:`~repro.sim.rolling.RollingSession` chaining
+windows — the server only speaks the shared feeding interface, and
+reports ``steps_remaining: null`` for an open-ended rolling horizon.
 """
 
 from __future__ import annotations
@@ -33,6 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.serve.batcher import MicroBatcher
+from repro.sim.rolling import RollingSession
 from repro.sim.session import RoutingSession, SessionExhaustedError
 
 __all__ = ["RoutingServer", "ServerConfig"]
@@ -50,24 +64,40 @@ class ServerConfig:
     window_ms: float = 5.0
     max_batch: int = 64
     scenario: str = ""
+    max_body_bytes: int = _MAX_BODY_BYTES
+    reuse_port: bool = False
+    shard_index: int = 0
+    n_shards: int = 1
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, *, close: bool = False) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        #: The connection cannot be kept alive after this error (the
+        #: request body was never consumed, so framing is lost).
+        self.close = close
 
 
 class RoutingServer:
     """One session, one batcher, one listening socket."""
 
-    def __init__(self, session: RoutingSession, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        session: RoutingSession | RollingSession,
+        config: ServerConfig | None = None,
+        *,
+        board=None,
+    ) -> None:
         self.config = config or ServerConfig()
         self.session = session
         self.batcher = MicroBatcher(
             session, window_ms=self.config.window_ms, max_batch=self.config.max_batch
         )
+        #: Optional :class:`~repro.serve.shard.ShardBoard` this server
+        #: publishes its counters to (sharded deployments only).
+        self.board = board
         self._server: asyncio.AbstractServer | None = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -81,9 +111,11 @@ class RoutingServer:
 
     async def start(self) -> None:
         await self.batcher.start()
+        kwargs = {"reuse_port": True} if self.config.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection, self.config.host, self.config.port, **kwargs
         )
+        self._publish()
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -118,18 +150,23 @@ class RoutingServer:
                     await self._respond(writer, 431, {"error": "headers too large"})
                     return
                 headers: dict[str, str] = {}
+                must_close = False
                 try:
                     method, path, headers = _parse_head(head)
                     body = b""
-                    length = int(headers.get("content-length", "0"))
-                    if length > _MAX_BODY_BYTES:
-                        raise _HttpError(413, "body too large")
+                    length = _parse_content_length(
+                        headers.get("content-length", "0"), self.config.max_body_bytes
+                    )
                     if length:
                         body = await reader.readexactly(length)
                     status, payload = await self._dispatch(method, path, body)
                 except _HttpError as exc:
                     status, payload = exc.status, {"error": exc.message}
-                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                    must_close = exc.close
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and not must_close
+                )
                 await self._respond(writer, status, payload, keep_alive=keep_alive)
                 if not keep_alive:
                     return
@@ -172,7 +209,19 @@ class RoutingServer:
 
     # -- endpoints -------------------------------------------------------------
 
+    def _publish(self) -> None:
+        if self.board is not None:
+            self.board.publish(
+                self.config.shard_index, self.batcher.stats, self.session.steps_fed
+            )
+
     async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        try:
+            return await self._dispatch_inner(method, path, body)
+        finally:
+            self._publish()
+
+    async def _dispatch_inner(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
         path = path.split("?", 1)[0]
         if path == "/healthz":
             if method != "GET":
@@ -189,22 +238,27 @@ class RoutingServer:
         raise _HttpError(404, f"unknown path {path!r}")
 
     def _healthz(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "steps_fed": self.session.steps_fed,
             "steps_remaining": self.session.steps_remaining,
             "exhausted": self.session.exhausted,
         }
+        if self.config.n_shards > 1:
+            payload["shard"] = self.config.shard_index
+            payload["workers"] = self.config.n_shards
+        return payload
 
     def _stats(self) -> dict:
         stats = self.batcher.stats
-        return {
+        payload = {
             "requests_total": stats.requests_total,
             "batches_total": stats.batches_total,
             "batch_size_max": stats.batch_size_max,
             "batch_size_mean": stats.batch_size_mean,
             "rejected_total": stats.rejected_total,
             "errors_total": stats.errors_total,
+            "cancelled_total": stats.cancelled_total,
             "steps_fed": self.session.steps_fed,
             "steps_remaining": self.session.steps_remaining,
             "window_ms": self.config.window_ms,
@@ -213,6 +267,12 @@ class RoutingServer:
             "n_states": len(self.session.state_codes),
             "clusters": list(self.session.cluster_labels),
         }
+        if self.config.n_shards > 1:
+            payload["shard"] = self.config.shard_index
+        if self.board is not None:
+            self._publish()
+            payload["shards"] = self.board.aggregate()
+        return payload
 
     def _parse_demand(self, raw: object) -> np.ndarray:
         codes = self.session.state_codes
@@ -252,6 +312,7 @@ class RoutingServer:
         labels = self.session.cluster_labels
         response = {
             "step": step,
+            **({"shard": self.config.shard_index} if self.config.n_shards > 1 else {}),
             "clock": self.session.clock(step).isoformat(),
             "loads": {label: float(loads[i]) for i, label in enumerate(labels)},
             "prices": {
@@ -266,6 +327,26 @@ class RoutingServer:
                 "matrix": np.asarray(allocation, dtype=float).tolist(),
             }
         return 200, response
+
+
+def _parse_content_length(raw: str, max_body_bytes: int) -> int:
+    """Validate a ``Content-Length`` header.
+
+    Errors force a connection close (``_HttpError.close``): the body —
+    however long it really is — is still unread on the socket, so
+    keep-alive framing cannot be re-synchronised.
+    """
+    try:
+        length = int(raw)
+    except ValueError:
+        raise _HttpError(400, f"invalid Content-Length {raw!r}", close=True) from None
+    if length < 0:
+        raise _HttpError(400, f"invalid Content-Length {raw!r}", close=True)
+    if length > max_body_bytes:
+        raise _HttpError(
+            413, f"body of {length} bytes exceeds the {max_body_bytes}-byte limit", close=True
+        )
+    return length
 
 
 def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:

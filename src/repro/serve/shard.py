@@ -1,0 +1,334 @@
+"""Sharded serving: worker processes behind one listening port.
+
+One asyncio server is single-core by construction. To scale the
+serving path across cores, :class:`ShardedServer` runs ``N`` worker
+processes that each bind the *same* host/port with ``SO_REUSEPORT``:
+the kernel hashes each incoming connection's 4-tuple onto one of the
+listening sockets, so every client connection — and therefore every
+keep-alive request stream — is consistently assigned to exactly one
+shard for its whole life. Each shard owns an independent session
+(its own billing horizon) and micro-batcher; there is no cross-shard
+locking anywhere on the request path.
+
+What *is* shared is observability: a :class:`ShardBoard` — one
+``multiprocessing.shared_memory`` block of per-shard int64 counter
+rows — that every shard publishes its batcher counters into after
+each request. Any shard's ``/stats`` response then carries a
+``"shards"`` aggregate summed across the whole group, so a load
+balancer (or the benchmark) can read group totals from whichever
+shard its connection landed on. The board is also the readiness
+signal: a worker flips its ``ready`` cell after its socket is bound,
+and the parent's :meth:`ShardedServer.wait_ready` polls for all of
+them.
+
+The parent reserves the port with a bound-but-not-listening
+``SO_REUSEPORT`` socket (resolving ``port=0`` before any worker
+spawns; a non-listening socket never receives connections), starts
+workers through the ``spawn`` context, and stops them with
+``SIGTERM`` → join → kill.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import socket
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ShardBoard", "ShardedServer"]
+
+#: Per-shard counter row published to the shared board, in order.
+BOARD_FIELDS = (
+    "ready",
+    "steps_fed",
+    "requests_total",
+    "batches_total",
+    "batch_rows_total",
+    "batch_size_max",
+    "rejected_total",
+    "errors_total",
+    "cancelled_total",
+)
+
+
+class ShardBoard:
+    """A shared-memory matrix of per-shard serving counters.
+
+    ``(n_shards, len(BOARD_FIELDS))`` int64 cells. Each shard writes
+    only its own row (no locking needed: a row is owned by one
+    process, and readers tolerate tearing between rows — the counters
+    are monotone).
+    """
+
+    def __init__(self, n_shards: int, *, name: str | None = None) -> None:
+        from multiprocessing import shared_memory
+
+        if n_shards < 1:
+            raise ConfigurationError("a shard board needs at least one shard")
+        self.n_shards = int(n_shards)
+        self._owner = name is None
+        nbytes = self.n_shards * len(BOARD_FIELDS) * 8
+        if self._owner:
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+        self._cells = np.ndarray(
+            (self.n_shards, len(BOARD_FIELDS)), dtype=np.int64, buffer=self._shm.buf
+        )
+        if self._owner:
+            self._cells[:] = 0
+
+    @property
+    def name(self) -> str:
+        """The shared-memory block name workers attach by."""
+        return self._shm.name
+
+    def publish(self, shard: int, stats, steps_fed: int) -> None:
+        """Publish one shard's batcher counters (and mark it ready)."""
+        self._cells[shard] = (
+            1,
+            steps_fed,
+            stats.requests_total,
+            stats.batches_total,
+            stats.batch_rows_total,
+            stats.batch_size_max,
+            stats.rejected_total,
+            stats.errors_total,
+            stats.cancelled_total,
+        )
+
+    def ready_count(self) -> int:
+        return int(self._cells[:, 0].sum())
+
+    def aggregate(self) -> dict:
+        """Group totals across every shard (sums; max of the maxima)."""
+        cells = self._cells.copy()
+        out = {"workers": self.n_shards, "workers_ready": int(cells[:, 0].sum())}
+        for i, field in enumerate(BOARD_FIELDS[1:], start=1):
+            reduce = max if field == "batch_size_max" else sum
+            out[field] = int(reduce(int(v) for v in cells[:, i]))
+        out["batch_size_mean"] = (
+            out["batch_rows_total"] / out["batches_total"] if out["batches_total"] else 0.0
+        )
+        return out
+
+    def per_shard(self) -> list[dict]:
+        cells = self._cells.copy()
+        return [
+            {field: int(cells[s, i]) for i, field in enumerate(BOARD_FIELDS)}
+            for s in range(self.n_shards)
+        ]
+
+    def close(self, *, unlink: bool = False) -> None:
+        del self._cells
+        self._shm.close()
+        if unlink:
+            self._shm.unlink()
+
+
+def reuse_port_supported() -> bool:
+    """Whether this platform can shard a port (``SO_REUSEPORT``)."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _reserve_port(host: str, port: int) -> tuple[socket.socket, int]:
+    """Bind (never listen) a ``SO_REUSEPORT`` socket to hold the port.
+
+    Resolves ``port=0`` to a concrete port before any worker spawns;
+    because the socket never listens, the kernel sends it no
+    connections — it only keeps the port from being claimed by an
+    unrelated process between worker starts.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+    except OSError:
+        sock.close()
+        raise
+    return sock, sock.getsockname()[1]
+
+
+class ShardedServer:
+    """``workers`` routing-server processes sharing one host/port.
+
+    Parameters
+    ----------
+    scenario_name:
+        Registered scenario each worker opens its own session over
+        (every shard serves an independent horizon).
+    workers:
+        Number of shard processes.
+    session_steps:
+        Horizon per shard (``None``: the scenario's full trace).
+    rolling_window / max_windows:
+        When ``rolling_window`` is set, each shard serves a
+        :func:`~repro.scenarios.open_rolling_session` chain of
+        billing windows of that many steps instead of a single
+        fixed-horizon session.
+    """
+
+    def __init__(
+        self,
+        scenario_name: str,
+        *,
+        workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_ms: float = 5.0,
+        max_batch: int = 64,
+        max_body_bytes: int | None = None,
+        session_steps: int | None = None,
+        rolling_window: int | None = None,
+        max_windows: int | None = None,
+        provider: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        if not reuse_port_supported():
+            raise ConfigurationError(
+                "sharded serving needs SO_REUSEPORT, which this platform lacks"
+            )
+        self.scenario_name = scenario_name
+        self.workers = int(workers)
+        self.host = host
+        self._requested_port = port
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self.max_body_bytes = max_body_bytes
+        self.session_steps = session_steps
+        self.rolling_window = rolling_window
+        self.max_windows = max_windows
+        self.provider = provider
+        self.port: int | None = None
+        self.board: ShardBoard | None = None
+        self._reserve: socket.socket | None = None
+        self._procs: list[multiprocessing.Process] = []
+
+    def start(self) -> None:
+        self._reserve, self.port = _reserve_port(self.host, self._requested_port)
+        self.board = ShardBoard(self.workers)
+        ctx = multiprocessing.get_context("spawn")
+        options = {
+            "host": self.host,
+            "port": self.port,
+            "window_ms": self.window_ms,
+            "max_batch": self.max_batch,
+            "max_body_bytes": self.max_body_bytes,
+            "board_name": self.board.name,
+            "n_shards": self.workers,
+            "session_steps": self.session_steps,
+            "rolling_window": self.rolling_window,
+            "max_windows": self.max_windows,
+            "provider": self.provider,
+        }
+        for shard in range(self.workers):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(self.scenario_name, shard, options),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        """Block until every shard has bound its socket and published."""
+        assert self.board is not None
+        deadline = time.monotonic() + timeout
+        while self.board.ready_count() < self.workers:
+            for proc in self._procs:
+                if not proc.is_alive():
+                    self.stop()
+                    raise RuntimeError(
+                        f"shard worker pid={proc.pid} exited with {proc.exitcode} "
+                        "before becoming ready"
+                    )
+            if time.monotonic() > deadline:
+                self.stop()
+                raise TimeoutError(f"shards not ready within {timeout}s")
+            time.sleep(0.05)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        for proc in self._procs:
+            if proc.is_alive() and proc.pid is not None:
+                os.kill(proc.pid, signal.SIGTERM)
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=timeout)
+        self._procs = []
+        if self.board is not None:
+            self.board.close(unlink=True)
+            self.board = None
+        if self._reserve is not None:
+            self._reserve.close()
+            self._reserve = None
+        self.port = None
+
+    def __enter__(self) -> "ShardedServer":
+        self.start()
+        self.wait_ready()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def _worker_main(scenario_name: str, shard: int, options: dict) -> None:
+    """Spawned shard entry point: serve until SIGTERM."""
+    asyncio.run(_worker_serve(scenario_name, shard, options))
+
+
+async def _worker_serve(scenario_name: str, shard: int, options: dict) -> None:
+    from repro import scenarios
+    from repro.scenarios.runner import provider_override
+    from repro.serve.server import RoutingServer, ServerConfig
+
+    spec = None
+    if options.get("provider"):
+        from repro.markets.providers import preset
+
+        spec = preset(options["provider"]).spec
+    with provider_override(spec):
+        scenario = scenarios.get(scenario_name)
+        if options["rolling_window"] is not None:
+            session = scenarios.open_rolling_session(
+                scenario,
+                window_steps=options["rolling_window"],
+                max_windows=options["max_windows"],
+            )
+        else:
+            session = scenarios.open_session(scenario, n_steps=options["session_steps"])
+
+    board = ShardBoard(options["n_shards"], name=options["board_name"])
+    config_kwargs = {
+        "host": options["host"],
+        "port": options["port"],
+        "window_ms": options["window_ms"],
+        "max_batch": options["max_batch"],
+        "scenario": scenario_name,
+        "reuse_port": True,
+        "shard_index": shard,
+        "n_shards": options["n_shards"],
+    }
+    if options["max_body_bytes"] is not None:
+        config_kwargs["max_body_bytes"] = options["max_body_bytes"]
+    server = RoutingServer(session, ServerConfig(**config_kwargs), board=board)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+    await server.start()
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+        board.close()

@@ -56,12 +56,31 @@ def run_smoke(
     n_connections: int = 8,
     window_ms: float = 10.0,
     max_batch: int = 32,
+    workers: int = 1,
 ) -> dict:
-    """Run the self-test; returns the summary dict, raises on failure."""
+    """Run the self-test; returns the summary dict, raises on failure.
+
+    With ``workers > 1`` the checks run against a sharded deployment
+    instead: each connection's requests land on one shard, each
+    shard's step indices form a horizon prefix of *its* session, and
+    each shard's served loads are bit-identical to an offline replay
+    of the rows it was sent.
+    """
     scenario = scenarios.get(scenario_name)
     grid = scenarios.trace(scenario.trace, scenario.market)
     n_requests = min(n_requests, grid.n_steps)
     rows = grid.demand[:n_requests]
+
+    if workers > 1:
+        return _run_sharded_smoke(
+            scenario_name,
+            scenario,
+            rows,
+            n_connections=n_connections,
+            window_ms=window_ms,
+            max_batch=max_batch,
+            workers=workers,
+        )
 
     async def _run() -> dict:
         session = scenarios.open_session(scenario, n_steps=n_requests)
@@ -126,4 +145,73 @@ def run_smoke(
         "batch_size_max": stats["batch_size_max"],
         "batch_size_mean": stats["batch_size_mean"],
         "allocations_identical": identical,
+    }
+
+
+def _run_sharded_smoke(
+    scenario_name: str,
+    scenario,
+    rows: np.ndarray,
+    *,
+    n_connections: int,
+    window_ms: float,
+    max_batch: int,
+    workers: int,
+) -> dict:
+    from repro.serve.shard import ShardedServer
+
+    n_requests = len(rows)
+    with ShardedServer(
+        scenario_name,
+        workers=workers,
+        window_ms=window_ms,
+        max_batch=max_batch,
+        session_steps=n_requests,
+    ) as sharded:
+
+        async def _run() -> tuple[list[dict], dict]:
+            responses = await _burst("127.0.0.1", sharded.port, rows, n_connections)
+            async with HttpClient("127.0.0.1", sharded.port) as probe:
+                _, stats = await probe.request("GET", "/stats")
+            return responses, stats
+
+        responses, stats = asyncio.run(_run())
+
+    aggregate = stats["shards"]
+    if aggregate["requests_total"] != n_requests:
+        raise RuntimeError(f"aggregate request count mismatch: {aggregate}")
+    if aggregate["steps_fed"] != n_requests or aggregate["batch_rows_total"] != n_requests:
+        raise RuntimeError(f"aggregate counters mismatch: {aggregate}")
+    shards_hit = sorted({r["shard"] for r in responses})
+
+    # Per shard: arrival-order step prefix, and bitwise offline replay
+    # of exactly the rows that shard was sent, in step order.
+    for shard in shards_hit:
+        member_rows = [(r["step"], i) for i, r in enumerate(responses) if r["shard"] == shard]
+        member_rows.sort()
+        steps = [step for step, _ in member_rows]
+        if steps != list(range(len(steps))):
+            raise RuntimeError(f"shard {shard} steps are not a horizon prefix: {steps[:10]}")
+        replay = scenarios.open_session(scenario, n_steps=n_requests)
+        allocations = replay.feed(np.stack([rows[i] for _, i in member_rows]))
+        served = np.array(
+            [
+                [responses[i]["loads"][label] for label in replay.cluster_labels]
+                for _, i in member_rows
+            ]
+        )
+        if not np.array_equal(served, allocations.sum(axis=1)):
+            raise RuntimeError(f"shard {shard} loads differ from offline replay")
+
+    return {
+        "scenario": scenario_name,
+        "requests": n_requests,
+        "connections": n_connections,
+        "window_ms": window_ms,
+        "workers": workers,
+        "shards_hit": shards_hit,
+        "batches_total": aggregate["batches_total"],
+        "batch_size_max": aggregate["batch_size_max"],
+        "batch_size_mean": aggregate["batch_size_mean"],
+        "allocations_identical": True,
     }

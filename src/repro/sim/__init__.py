@@ -8,6 +8,7 @@ from repro.sim.engine import (
     simulate_per_step,
 )
 from repro.sim.results import DistanceProfile, SimulationResult
+from repro.sim.rolling import RollingSession
 from repro.sim.session import RoutingSession, SessionExhaustedError
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "simulate_per_step",
     "DistanceProfile",
     "SimulationResult",
+    "RollingSession",
     "RoutingSession",
     "SessionExhaustedError",
 ]

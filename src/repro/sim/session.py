@@ -185,6 +185,11 @@ class RoutingSession:
         return self._n_steps
 
     @property
+    def step_seconds(self) -> int:
+        """Seconds per step on the session's grid."""
+        return self._step_seconds
+
+    @property
     def steps_fed(self) -> int:
         """How many steps have been routed so far."""
         return self._cursor
@@ -213,18 +218,31 @@ class RoutingSession:
         """The rolling 95/5 tracker (None when the run is unconstrained)."""
         return self._tracker
 
+    def _check_step(self, step: int, *, end: int) -> int:
+        """Validate a step index against the horizon (``[0, end]``)."""
+        t = int(step)
+        if not 0 <= t <= end:
+            raise ConfigurationError(
+                f"step {step} is outside the session horizon [0, {end}]"
+            )
+        return t
+
     def clock(self, step: int | None = None) -> datetime:
-        """Wall-clock start of ``step`` (default: the next unfed step)."""
-        t = self._cursor if step is None else step
+        """Wall-clock start of ``step`` (default: the next unfed step).
+
+        ``step == n_steps`` is allowed — it is the end boundary of the
+        horizon (the start of the next billing window).
+        """
+        t = self._cursor if step is None else self._check_step(step, end=self._n_steps)
         return self._start + timedelta(seconds=t * self._step_seconds)
 
     def seen_prices(self, step: int) -> np.ndarray:
         """The (lagged) per-cluster prices the router sees at ``step``."""
-        return self._seen_prices[step].copy()
+        return self._seen_prices[self._check_step(step, end=self._n_steps - 1)].copy()
 
     def paid_prices(self, step: int) -> np.ndarray:
         """The per-cluster market prices billed at ``step``."""
-        return self._paid_prices[step].copy()
+        return self._paid_prices[self._check_step(step, end=self._n_steps - 1)].copy()
 
     # -- feeding ---------------------------------------------------------------
 
@@ -282,20 +300,39 @@ class RoutingSession:
             self._problem.dtype
         )
         prices = self._route_prices[t0 : t0 + k]
-        try:
-            allocations = batch_allocate(self._router, route_demand, prices, self._limits)
-        except InfeasibleAllocationError:
-            if self._tracker is None:
-                raise
-            # The offline per-step contract: capped limits first, plain
-            # capacity when the router raises (a 95/5 burst step).
-            route = _RouteArrays(
-                demand=route_demand,
-                prices=prices,
-                limits=self._limits,
-                capacity_limits=self._capacity_limits,
-            )
-            allocations = _replay_with_retry(self._router, route, np.arange(k))
+        if k == 1:
+            # Scalar fast path: a single step skips the batched
+            # dispatch (shape validation, output-tensor setup) and
+            # calls the router's scalar ``allocate`` directly. The
+            # batched-router contract — slice ``t`` of a batch equals
+            # the scalar call on step ``t``, bitwise — makes the two
+            # paths interchangeable; the retry below *is* the per-step
+            # contract verbatim.
+            try:
+                allocations = self._router.allocate(
+                    route_demand[0], prices[0], self._limits
+                )[None]
+            except InfeasibleAllocationError:
+                if self._tracker is None:
+                    raise
+                allocations = self._router.allocate(
+                    route_demand[0], prices[0], self._capacity_limits
+                )[None]
+        else:
+            try:
+                allocations = batch_allocate(self._router, route_demand, prices, self._limits)
+            except InfeasibleAllocationError:
+                if self._tracker is None:
+                    raise
+                # The offline per-step contract: capped limits first, plain
+                # capacity when the router raises (a 95/5 burst step).
+                route = _RouteArrays(
+                    demand=route_demand,
+                    prices=prices,
+                    limits=self._limits,
+                    capacity_limits=self._capacity_limits,
+                )
+                allocations = _replay_with_retry(self._router, route, np.arange(k))
 
         loads = allocations.sum(axis=1)
         self._loads[t0 : t0 + k] = loads

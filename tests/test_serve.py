@@ -10,12 +10,14 @@ feed produces.
 from __future__ import annotations
 
 import asyncio
+import time
 
 import numpy as np
 import pytest
 
 from repro import scenarios
-from repro.serve import HttpClient, RoutingServer, ServerConfig, run_smoke
+from repro.serve import HttpClient, MicroBatcher, RoutingServer, ServerConfig, run_smoke
+from repro.sim.session import SessionExhaustedError
 
 SCENARIO = "serve-smoke"
 
@@ -163,6 +165,179 @@ def test_keep_alive_connection_serves_sequential_steps():
 
     bodies = _with_server(6, drive)
     assert [b["step"] for b in bodies] == list(range(6))
+
+
+def test_stop_fails_requests_mid_feed_instead_of_hanging():
+    """Regression: stopping the batcher mid-feed stranded in-flight futures.
+
+    The feed is slowed so the collector is guaranteed to be inside the
+    executor call when ``stop()`` cancels it; every submitted request
+    must then resolve (with an error), not hang forever.
+    """
+    rows = _rows(4)
+
+    async def drive():
+        session = scenarios.open_session(_scenario(), n_steps=4)
+        original = session.feed
+        session.feed = lambda demand: (time.sleep(0.4), original(demand))[1]
+        batcher = MicroBatcher(session, window_ms=1.0, max_batch=4)
+        await batcher.start()
+        tasks = [asyncio.ensure_future(batcher.route(row)) for row in rows]
+        await asyncio.sleep(0.1)  # collector is now sleeping inside feed
+        await asyncio.wait_for(batcher.stop(), timeout=2.0)
+        return await asyncio.wait_for(
+            asyncio.gather(*tasks, return_exceptions=True), timeout=2.0
+        )
+
+    outcomes = asyncio.run(drive())
+    assert len(outcomes) == 4
+    assert all(isinstance(o, SessionExhaustedError) for o in outcomes)
+
+
+def test_cancelled_request_does_not_burn_a_horizon_step():
+    rows = _rows(3)
+
+    async def drive():
+        session = scenarios.open_session(_scenario(), n_steps=3)
+        batcher = MicroBatcher(session, window_ms=50.0, max_batch=8)
+        # Enqueue before the collector exists, so the cancellation is
+        # deterministically visible when the batch is assembled.
+        tasks = [asyncio.ensure_future(batcher.route(row)) for row in rows]
+        await asyncio.sleep(0)  # let the requests enqueue
+        tasks[1].cancel()
+        await batcher.start()
+        done = await asyncio.gather(*tasks, return_exceptions=True)
+        stats = batcher.stats
+        steps_fed = session.steps_fed
+        await batcher.stop()
+        return done, stats, steps_fed
+
+    done, stats, steps_fed = asyncio.run(drive())
+    # The two surviving requests got consecutive steps; the cancelled
+    # one consumed nothing.
+    assert steps_fed == 2
+    assert done[0][0] == 0 and done[2][0] == 1
+    assert isinstance(done[1], asyncio.CancelledError)
+    assert stats.cancelled_total == 1
+    assert stats.requests_total == stats.resolved_total == 3
+
+
+def test_batcher_stats_reconcile_after_mixed_outcomes():
+    rows = _rows(8)
+
+    async def drive(server):
+        clients = [HttpClient("127.0.0.1", server.port) for _ in range(4)]
+        for c in clients:
+            await c.connect()
+        try:
+            # 6 routable requests + 2 past the horizon (rejected).
+            outcomes = await asyncio.gather(
+                *(
+                    clients[i % 4].request("POST", "/route", {"demand": rows[i].tolist()})
+                    for i in range(8)
+                )
+            )
+            _, stats = await clients[0].request("GET", "/stats")
+        finally:
+            for c in clients:
+                await c.close()
+        return outcomes, stats
+
+    outcomes, stats = _with_server(6, drive)
+    assert sorted(status for status, _ in outcomes) == [200] * 6 + [409] * 2
+    assert stats["requests_total"] == 8
+    assert stats["rejected_total"] == 2
+    assert stats["requests_total"] == (
+        stats["batches_total"] * stats["batch_size_mean"]
+        + stats["rejected_total"]
+        + stats["errors_total"]
+        + stats["cancelled_total"]
+    )
+
+
+async def _raw_request(port: int, head: str) -> str:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(head.encode())
+        await writer.drain()
+        return (await reader.read(4096)).decode()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def test_request_body_size_is_bounded():
+    """Oversized or malformed Content-Length: 413/400 + connection close."""
+
+    async def drive(server):
+        server_config = ServerConfig(
+            host="127.0.0.1", port=0, max_body_bytes=1024, scenario=SCENARIO
+        )
+        bounded = RoutingServer(server.session, server_config)
+        await bounded.start()
+        try:
+            port = bounded.port
+            results = {}
+            results["too_large"] = await _raw_request(
+                port,
+                "POST /route HTTP/1.1\r\nHost: x\r\nContent-Length: 4096\r\n\r\n",
+            )
+            results["not_a_number"] = await _raw_request(
+                port,
+                "POST /route HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+            )
+            results["negative"] = await _raw_request(
+                port,
+                "POST /route HTTP/1.1\r\nHost: x\r\nContent-Length: -5\r\n\r\n",
+            )
+        finally:
+            await bounded.stop()
+        return results
+
+    results = _with_server(2, drive)
+    assert results["too_large"].startswith("HTTP/1.1 413 ")
+    assert "Connection: close" in results["too_large"]
+    for key in ("not_a_number", "negative"):
+        assert results[key].startswith("HTTP/1.1 400 ")
+        assert "Connection: close" in results[key]
+
+
+def test_server_serves_rolling_session_across_window_boundaries():
+    """A rolling-horizon server keeps routing past a billing window."""
+    n = 10
+    rows = _rows(n)
+
+    async def runner():
+        session = scenarios.open_rolling_session(
+            _scenario(), window_steps=4, max_windows=3
+        )
+        server = RoutingServer(
+            session,
+            ServerConfig(host="127.0.0.1", port=0, window_ms=2.0, scenario=SCENARIO),
+        )
+        await server.start()
+        try:
+            async with HttpClient("127.0.0.1", server.port) as client:
+                bodies = [await client.route(row.tolist()) for row in rows]
+                _, health = await client.request("GET", "/healthz")
+        finally:
+            await server.stop()
+        return bodies, health, session
+
+    bodies, health, session = asyncio.run(runner())
+    assert [b["step"] for b in bodies] == list(range(n))
+    assert health["steps_fed"] == n and health["steps_remaining"] == 2
+    assert session.windows_completed == 2  # two full windows banked
+
+    # Each banked window is bit-identical to a direct offline replay.
+    direct = scenarios.open_rolling_session(_scenario(), window_steps=4, max_windows=3)
+    direct.feed(rows)
+    for served, offline in zip(session.results(), direct.results()):
+        assert np.array_equal(served.loads, offline.loads)
+        assert np.array_equal(served.paid_prices, offline.paid_prices)
 
 
 def test_open_session_rejects_signal_router_kinds():

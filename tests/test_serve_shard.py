@@ -1,0 +1,129 @@
+"""Sharded serving: worker processes behind one SO_REUSEPORT port.
+
+These boot real worker processes (spawn context), so they are the
+slowest serving tests; the shard-board unit tests run in-process.
+Platforms without ``SO_REUSEPORT`` skip the process-level tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.serve import HttpClient, ShardBoard, run_smoke
+from repro.serve.batcher import BatcherStats
+from repro.serve.shard import BOARD_FIELDS, ShardedServer, reuse_port_supported
+
+SCENARIO = "serve-smoke"
+
+needs_reuse_port = pytest.mark.skipif(
+    not reuse_port_supported(), reason="platform lacks SO_REUSEPORT"
+)
+
+
+def test_shard_board_publishes_and_aggregates():
+    board = ShardBoard(2)
+    try:
+        attached = ShardBoard(2, name=board.name)
+        try:
+            a = BatcherStats(
+                requests_total=10, batches_total=4, batch_size_max=5,
+                batch_rows_total=8, rejected_total=1, errors_total=0, cancelled_total=1,
+            )
+            b = BatcherStats(
+                requests_total=6, batches_total=2, batch_size_max=3,
+                batch_rows_total=6, rejected_total=0, errors_total=0, cancelled_total=0,
+            )
+            board.publish(0, a, steps_fed=8)
+            assert board.ready_count() == 1
+            attached.publish(1, b, steps_fed=6)  # cross-attachment write
+            assert board.ready_count() == 2
+
+            agg = board.aggregate()
+            assert agg["workers"] == 2 and agg["workers_ready"] == 2
+            assert agg["requests_total"] == 16
+            assert agg["steps_fed"] == 14
+            assert agg["batch_rows_total"] == 14
+            assert agg["batch_size_max"] == 5  # max, not sum
+            assert agg["batch_size_mean"] == pytest.approx(14 / 6)
+            assert agg["rejected_total"] == 1 and agg["cancelled_total"] == 1
+
+            rows = board.per_shard()
+            assert len(rows) == 2 and set(rows[0]) == set(BOARD_FIELDS)
+            assert rows[1]["requests_total"] == 6
+        finally:
+            attached.close()
+    finally:
+        board.close(unlink=True)
+
+
+def test_shard_board_rejects_empty_group():
+    with pytest.raises(Exception, match="at least one shard"):
+        ShardBoard(0)
+
+
+@needs_reuse_port
+def test_sharded_smoke_with_two_workers():
+    """Per-shard step prefixes + per-shard bitwise replay, end to end."""
+    out = run_smoke(SCENARIO, n_requests=32, n_connections=6, window_ms=5.0, workers=2)
+    assert out["workers"] == 2
+    assert out["allocations_identical"]
+    assert out["requests"] == 32
+
+
+@needs_reuse_port
+def test_sharded_server_aggregates_stats_and_serves_rolling_windows():
+    scenario = scenarios.get(SCENARIO)
+    rows = scenarios.trace(scenario.trace, scenario.market).demand[:12]
+
+    with ShardedServer(
+        SCENARIO, workers=2, window_ms=2.0, rolling_window=4, max_windows=4
+    ) as sharded:
+
+        async def drive():
+            clients = [HttpClient("127.0.0.1", sharded.port) for _ in range(4)]
+            for c in clients:
+                await c.connect()
+            try:
+                bodies = await asyncio.gather(
+                    *(clients[i % 4].route(rows[i].tolist()) for i in range(12))
+                )
+                _, stats = await clients[0].request("GET", "/stats")
+                _, health = await clients[0].request("GET", "/healthz")
+            finally:
+                for c in clients:
+                    await c.close()
+            return bodies, stats, health
+
+        bodies, stats, health = asyncio.run(drive())
+
+    # A keep-alive connection is pinned to one shard for its lifetime.
+    by_client = {}
+    for i, body in enumerate(bodies):
+        by_client.setdefault(i % 4, set()).add(body["shard"])
+    assert all(len(shards) == 1 for shards in by_client.values())
+
+    # Every shard assigned steps in arrival order over its own session.
+    by_shard: dict[int, list[int]] = {}
+    for body in bodies:
+        by_shard.setdefault(body["shard"], []).append(body["step"])
+    for steps in by_shard.values():
+        assert sorted(steps) == list(range(len(steps)))
+
+    # The aggregate board reconciles with what was actually served,
+    # whichever shard answered /stats.
+    agg = stats["shards"]
+    assert agg["workers"] == 2 and agg["workers_ready"] == 2
+    assert agg["requests_total"] == 12
+    assert agg["steps_fed"] == 12 and agg["batch_rows_total"] == 12
+    assert health["workers"] == 2 and health["shard"] in (0, 1)
+    # Rolling horizon: 4 windows of 4 steps per shard.
+    assert health["steps_remaining"] == 16 - len(by_shard[health["shard"]])
+
+
+def test_sharded_server_rejects_bad_worker_counts():
+    with pytest.raises(Exception, match="workers"):
+        ShardedServer(SCENARIO, workers=0)

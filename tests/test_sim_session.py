@@ -221,6 +221,54 @@ def test_session_horizon_and_validation_errors(small_dataset, problem):
         )
 
 
+def test_session_introspection_bounds_are_validated(small_dataset, problem):
+    """clock/seen_prices/paid_prices reject out-of-horizon steps cleanly."""
+    trace = make_trace(TraceConfig(start=_WINDOW_START, n_steps=6, seed=13))
+    session = RoutingSession(
+        small_dataset,
+        problem,
+        BaselineProximityRouter(problem),
+        start=trace.start,
+        step_seconds=trace.step_seconds,
+        n_steps=trace.n_steps,
+    )
+    # clock() admits the end boundary (start of the next window)...
+    assert session.clock(6) == trace.start + timedelta(seconds=6 * trace.step_seconds)
+    # ...the price views do not: there is no step 6 to price.
+    for call in (session.clock, session.seen_prices, session.paid_prices):
+        with pytest.raises(ConfigurationError, match="outside the session horizon"):
+            call(-1)
+    with pytest.raises(ConfigurationError, match="outside the session horizon"):
+        session.clock(7)
+    for call in (session.seen_prices, session.paid_prices):
+        with pytest.raises(ConfigurationError, match="outside the session horizon"):
+            call(6)
+
+
+def test_session_scalar_step_is_bit_identical_to_batch_feed(small_dataset, problem):
+    """The one-step fast path must match the batched path bit for bit."""
+    trace = make_trace(TraceConfig(start=_WINDOW_START, n_steps=20, seed=21))
+    router = JointOptimizationRouter(problem, congestion_penalty=40.0)
+    baseline = simulate(trace, small_dataset, problem, BaselineProximityRouter(problem))
+    options = SimulationOptions(bandwidth_caps=percentile_95(baseline.loads) * 0.9)
+
+    def fresh():
+        return RoutingSession(
+            small_dataset,
+            problem,
+            router,
+            options,
+            start=trace.start,
+            step_seconds=trace.step_seconds,
+            n_steps=trace.n_steps,
+        )
+
+    stepped, batched = fresh(), fresh()
+    scalar = np.stack([stepped.step(row) for row in trace.demand])
+    assert np.array_equal(scalar, batched.feed(trace.demand))
+    _assert_identical(stepped.result(), batched.result())
+
+
 def test_session_clock_and_price_introspection(small_dataset, problem):
     trace = make_trace(TraceConfig(start=_WINDOW_START, n_steps=24, seed=3))
     router = BaselineProximityRouter(problem)
