@@ -169,6 +169,90 @@ def bench_sweep(jobs: int) -> dict:
     }
 
 
+def bench_campaign() -> dict:
+    """Streaming campaign pipeline vs the eager expand/aggregate path.
+
+    Runs the 10^4-point ``campaign-grid`` through both execution
+    shapes with simulation stubbed out — metrics are a pure function
+    of point identity, so the section measures the *pipeline* (planner,
+    reducers, finalisation vs eager expansion and dict aggregation),
+    not the engine. Two gates ride on the record: the streamed result
+    must equal the eager one exactly, and streaming must stay cheap in
+    time (small overhead ratio) while winning on peak parent memory —
+    the eager path holds every point and metric dict at once, the
+    campaign path only open groups and per-cell reducer states.
+    """
+    import tracemalloc
+
+    from repro import artifacts, sweeps
+    from repro.sweeps import executor
+    from repro.sweeps.aggregate import aggregate
+    from repro.sweeps.spec import expand
+
+    spec = sweeps.get("campaign-grid")
+
+    def stub_metrics(scenario, energy):
+        params = scenario.router.kwargs
+        value = (
+            float(scenario.trace.seed % 9973)
+            + params["distance_threshold_km"] * 1e-3
+            + params["price_threshold"]
+        )
+        return {"savings_pct": value * 1e-3}
+
+    def legacy():
+        points = expand(spec)
+        metrics = {p.index: stub_metrics(p.scenario, p.energy) for p in points}
+        return aggregate(spec, points, metrics)
+
+    def streamed():
+        return sweeps.run_sweep(spec, jobs=1)
+
+    def trace_run(fn):
+        tracemalloc.start()
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            seconds = time.perf_counter() - t0
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return result, seconds, peak
+
+    real_warm = executor._warm_group
+    real_metrics = executor.point_metrics
+    executor._warm_group = lambda group: None
+    executor.point_metrics = stub_metrics
+    artifacts.configure(None)
+    try:
+        legacy()  # warm-up: lazy imports and allocator steady state
+        legacy_result, t_legacy, legacy_peak = trace_run(legacy)
+        streamed()
+        stream_result, t_stream, stream_peak = trace_run(streamed)
+    finally:
+        executor._warm_group = real_warm
+        executor.point_metrics = real_metrics
+        artifacts.reset()
+
+    identical = stream_result.to_json_dict() == legacy_result.to_json_dict()
+    ratio = t_stream / t_legacy
+    print(
+        f"{'campaign_pipeline':24s} legacy  {t_legacy:7.3f}s  streaming {t_stream:7.3f}s  "
+        f"ratio {ratio:5.2f}x  peak {legacy_peak / 2**20:6.1f} -> {stream_peak / 2**20:6.1f} MiB  "
+        f"identical {identical}"
+    )
+    return {
+        "sweep": spec.name,
+        "points": spec.n_points,
+        "legacy_seconds": round(t_legacy, 4),
+        "streaming_seconds": round(t_stream, 4),
+        "overhead_ratio": round(ratio, 3),
+        "legacy_peak_mb": round(legacy_peak / 2**20, 3),
+        "streaming_peak_mb": round(stream_peak / 2**20, 3),
+        "identical": identical,
+    }
+
+
 def bench_profile(days: int) -> dict:
     """Per-phase wall-clock attribution of the engine pipeline.
 
@@ -380,6 +464,7 @@ def bench(days: int, repeats: int) -> dict:
         ),
         "provider": bench_provider(repeats),
         "sweep": bench_sweep(jobs=2),
+        "campaign": bench_campaign(),
         "serve": bench_serve_section(quick=days < 365),
     }
 
@@ -409,6 +494,9 @@ def main() -> int:
             return 1
     if not record["sweep"]["serial_equals_parallel"]:
         print("FAIL: sweep results differ across serial / parallel / stacked paths")
+        return 1
+    if not record["campaign"]["identical"]:
+        print("FAIL: streaming campaign pipeline diverged from the eager aggregate path")
         return 1
     for name, level in record["serve"]["levels"].items():
         if not level["allocations_identical"]:

@@ -53,6 +53,17 @@ COMMITTED_SPEEDUP_FLOORS = {
 MAX_FLOAT32_COST_REL_ERR = 1e-6
 MAX_FLOAT32_LOAD_REL_ERR = 1e-4
 
+#: The streaming campaign path re-walks the expansion and folds every
+#: metric through a reducer instead of one dict insert; that must stay
+#: within noise of the eager path on a simulation-free 10^4-point run.
+MAX_CAMPAIGN_OVERHEAD = 1.15
+
+#: Peak parent memory of the streaming path relative to the eager
+#: path on the same campaign. The eager path holds the full expansion
+#: and a per-point metrics dict; the campaign path holds open groups
+#: and per-cell reducer states, so it must land well under half.
+MAX_CAMPAIGN_PEAK_RATIO = 0.5
+
 #: Absolute QPS floors for the committed serving benchmark (full-run
 #: records only, like COMMITTED_SPEEDUP_FLOORS). Calibrated ~35-40%
 #: below the reference box's sustained rates (~930 / ~830 / ~1640 qps
@@ -213,6 +224,37 @@ def check_sweep(fresh: dict) -> list[str]:
     return []
 
 
+def check_campaign(fresh: dict) -> list[str]:
+    """Gates on the fresh record's streaming-campaign section."""
+    section = fresh.get("campaign")
+    if section is None:
+        return []  # records from before the campaign pipeline
+    failures = []
+    identical = bool(section.get("identical", False))
+    ratio = float(section.get("overhead_ratio", 0.0))
+    legacy_peak = float(section.get("legacy_peak_mb", 0.0))
+    stream_peak = float(section.get("streaming_peak_mb", 0.0))
+    if not identical:
+        failures.append("streaming campaign pipeline diverged from the eager aggregate path")
+    if ratio > MAX_CAMPAIGN_OVERHEAD:
+        failures.append(
+            f"streaming campaign overhead {ratio:.2f}x exceeds the "
+            f"{MAX_CAMPAIGN_OVERHEAD:.2f}x ceiling over the eager path"
+        )
+    if stream_peak > legacy_peak * MAX_CAMPAIGN_PEAK_RATIO:
+        failures.append(
+            f"streaming campaign peak memory {stream_peak:.1f} MiB is not bounded: "
+            f"it exceeds {MAX_CAMPAIGN_PEAK_RATIO:.0%} of the eager path's "
+            f"{legacy_peak:.1f} MiB on a {section.get('points', 0)}-point campaign"
+        )
+    print(
+        f"{'campaign_pipeline':24s} {section.get('points', 0):5d} points  "
+        f"overhead {ratio:5.2f}x  peak {legacy_peak:6.1f} -> {stream_peak:6.1f} MiB  "
+        f"identical {identical}  {'ok' if not failures else 'FAIL'}"
+    )
+    return failures
+
+
 def check_serve(baseline: dict, fresh: dict) -> list[str]:
     """Gates on the serving benchmark: identity, batching, and QPS."""
     section = fresh.get("serve")
@@ -349,6 +391,7 @@ def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
         check_committed_floors(baseline)
         + check_provider(fresh)
         + check_sweep(fresh)
+        + check_campaign(fresh)
         + check_profile(fresh)
         + check_kernel(fresh)
         + check_float32(fresh)

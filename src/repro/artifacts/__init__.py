@@ -32,14 +32,18 @@ from repro.artifacts.codec import (
     canonical,
     canonical_json,
     decode_array,
+    decode_market_dataset,
     decode_simulation_result,
     decode_value,
     encode_array,
+    encode_market_dataset,
     encode_simulation_result,
     encode_value,
     spec_key,
 )
 from repro.artifacts.store import (
+    KIND_CAMPAIGN,
+    KIND_DATASET,
     KIND_FIGURE,
     KIND_SIMULATION,
     KIND_SWEEP,
@@ -53,6 +57,8 @@ __all__ = [
     "KIND_FIGURE",
     "KIND_SIMULATION",
     "KIND_SWEEP",
+    "KIND_DATASET",
+    "KIND_CAMPAIGN",
     "DEFAULT_STORE_DIR",
     "ENV_STORE_DIR",
     "configure",
@@ -70,6 +76,8 @@ __all__ = [
     "decode_value",
     "encode_simulation_result",
     "decode_simulation_result",
+    "encode_market_dataset",
+    "decode_market_dataset",
 ]
 
 #: Environment variable naming the store directory (workers inherit it).

@@ -42,6 +42,8 @@ __all__ = [
     "decode_value",
     "encode_simulation_result",
     "decode_simulation_result",
+    "encode_market_dataset",
+    "decode_market_dataset",
 ]
 
 #: Bump when the on-disk encoding changes shape — or when simulation
@@ -181,4 +183,66 @@ def decode_simulation_result(payload: dict) -> SimulationResult:
         loads=decode_array(payload["loads"]),
         paid_prices=decode_array(payload["paid_prices"]),
         distance_histogram=decode_array(payload["distance_histogram"]),
+    )
+
+
+# -- market datasets ----------------------------------------------------------
+
+
+def encode_market_dataset(dataset: Any) -> dict | None:
+    """Lossless encoding of a materialised market data set, or ``None``.
+
+    Only configs whose price model and correlation model still hold
+    their defaults are encodable — those sub-configs are rebuilt from
+    defaults on decode rather than serialised, which keeps the payload
+    to the scalar config fields plus the two price matrices. Every
+    current provider satisfies this; a future custom-model config
+    simply opts out of the disk cache (``None`` means "don't cache").
+    """
+    from repro.markets.correlation import CorrelationModel
+    from repro.markets.model import PriceModelConfig
+
+    config = dataset.config
+    if config.model != PriceModelConfig() or config.correlation != CorrelationModel():
+        return None
+    return {
+        "start": config.start.isoformat(),
+        "months": config.months,
+        "hub_codes": list(config.hub_codes),
+        "seed": config.seed,
+        "day_ahead_premium": config.day_ahead_premium,
+        "five_minute_sigma_fraction": config.five_minute_sigma_fraction,
+        "real_time": encode_array(dataset.price_matrix),
+        "day_ahead": encode_array(dataset.day_ahead_matrix),
+    }
+
+
+def decode_market_dataset(payload: dict) -> Any:
+    """Rebuild a :class:`MarketDataset` bit-identical to the encoded one.
+
+    The config is reconstructed from its scalar fields (model and
+    correlation from defaults — :func:`encode_market_dataset` refuses
+    anything else), so derived views like the seeded five-minute
+    series reproduce exactly.
+    """
+    from repro.markets.calendar import HourlyCalendar
+    from repro.markets.generator import MarketConfig, MarketDataset
+    from repro.markets.hubs import get_hub
+
+    config = MarketConfig(
+        start=datetime.fromisoformat(payload["start"]),
+        months=int(payload["months"]),
+        hub_codes=tuple(payload["hub_codes"]),
+        seed=int(payload["seed"]),
+        day_ahead_premium=float(payload["day_ahead_premium"]),
+        five_minute_sigma_fraction=float(payload["five_minute_sigma_fraction"]),
+    )
+    calendar = HourlyCalendar.for_months(config.start, config.months)
+    hubs = [get_hub(code) for code in config.hub_codes]
+    return MarketDataset(
+        config,
+        calendar,
+        hubs,
+        decode_array(payload["real_time"]),
+        decode_array(payload["day_ahead"]),
     )

@@ -6,6 +6,10 @@ Layout (one JSON file per artifact, addressed by its spec's hash)::
       simulations/<sha256>.json   # SimulationResult keyed on Scenario
       figures/<sha256>.json       # FigureResult keyed on FigureSpec
       sweeps/<sha256>.json        # SweepResult keyed on SweepSpec
+      datasets/<sha256>.json      # MarketDataset keyed on (market, provider)
+      campaigns/<sha256>/         # checkpointed sweep groups keyed on
+        manifest.json             #   (SweepSpec, group_target); one file
+        group-<i>.json            #   per banked work group
 
 Every record carries the canonical spec document next to the payload,
 so entries are self-describing: ``repro list`` and ``repro diff`` can
@@ -37,13 +41,26 @@ from repro.artifacts.codec import (
 )
 from repro.sim.results import SimulationResult
 
-__all__ = ["ArtifactStore", "StoreEntry", "KIND_SIMULATION", "KIND_FIGURE", "KIND_SWEEP"]
+__all__ = [
+    "ArtifactStore",
+    "StoreEntry",
+    "KIND_SIMULATION",
+    "KIND_FIGURE",
+    "KIND_SWEEP",
+    "KIND_DATASET",
+    "KIND_CAMPAIGN",
+]
 
 KIND_SIMULATION = "simulations"
 KIND_FIGURE = "figures"
 KIND_SWEEP = "sweeps"
+KIND_DATASET = "datasets"
 
-_KINDS = (KIND_SIMULATION, KIND_FIGURE, KIND_SWEEP)
+#: Campaign checkpoints live one *directory* per key (a manifest plus a
+#: file per banked group), unlike the flat one-file-per-artifact kinds.
+KIND_CAMPAIGN = "campaigns"
+
+_KINDS = (KIND_SIMULATION, KIND_FIGURE, KIND_SWEEP, KIND_DATASET)
 
 
 @dataclass(frozen=True)
@@ -106,6 +123,19 @@ class ArtifactStore:
     def has(self, kind: str, spec: Any) -> bool:
         return self.path_for(kind, spec).exists()
 
+    # -- campaign checkpoints (directory-per-key kind) ------------------------
+
+    def campaign_dir(self, key: str) -> Path:
+        """The checkpoint directory for one campaign key (may not exist)."""
+        return self.root / KIND_CAMPAIGN / key
+
+    def campaign_dirs(self) -> Iterator[Path]:
+        """Existing campaign checkpoint directories, sorted by key."""
+        root = self.root / KIND_CAMPAIGN
+        if not root.is_dir():
+            return
+        yield from sorted(p for p in root.iterdir() if p.is_dir())
+
     def entries(self) -> Iterator[StoreEntry]:
         """Every readable artifact under the root, sorted per kind."""
         for kind in _KINDS:
@@ -125,6 +155,20 @@ class ArtifactStore:
                     spec=record.get("spec"),
                     size_bytes=path.stat().st_size,
                 )
+        for directory in self.campaign_dirs():
+            manifest = directory / "manifest.json"
+            try:
+                with open(manifest) as fh:
+                    record = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            yield StoreEntry(
+                kind=KIND_CAMPAIGN,
+                key=directory.name,
+                path=manifest,
+                spec=record.get("spec"),
+                size_bytes=sum(p.stat().st_size for p in directory.glob("*.json")),
+            )
 
     def clear(self) -> int:
         """Delete every artifact; returns the number of files removed."""
@@ -136,6 +180,14 @@ class ArtifactStore:
             for path in directory.glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+        for directory in list(self.campaign_dirs()):
+            for path in directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
         return removed
 
     # -- typed conveniences ---------------------------------------------------

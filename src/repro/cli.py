@@ -10,7 +10,9 @@ Subcommands over one artifact store::
     repro diff                       # fresh artifacts vs committed goldens
     repro diff --update              # refresh the goldens from fresh runs
     repro sweep run fig15-ensemble --jobs 4   # Monte-Carlo ensembles
-    repro sweep list                 # sweep names + artifact status
+    repro sweep run campaign-grid --shard 0/4 # one machine's campaign slice
+    repro sweep merge campaign-grid           # merge banked shard results
+    repro sweep list                 # sweep names + artifact/checkpoint status
     repro sweep summarize smoke-grid # print a cached sweep's statistics
     repro serve --scenario serve-smoke --port 8351  # online routing server
     repro serve --smoke              # serving self-test (CI)
@@ -157,11 +159,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute sweeps and simulations even when artifacts exist",
     )
+    sweep_run_p.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="run only this machine's slice of the campaign's work groups "
+        "(group index mod N == I) and bank it for `repro sweep merge`",
+    )
+    sweep_run_p.add_argument(
+        "--group-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="target points per work group (default: sweeps.DEFAULT_GROUP_POINTS); "
+        "must match across shards of one campaign",
+    )
     sweep_run_p.add_argument("--quiet", action="store_true", help="suppress sweep tables")
     _add_store_options(sweep_run_p)
 
     sweep_list_p = sweep_sub.add_parser("list", help="list sweep names and artifact status")
     _add_store_options(sweep_list_p)
+
+    sweep_merge_p = sweep_sub.add_parser(
+        "merge", help="merge banked shard checkpoints into the final sweep artifact"
+    )
+    sweep_merge_p.add_argument("sweeps", nargs="+", help="sweep names")
+    sweep_merge_p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replica-count override the shards were run with",
+    )
+    sweep_merge_p.add_argument(
+        "--group-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="group size the shards were run with (must match)",
+    )
+    sweep_merge_p.add_argument(
+        "--from",
+        dest="extra_roots",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="additional artifact-store root(s) holding other shards' "
+        "checkpoints (repeatable)",
+    )
+    sweep_merge_p.add_argument("--quiet", action="store_true", help="suppress sweep tables")
+    _add_store_options(sweep_merge_p)
 
     sweep_sum_p = sweep_sub.add_parser(
         "summarize", help="print cached sweep statistics without re-running"
@@ -442,6 +489,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
 
     try:
         specs = _resolve_sweep_specs(args.sweeps, args.all, args.replicas)
+        shard = sweeps.parse_shard(args.shard) if args.shard is not None else None
     except ConfigurationError as exc:
         print(f"repro sweep run: {exc}", file=sys.stderr)
         return 2
@@ -451,17 +499,67 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     _activate_store(args)
 
     t0 = time.perf_counter()
-    for spec in specs:
-        result = sweeps.run_sweep(spec, jobs=args.jobs, force=args.force)
-        if not args.quiet:
-            print(result.to_text())
-            print()
+    try:
+        for spec in specs:
+            result = sweeps.run_sweep(
+                spec,
+                jobs=args.jobs,
+                force=args.force,
+                group_target=args.group_size,
+                shard=shard,
+            )
+            if result is None:
+                store = artifacts.get_store()
+                status = sweeps.campaign_status(store, spec) if store is not None else None
+                done, total = (status[0], status[1]) if status is not None else (0, 0)
+                print(
+                    f"repro sweep run: {spec.name} shard {args.shard} banked "
+                    f"({done}/{total} groups checkpointed); merge with "
+                    "`repro sweep merge` once every shard has run",
+                    file=sys.stderr,
+                )
+            elif not args.quiet:
+                print(result.to_text())
+                print()
+    except ConfigurationError as exc:
+        print(f"repro sweep run: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - t0
     root = artifacts.active_root()
     store_note = str(root) if root is not None else "disabled"
     print(
         f"repro sweep run: {len(specs)} sweep(s) in {elapsed:.1f}s "
         f"(jobs={args.jobs}, store={store_note})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    from repro import sweeps
+
+    try:
+        specs = _resolve_sweep_specs(args.sweeps, False, args.replicas)
+    except ConfigurationError as exc:
+        print(f"repro sweep merge: {exc}", file=sys.stderr)
+        return 2
+    _activate_store(args)
+    try:
+        for spec in specs:
+            result = sweeps.merge_sweep(
+                spec,
+                group_target=args.group_size,
+                extra_roots=tuple(args.extra_roots),
+            )
+            if not args.quiet:
+                print(result.to_text())
+                print()
+    except ConfigurationError as exc:
+        print(f"repro sweep merge: {exc}", file=sys.stderr)
+        return 1
+    root = artifacts.active_root()
+    print(
+        f"repro sweep merge: {len(specs)} sweep(s) merged (store={root})",
         file=sys.stderr,
     )
     return 0
@@ -477,10 +575,16 @@ def _cmd_sweep_list(args: argparse.Namespace) -> int:
         cached = store is not None and store.has(artifacts.KIND_SWEEP, spec)
         marker = "*" if cached else " "
         grid = " x ".join(str(len(axis.values)) for axis in spec.axes) or "1"
-        print(
+        line = (
             f"{name} {marker} {grid} grid x {spec.n_replicas} replicas "
             f"({spec.n_points} points) - {spec.description}"
         )
+        if store is not None and not cached:
+            status = sweeps.campaign_status(store, spec)
+            if status is not None:
+                done, total, _ = status
+                line += f" [checkpoint: {done}/{total} groups, resumable]"
+        print(line)
     if store is not None:
         print(f"store {store.root} (* = sweep artifact present)", file=sys.stderr)
     return 0
@@ -517,6 +621,7 @@ def _cmd_sweep_summarize(args: argparse.Namespace) -> int:
 
 _SWEEP_COMMANDS = {
     "run": _cmd_sweep_run,
+    "merge": _cmd_sweep_merge,
     "list": _cmd_sweep_list,
     "summarize": _cmd_sweep_summarize,
 }
@@ -525,7 +630,7 @@ _SWEEP_COMMANDS = {
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.sweep_command is None:
         print(
-            "repro sweep: choose a subcommand (run, list, summarize)",
+            "repro sweep: choose a subcommand (run, merge, list, summarize)",
             file=sys.stderr,
         )
         return 2

@@ -60,7 +60,9 @@ __all__ = [
     "SyntheticProvider",
     "CsvReplayProvider",
     "PerturbedProvider",
+    "DatasetKey",
     "build_provider",
+    "materialise_dataset",
     "preset",
     "preset_names",
     "PRESETS",
@@ -468,7 +470,7 @@ class PerturbedProvider:
         )
 
     def dataset(self, market: "MarketSpec") -> MarketDataset:
-        base_ds = build_provider(self.base).dataset(market)
+        base_ds = materialise_dataset(market, self.base)
         n, m = base_ds.price_matrix.shape
         rng = np.random.default_rng(
             np.random.SeedSequence([0x5EED, self.seed, market.seed, n])
@@ -514,6 +516,54 @@ def build_provider(spec: ProviderSpec) -> PriceProvider:
         return cls(**spec.kwargs)
     except TypeError as exc:
         raise ConfigurationError(f"bad parameters for provider {spec.kind!r}: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetKey:
+    """Content address of a materialised data set: the window + source.
+
+    Providers owe determinism — ``dataset`` is a pure function of
+    ``(spec, market)`` — so this pair *is* the dataset's identity, and
+    two processes (or shards, or reruns) asking for the same pair can
+    share one materialisation through the artifact store.
+    """
+
+    market: "MarketSpec"
+    provider: ProviderSpec
+
+
+def materialise_dataset(market: "MarketSpec", provider: ProviderSpec) -> MarketDataset:
+    """Build a provider's dataset through the content-addressed disk cache.
+
+    With no artifact store active this is exactly
+    ``build_provider(provider).dataset(market)``. With a store, the
+    dataset is looked up under its :class:`DatasetKey` digest first and
+    published after a build, so a :class:`PerturbedProvider` stack —
+    which routes its base through this function — reuses its base's
+    materialised dataset across processes, shards, and reruns instead
+    of regenerating it per worker. Refresh mode (``--force``) skips the
+    read but still publishes, like every other artifact kind; configs
+    the codec refuses (non-default price/correlation models) simply
+    bypass the cache.
+    """
+    from repro import artifacts  # runtime import: artifacts sits above markets
+
+    store = artifacts.get_store()
+    if store is None:
+        return build_provider(provider).dataset(market)
+    key = DatasetKey(market=market, provider=provider)
+    if not artifacts.refresh_mode():
+        payload = store.load(artifacts.KIND_DATASET, key)
+        if payload is not None:
+            try:
+                return artifacts.decode_market_dataset(payload)
+            except (KeyError, ValueError, TypeError):
+                pass  # unreadable record: fall through and rebuild
+    dataset = build_provider(provider).dataset(market)
+    encoded = artifacts.encode_market_dataset(dataset)
+    if encoded is not None:
+        store.save(artifacts.KIND_DATASET, key, encoded)
+    return dataset
 
 
 @dataclass(frozen=True, slots=True)

@@ -29,7 +29,7 @@ from repro import artifacts
 from repro.errors import ConfigurationError
 from repro.markets.calendar import HourlyCalendar
 from repro.markets.generator import MarketDataset
-from repro.markets.providers import SYNTHETIC, ProviderSpec, build_provider
+from repro.markets.providers import SYNTHETIC, ProviderSpec, materialise_dataset
 from repro.routing.akamai import BaselineProximityRouter
 from repro.routing.base import Router, RoutingProblem
 from repro.routing.joint import JointOptimizationRouter
@@ -110,10 +110,13 @@ def dataset(market: MarketSpec, provider: ProviderSpec | None = None) -> MarketD
 # Cache sizes are sized for a full twenty-figure parallel sweep, which
 # touches a handful of markets (paper seed, example seeds, ablation
 # seeds) but must never evict the shared paper market mid-sweep: a
-# dataset miss costs tens of seconds, so these are generous.
+# dataset miss costs tens of seconds, so these are generous. Beneath
+# the in-process memo sits the content-addressed disk cache
+# (:func:`repro.markets.providers.materialise_dataset`), which shares
+# materialised datasets across worker processes, shards, and reruns.
 @lru_cache(maxsize=32)
 def _dataset_cached(market: MarketSpec, provider: ProviderSpec) -> MarketDataset:
-    return build_provider(provider).dataset(market)
+    return materialise_dataset(market, provider)
 
 
 @lru_cache(maxsize=2)

@@ -1,0 +1,112 @@
+"""Campaign planner: lazy work groups from a sweep spec.
+
+The old executor expanded every point up front and bucketed the full
+list by market. A 10^5-point campaign cannot afford that: the parent
+would hold one frozen :class:`~repro.scenarios.spec.Scenario` graph per
+point before the first simulation starts. The planner streams instead —
+it walks :func:`repro.sweeps.spec.iter_points` once, accumulates points
+into buckets keyed on ``(market, provider)`` (the unit that shares one
+materialised data set), and *flushes* a bucket as a :class:`WorkGroup`
+as soon as it holds at least ``group_target`` points. Parent-side
+memory is bounded by the open buckets (at most one partial group per
+distinct market/provider pair), never by the campaign size.
+
+Two invariants make the partition usable downstream:
+
+* **Determinism.** The partition is a pure function of
+  ``(spec, group_target)`` — independent of ``--jobs``, of wall-clock,
+  and of which machine plans it. Group indices follow flush order.
+  This is what lets a shard-spec (``group.index % n_shards``) split a
+  campaign across machines and merge bitwise-equal to a single run,
+  and what lets a resumed run re-associate banked groups by index.
+* **Cells never split.** Buckets are only flushed at cell boundaries
+  (after the last replica of a cell has been routed), so a grid cell's
+  seeded replicas that share a market always travel in one group and
+  the stacked :func:`~repro.scenarios.runner.run_many` path stays
+  fully fused.
+
+For the small built-in grids the plan reproduces the old bucketing
+exactly: every bucket stays under the default target, so groups are
+the ``(market, provider)`` buckets in first-appearance order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.sweeps.spec import SweepPoint, SweepSpec, iter_points
+
+__all__ = [
+    "DEFAULT_GROUP_POINTS",
+    "WorkGroup",
+    "plan_groups",
+    "count_groups",
+    "resolve_group_target",
+]
+
+#: Default points per work group. Large enough that the built-in grids
+#: keep their historical one-group-per-bucket shape (buckets of 12 and
+#: under pass through whole), small enough that a trace-reseeded
+#: campaign flushes cell by cell and the parent never holds more than a
+#: few dozen scenarios per open bucket.
+DEFAULT_GROUP_POINTS = 16
+
+
+@dataclass(frozen=True, slots=True)
+class WorkGroup:
+    """One schedulable unit of a campaign: contiguous points of a bucket.
+
+    ``index`` is the group's position in deterministic flush order —
+    the address checkpoints bank under and the shard-spec partitions
+    on. All points share one ``(market, provider)`` pair.
+    """
+
+    index: int
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def point_indices(self) -> tuple[int, ...]:
+        return tuple(p.index for p in self.points)
+
+
+def resolve_group_target(group_target: int | None) -> int:
+    """Validate an explicit group size, or fall back to the default."""
+    if group_target is None:
+        return DEFAULT_GROUP_POINTS
+    if group_target < 1:
+        raise ConfigurationError(f"group size must be positive, got {group_target}")
+    return int(group_target)
+
+
+def plan_groups(spec: SweepSpec, group_target: int | None = None) -> Iterator[WorkGroup]:
+    """Yield the campaign's work groups lazily, in deterministic order.
+
+    Points stream from :func:`iter_points`; each lands in its
+    ``(market, provider)`` bucket. After every completed cell (replicas
+    are innermost, so ``replica == n_replicas - 1`` marks the
+    boundary), buckets holding at least ``group_target`` points flush
+    in first-insertion order; whatever remains flushes at the end.
+    """
+    target = resolve_group_target(group_target)
+    buckets: dict[object, list[SweepPoint]] = {}
+    next_index = 0
+    for point in iter_points(spec):
+        key = (point.scenario.market, point.scenario.provider)
+        buckets.setdefault(key, []).append(point)
+        if point.replica == spec.n_replicas - 1:
+            for key in [k for k, pts in buckets.items() if len(pts) >= target]:
+                yield WorkGroup(index=next_index, points=tuple(buckets.pop(key)))
+                next_index += 1
+    for pts in buckets.values():
+        yield WorkGroup(index=next_index, points=tuple(pts))
+        next_index += 1
+
+
+def count_groups(spec: SweepSpec, group_target: int | None = None) -> int:
+    """The number of groups :func:`plan_groups` will yield.
+
+    One planning pass; memory stays bounded by the open buckets.
+    """
+    return sum(1 for _ in plan_groups(spec, group_target))

@@ -132,6 +132,42 @@ def _builtin_sweeps() -> tuple[SweepSpec, ...]:
             metrics=("savings_pct", "mean_utilization_pct"),
         ),
         SweepSpec(
+            name="campaign-grid",
+            description=(
+                "10^4-point savings surface: 250 distance x price cells "
+                "x 40 traffic replicas (campaign pipeline scale test)"
+            ),
+            base=Scenario(
+                name="campaign-grid-base",
+                market=MarketSpec(start=datetime(2008, 11, 1), months=2, seed=7),
+                trace=TraceSpec(
+                    kind="five-minute",
+                    start=datetime(2008, 12, 1),
+                    n_steps=36,
+                    seed=7,
+                ),
+                router=RouterSpec.of("price", distance_threshold_km=1500.0),
+            ),
+            axes=(
+                SweepAxis(
+                    name="distance_threshold_km",
+                    values=tuple(float(km) for km in range(0, 5000, 200)),
+                    target="router",
+                ),
+                SweepAxis(
+                    name="price_threshold",
+                    values=tuple(float(t) for t in range(10)),
+                    target="router",
+                ),
+            ),
+            n_replicas=40,
+            # One shared market: the campaign exercises the streaming
+            # reducer/checkpoint path, so cells must stay cheap — each
+            # 40-replica cell stacks into one fused simulate_many pass.
+            reseed=("trace",),
+            metrics=("savings_pct",),
+        ),
+        SweepSpec(
             name="provider-grid",
             description=(
                 "every provider preset through the smoke setting x 4 "

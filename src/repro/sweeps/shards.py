@@ -1,0 +1,121 @@
+"""Deterministic shard-spec: split a campaign across machines, merge bitwise.
+
+A shard-spec ``i/N`` assigns work group ``g`` to shard ``i`` iff
+``g.index % N == i``. Because :func:`~repro.sweeps.planner.plan_groups`
+is a pure function of ``(spec, group_target)``, every machine planning
+the same campaign sees the same groups with the same indices — no
+coordinator, no assignment table, no shared filesystem during the run.
+Each shard banks its groups into its own artifact store's campaign
+checkpoint; :func:`merge_sweep` then unions the banked groups (from
+the active store plus any number of copied-in shard stores), checks
+that exactly the full point range is covered, and finalises through
+the same replica-slot path a single-machine run uses — so the merged
+sweep artifact is bitwise equal to the single-machine artifact.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro import artifacts
+from repro.errors import ConfigurationError
+from repro.sweeps import streaming
+from repro.sweeps.aggregate import SweepResult
+from repro.sweeps.checkpoint import BankedGroup, CampaignCheckpoint
+from repro.sweeps.planner import count_groups
+from repro.sweeps.spec import SweepSpec
+
+__all__ = ["parse_shard", "shard_owns", "collect_banked", "merge_sweep"]
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"i/N"`` into ``(i, N)`` with ``0 <= i < N``."""
+    match = _SHARD_RE.match(text.strip())
+    if not match:
+        raise ConfigurationError(f"shard spec must look like 'i/N' (e.g. '0/4'), got {text!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {count}")
+    if index >= count:
+        raise ConfigurationError(f"shard index {index} out of range for {count} shards")
+    return index, count
+
+
+def shard_owns(shard: tuple[int, int] | None, group_index: int) -> bool:
+    """True when ``group_index`` belongs to ``shard`` (``None`` owns all)."""
+    if shard is None:
+        return True
+    index, count = shard
+    return group_index % count == index
+
+
+def collect_banked(
+    spec: SweepSpec,
+    group_target: int | None,
+    store: artifacts.ArtifactStore,
+    extra_roots: tuple[str | Path, ...] = (),
+) -> dict[int, BankedGroup]:
+    """Banked groups for ``spec`` across the active store and shard stores.
+
+    Group indices address identical work on every machine, so a group
+    banked in several stores is the same computation — the first
+    occurrence wins.
+    """
+    groups: dict[int, BankedGroup] = {}
+    stores = [store] + [artifacts.ArtifactStore(root) for root in extra_roots]
+    for candidate in stores:
+        checkpoint = CampaignCheckpoint(candidate, spec, group_target)
+        for index, banked in checkpoint.banked().items():
+            groups.setdefault(index, banked)
+    return groups
+
+
+def merge_sweep(
+    spec: SweepSpec,
+    *,
+    group_target: int | None = None,
+    extra_roots: tuple[str | Path, ...] = (),
+) -> SweepResult:
+    """Merge banked shard results into the final sweep artifact.
+
+    Requires an active artifact store (that is where shards bank and
+    where the merged artifact is published). Raises
+    :class:`ConfigurationError` when the union of banked groups does
+    not cover the campaign exactly.
+    """
+    store = artifacts.get_store()
+    if store is None:
+        raise ConfigurationError("sweep merge needs an artifact store (remove --no-store)")
+
+    cached = store.load(artifacts.KIND_SWEEP, spec)
+    if cached is not None:
+        return SweepResult.from_json_dict(cached)
+
+    groups = collect_banked(spec, group_target, store, tuple(extra_roots))
+    covered: set[int] = set()
+    for banked in groups.values():
+        covered.update(banked.point_indices)
+    expected = set(range(spec.n_points))
+    if covered != expected:
+        checkpoint = CampaignCheckpoint(store, spec, group_target)
+        manifest = checkpoint.manifest()
+        total = (
+            int(manifest["n_groups"])
+            if manifest is not None
+            else count_groups(spec, group_target)
+        )
+        raise ConfigurationError(
+            f"campaign {spec.name!r} incomplete: {len(groups)} of {total} groups banked "
+            f"({len(expected - covered)} points missing); run the remaining shards first"
+        )
+
+    merged: dict[int, streaming.CellState] = {}
+    for index in sorted(groups):
+        streaming.merge_cell_states(merged, groups[index].states)
+    result = streaming.finalize(spec, merged)
+    store.save(artifacts.KIND_SWEEP, spec, result.to_json_dict())
+    CampaignCheckpoint(store, spec, group_target).discard()
+    return result

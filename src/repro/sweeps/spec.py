@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import Any, Iterator
 
 from repro.energy.model import EnergyModelParams
 from repro.energy.params import OPTIMISTIC_FUTURE
@@ -44,7 +44,16 @@ from repro.scenarios.spec import RouterSpec, Scenario
 from repro.sweeps.metrics import METRIC_NAMES
 from repro.sweeps.seeding import replica_seed
 
-__all__ = ["SweepAxis", "SweepSpec", "SweepCell", "SweepPoint", "expand"]
+__all__ = [
+    "SweepAxis",
+    "SweepSpec",
+    "SweepCell",
+    "SweepPoint",
+    "cells",
+    "expand",
+    "iter_cells",
+    "iter_points",
+]
 
 #: Axis targets understood by the expander.
 AXIS_TARGETS = ("scenario", "router", "energy")
@@ -196,9 +205,13 @@ def _reseed(scenario: Scenario, spec: SweepSpec, replica: int) -> Scenario:
     return scenario.derive(**changes)
 
 
-def cells(spec: SweepSpec) -> list[SweepCell]:
-    """The sweep's grid cells in cartesian-product order (last axis fastest)."""
-    out: list[SweepCell] = []
+def iter_cells(spec: SweepSpec) -> Iterator[SweepCell]:
+    """The grid cells in cartesian-product order, one at a time.
+
+    The lazy form of :func:`cells`: a campaign planner walking a
+    10^5-point grid holds one cell (plus its open work groups) rather
+    than the whole expansion.
+    """
     value_grids = [axis.values for axis in spec.axes]
     for index, combo in enumerate(itertools.product(*value_grids)):
         scenario = spec.base
@@ -209,28 +222,41 @@ def cells(spec: SweepSpec) -> list[SweepCell]:
             if axis.target == "energy":
                 energy = value
             coords.append((axis.name, _axis_label(value)))
-        out.append(SweepCell(index=index, coords=tuple(coords), scenario=scenario, energy=energy))
-    return out
+        yield SweepCell(index=index, coords=tuple(coords), scenario=scenario, energy=energy)
 
 
-def expand(spec: SweepSpec) -> list[SweepPoint]:
-    """Every (cell x replica) simulation point, replicas innermost.
+def iter_points(spec: SweepSpec) -> Iterator[SweepPoint]:
+    """Every (cell x replica) point, replicas innermost, lazily.
 
     Point scenarios have ``name``/``description`` cleared so that two
     sweeps expanding to the same physical run share one simulation in
-    the runner's memo and in the artifact store.
+    the runner's memo and in the artifact store. Point indices follow
+    emission order, so ``list(iter_points(spec)) == expand(spec)``.
     """
-    points: list[SweepPoint] = []
-    for cell in cells(spec):
+    index = 0
+    for cell in iter_cells(spec):
         for replica in range(spec.n_replicas):
             scenario = _reseed(cell.scenario, spec, replica).derive(name="", description="")
-            points.append(
-                SweepPoint(
-                    index=len(points),
-                    cell_index=cell.index,
-                    replica=replica,
-                    scenario=scenario,
-                    energy=cell.energy,
-                )
+            yield SweepPoint(
+                index=index,
+                cell_index=cell.index,
+                replica=replica,
+                scenario=scenario,
+                energy=cell.energy,
             )
-    return points
+            index += 1
+
+
+def cells(spec: SweepSpec) -> list[SweepCell]:
+    """The sweep's grid cells in cartesian-product order (last axis fastest)."""
+    return list(iter_cells(spec))
+
+
+def expand(spec: SweepSpec) -> list[SweepPoint]:
+    """Every (cell x replica) simulation point, materialised as a list.
+
+    The eager counterpart of :func:`iter_points`, kept for callers that
+    index into the expansion (aggregation tests, hash pins). Campaign
+    execution never calls this — the planner streams.
+    """
+    return list(iter_points(spec))

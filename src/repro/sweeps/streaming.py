@@ -1,0 +1,225 @@
+"""Streaming per-cell reducers: mergeable sweep state, bitwise finalize.
+
+The campaign executor's workers do not ship one metric dict per point
+back to the parent — at 10^5 points that is exactly the per-flow-state
+wall the planner exists to avoid. Instead each worker folds its group's
+point metrics into per-cell :class:`CellState` reducers and ships
+those. A reducer carries, per metric:
+
+``count / mean / m2``
+    Welford running moments, merged across groups with the Chan
+    parallel update. These are streaming metadata — cheap progress and
+    sanity numbers available at any point mid-campaign — and are
+    deliberately **not** used for the published artifact (parallel
+    Welford merges are order-sensitive in the last bits).
+``slots``
+    The bounded replica-metric vector: one float per replica of the
+    cell, keyed by replica index. Bounded by ``n_replicas`` no matter
+    how large the campaign, and exactly what the bootstrap needs.
+
+:func:`finalize` rebuilds each cell's replica vector from the slots in
+replica order and then performs *the same numpy operations in the same
+order* as :func:`repro.sweeps.aggregate.aggregate` — mean, sample std,
+seeded bootstrap CI — so a streamed campaign's ``SweepResult`` is
+byte-identical to the old expand-everything path and existing sweep
+artifacts keep their bytes. Slot merges are disjoint unions, so the
+final artifact is independent of group completion order; checkpointed
+state round-trips through JSON exactly (Python floats serialise via
+shortest round-trip repr).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sweeps.aggregate import CellStats, MetricStats, SweepResult, bootstrap_ci
+from repro.sweeps.spec import SweepSpec, iter_cells
+
+__all__ = [
+    "MetricState",
+    "CellState",
+    "reduce_points",
+    "merge_cell_states",
+    "finalize",
+    "encode_states",
+    "decode_states",
+]
+
+
+class MetricState:
+    """Welford moments plus the replica-slot vector for one metric."""
+
+    __slots__ = ("count", "mean", "m2", "slots")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.slots: dict[int, float] = {}
+
+    def update(self, replica: int, value: float) -> None:
+        if replica in self.slots:
+            raise ConfigurationError(f"duplicate replica {replica} folded into a cell reducer")
+        self.slots[replica] = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def merge(self, other: "MetricState") -> None:
+        overlap = self.slots.keys() & other.slots.keys()
+        if overlap:
+            raise ConfigurationError(
+                f"replica slots {sorted(overlap)} present in both reducers being merged"
+            )
+        self.slots.update(other.slots)
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            return
+        # Chan et al. parallel combine of (count, mean, M2).
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+
+class CellState:
+    """Mergeable reducer for one grid cell: a MetricState per metric."""
+
+    __slots__ = ("cell_index", "metrics")
+
+    def __init__(self, cell_index: int, metric_names: tuple[str, ...]) -> None:
+        self.cell_index = cell_index
+        self.metrics = {name: MetricState() for name in metric_names}
+
+    def update(self, replica: int, values: dict[str, float]) -> None:
+        for name, state in self.metrics.items():
+            state.update(replica, values[name])
+
+    def merge(self, other: "CellState") -> None:
+        if other.metrics.keys() != self.metrics.keys():
+            raise ConfigurationError("cannot merge cell reducers over different metric sets")
+        for name, state in self.metrics.items():
+            state.merge(other.metrics[name])
+
+    @property
+    def n_points(self) -> int:
+        first = next(iter(self.metrics.values()), None)
+        return first.count if first is not None else 0
+
+
+def reduce_points(
+    points,
+    metrics_by_point: dict[int, dict[str, float]],
+    metric_names: tuple[str, ...],
+) -> dict[int, CellState]:
+    """Fold per-point metric dicts into per-cell reducer states."""
+    states: dict[int, CellState] = {}
+    for point in points:
+        state = states.get(point.cell_index)
+        if state is None:
+            state = states[point.cell_index] = CellState(point.cell_index, metric_names)
+        state.update(point.replica, metrics_by_point[point.index])
+    return states
+
+
+def merge_cell_states(
+    into: dict[int, CellState], other: dict[int, CellState]
+) -> dict[int, CellState]:
+    """Merge ``other``'s reducers into ``into`` (disjoint replica slots)."""
+    for cell_index, state in other.items():
+        existing = into.get(cell_index)
+        if existing is None:
+            into[cell_index] = state
+        else:
+            existing.merge(state)
+    return into
+
+
+def finalize(spec: SweepSpec, states: dict[int, CellState]) -> SweepResult:
+    """Cell reducers to the published :class:`SweepResult`.
+
+    Replica vectors are rebuilt in replica order — the expansion's
+    point order within a cell — and pushed through the exact
+    mean/std/bootstrap operations of :func:`aggregate`, so the result
+    is bitwise independent of grouping, sharding, checkpointing, and
+    completion order.
+    """
+    cell_stats = []
+    for cell in iter_cells(spec):
+        state = states.get(cell.index)
+        if state is None:
+            raise ConfigurationError(f"no reducer state for sweep cell {cell.index}")
+        stats: dict[str, MetricStats] = {}
+        n_replicas = 0
+        for m_idx, metric in enumerate(spec.metrics):
+            slots = state.metrics[metric].slots
+            missing = [r for r in range(spec.n_replicas) if r not in slots]
+            if missing:
+                raise ConfigurationError(
+                    f"cell {cell.index} metric {metric!r} missing replicas {missing[:5]}"
+                )
+            values = np.array([slots[r] for r in range(spec.n_replicas)], dtype=float)
+            n_replicas = values.size
+            lo, hi = bootstrap_ci(values, entropy=(cell.index, m_idx))
+            stats[metric] = MetricStats(
+                mean=float(values.mean()),
+                std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+                ci_lo=lo,
+                ci_hi=hi,
+            )
+        cell_stats.append(
+            CellStats(coords=cell.coords, n_replicas=n_replicas, stats=stats)
+        )
+
+    return SweepResult(
+        sweep=spec.name,
+        title=spec.description or spec.name,
+        axes=tuple(a.name for a in spec.axes),
+        metrics=spec.metrics,
+        n_replicas=spec.n_replicas,
+        cells=tuple(cell_stats),
+    )
+
+
+# -- checkpoint codec ---------------------------------------------------------
+
+
+def encode_states(states: dict[int, CellState]) -> list[dict]:
+    """JSON-able encoding of a group's reducer states (sorted, stable)."""
+    out = []
+    for cell_index in sorted(states):
+        state = states[cell_index]
+        metrics = {}
+        for name in state.metrics:
+            ms = state.metrics[name]
+            metrics[name] = {
+                "count": ms.count,
+                "mean": ms.mean,
+                "m2": ms.m2,
+                "slots": {str(r): ms.slots[r] for r in sorted(ms.slots)},
+            }
+        out.append({"cell": cell_index, "metrics": metrics})
+    return out
+
+
+def decode_states(payload: list[dict]) -> dict[int, CellState]:
+    """Inverse of :func:`encode_states` (floats round-trip exactly)."""
+    states: dict[int, CellState] = {}
+    for entry in payload:
+        cell_index = int(entry["cell"])
+        metric_names = tuple(entry["metrics"])
+        state = CellState(cell_index, metric_names)
+        for name in metric_names:
+            ms = state.metrics[name]
+            record = entry["metrics"][name]
+            ms.count = int(record["count"])
+            ms.mean = float(record["mean"])
+            ms.m2 = float(record["m2"])
+            ms.slots = {int(r): float(v) for r, v in record["slots"].items()}
+        states[cell_index] = state
+    return states

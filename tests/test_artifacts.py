@@ -169,7 +169,13 @@ class TestRunnerLayering:
         try:
             scenarios.clear_caches()
             first = scenarios.run(self.SCENARIO)
-            assert len(list(store.entries())) == 1
+            entries = list(store.entries())
+            sims = [e for e in entries if e.kind == artifacts.KIND_SIMULATION]
+            assert len(sims) == 1
+            # The materialised market data set is published alongside it.
+            assert [e.kind for e in entries if e.kind != artifacts.KIND_SIMULATION] == [
+                artifacts.KIND_DATASET
+            ]
             # A cold in-process cache must hit the disk layer, not re-simulate.
             scenarios.clear_caches()
             monkeypatch.setattr(
@@ -200,7 +206,8 @@ class TestRunnerLayering:
             second = scenarios.run(self.SCENARIO)
             assert executed, "stored simulation was served despite refresh mode"
             # The fresh result overwrites (identically) rather than reads.
-            assert len(list(store.entries())) == 1
+            sims = [e for e in store.entries() if e.kind == artifacts.KIND_SIMULATION]
+            assert len(sims) == 1
             assert second.loads.tobytes() == first.loads.tobytes()
         finally:
             artifacts.reset()
