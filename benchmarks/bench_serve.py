@@ -77,7 +77,13 @@ async def _run_level(scenario, rows: np.ndarray, concurrency: int) -> dict:
     demand_by_step = np.empty_like(rows)
     served_loads = np.empty((n_requests, len(labels)))
     try:
-        clients = [HttpClient("127.0.0.1", server.port) for _ in range(concurrency)]
+        # Production-shape clients: a small retry budget with seeded
+        # jitter, so transient 429/503s are ridden out and the retry
+        # count itself becomes a benchmark signal (healthy runs: 0).
+        clients = [
+            HttpClient("127.0.0.1", server.port, max_retries=3, retry_seed=c)
+            for c in range(concurrency)
+        ]
         for client in clients:
             await client.connect()
         try:
@@ -96,6 +102,7 @@ async def _run_level(scenario, rows: np.ndarray, concurrency: int) -> dict:
             await asyncio.gather(*(worker(cl, sh) for cl, sh in zip(clients, shares)))
             wall = loop.time() - t_start
         finally:
+            retries_total = sum(client.retries_total for client in clients)
             for client in clients:
                 await client.close()
         stats = server.batcher.stats
@@ -120,6 +127,7 @@ async def _run_level(scenario, rows: np.ndarray, concurrency: int) -> dict:
         "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
         "batch_size_mean": round(batch_mean, 2),
         "batch_size_max": batch_max,
+        "retries_total": retries_total,
         "allocations_identical": identical,
     }
 
@@ -131,7 +139,10 @@ async def _run_sharded(sharded: ShardedServer, rows: np.ndarray, concurrency: in
     latencies: list[float] = []
     responses: list[dict | None] = [None] * n_requests
 
-    clients = [HttpClient("127.0.0.1", sharded.port) for _ in range(concurrency)]
+    clients = [
+        HttpClient("127.0.0.1", sharded.port, max_retries=3, retry_seed=c)
+        for c in range(concurrency)
+    ]
     for client in clients:
         await client.connect()
     try:
@@ -149,10 +160,17 @@ async def _run_sharded(sharded: ShardedServer, rows: np.ndarray, concurrency: in
         wall = loop.time() - t_start
         _, stats = await clients[0].request("GET", "/stats")
     finally:
+        retries_total = sum(client.retries_total for client in clients)
         for client in clients:
             await client.close()
 
-    return {"wall": wall, "latencies": latencies, "responses": responses, "stats": stats}
+    return {
+        "wall": wall,
+        "latencies": latencies,
+        "responses": responses,
+        "stats": stats,
+        "retries_total": retries_total,
+    }
 
 
 def bench_serve_sharded(rows: np.ndarray) -> dict:
@@ -205,6 +223,8 @@ def bench_serve_sharded(rows: np.ndarray) -> dict:
         "batch_size_mean": round(
             aggregate["batch_rows_total"] / max(aggregate["batches_total"], 1), 2
         ),
+        "retries_total": out["retries_total"],
+        "restarts_total": aggregate.get("restarts_total", 0),
         "allocations_identical": identical,
     }
 
@@ -225,6 +245,7 @@ def bench_serve(requests_per_level: int = 2000) -> dict:
             f"{'serve:c' + str(concurrency):24s} qps {level['qps']:8.1f}  "
             f"p50 {level['p50_ms']:7.2f}ms  p95 {level['p95_ms']:7.2f}ms  "
             f"p99 {level['p99_ms']:7.2f}ms  batch mean {level['batch_size_mean']:5.2f}  "
+            f"retries {level['retries_total']}  "
             f"identical {level['allocations_identical']}"
         )
 
@@ -236,6 +257,7 @@ def bench_serve(requests_per_level: int = 2000) -> dict:
             f"{'serve:sharded':24s} qps {sharded['qps']:8.1f}  "
             f"p50 {sharded['p50_ms']:7.2f}ms  p95 {sharded['p95_ms']:7.2f}ms  "
             f"p99 {sharded['p99_ms']:7.2f}ms  workers {sharded['workers']}  "
+            f"retries {sharded['retries_total']}  "
             f"identical {sharded['allocations_identical']}"
         )
 

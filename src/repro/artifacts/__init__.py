@@ -45,6 +45,7 @@ from repro.artifacts.store import (
     KIND_CAMPAIGN,
     KIND_DATASET,
     KIND_FIGURE,
+    KIND_SESSION,
     KIND_SIMULATION,
     KIND_SWEEP,
     ArtifactStore,
@@ -59,6 +60,7 @@ __all__ = [
     "KIND_SWEEP",
     "KIND_DATASET",
     "KIND_CAMPAIGN",
+    "KIND_SESSION",
     "DEFAULT_STORE_DIR",
     "ENV_STORE_DIR",
     "configure",

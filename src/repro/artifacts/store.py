@@ -49,6 +49,7 @@ __all__ = [
     "KIND_SWEEP",
     "KIND_DATASET",
     "KIND_CAMPAIGN",
+    "KIND_SESSION",
 ]
 
 KIND_SIMULATION = "simulations"
@@ -56,11 +57,15 @@ KIND_FIGURE = "figures"
 KIND_SWEEP = "sweeps"
 KIND_DATASET = "datasets"
 
+#: Serving checkpoints: a rolling session's banked window results,
+#: addressed by the serving spec (scenario, window size, shard).
+KIND_SESSION = "sessions"
+
 #: Campaign checkpoints live one *directory* per key (a manifest plus a
 #: file per banked group), unlike the flat one-file-per-artifact kinds.
 KIND_CAMPAIGN = "campaigns"
 
-_KINDS = (KIND_SIMULATION, KIND_FIGURE, KIND_SWEEP, KIND_DATASET)
+_KINDS = (KIND_SIMULATION, KIND_FIGURE, KIND_SWEEP, KIND_DATASET, KIND_SESSION)
 
 
 @dataclass(frozen=True)

@@ -298,10 +298,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the port across N worker processes via SO_REUSEPORT (default 1)",
     )
     serve_p.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission bound on queued requests before 429s (default 256; 0 = unbounded)",
+    )
+    serve_p.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful-drain deadline on SIGTERM before in-flight requests are "
+        "failed (default 5)",
+    )
+    serve_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="rolling sessions only: resume from the last drain checkpoint in the "
+        "artifact store (bit-identical from the last banked window boundary)",
+    )
+    serve_p.add_argument(
+        "--faults",
+        metavar="JSON",
+        default=None,
+        help="arm a deterministic fault plan (JSON, see repro.faults) via "
+        "REPRO_FAULTS for this server and its workers",
+    )
+    serve_p.add_argument(
         "--smoke",
         action="store_true",
         help="boot on an ephemeral port, fire a concurrent self-test burst, and exit",
     )
+    serve_p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="with --smoke: run the deterministic fault-injection matrix instead",
+    )
+    _add_store_options(serve_p)
 
     providers_p = sub.add_parser("providers", help="inspect market-data providers")
     providers_sub = providers_p.add_subparsers(dest="providers_command")
@@ -669,10 +703,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro import scenarios
+    from repro.faults import FaultPlan, wrap_session
     from repro.scenarios.runner import provider_override
-    from repro.serve import RoutingServer, ServerConfig, run_smoke
+    from repro.serve import RoutingServer, ServerConfig, run_chaos, run_smoke
+    from repro.serve.batcher import DEFAULT_MAX_QUEUE
+    from repro.serve.checkpoint import (
+        SessionCheckpointSpec,
+        resume_results,
+        save_checkpoint,
+    )
 
     try:
         provider = _resolve_provider(args)
@@ -683,8 +725,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("repro serve: --workers must be at least 1", file=sys.stderr)
         return 2
+    if args.chaos and not args.smoke:
+        print("repro serve: --chaos needs --smoke", file=sys.stderr)
+        return 2
+    if args.resume and args.rolling_window is None:
+        print("repro serve: --resume needs --rolling-window", file=sys.stderr)
+        return 2
+    if args.faults:
+        try:
+            FaultPlan.from_json(args.faults).to_env()
+        except ConfigurationError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 2
 
     with provider_override(provider):
+        if args.smoke and args.chaos:
+            try:
+                summary = run_chaos(args.scenario, workers=max(args.workers, 2))
+            except (ConfigurationError, RuntimeError) as exc:
+                print(f"repro serve --smoke --chaos: FAIL: {exc}", file=sys.stderr)
+                return 1
+            for leg, detail in summary["legs"].items():
+                print(f"repro serve --chaos: {leg}: ok {detail}")
+            print(
+                f"repro serve --smoke --chaos: ok "
+                f"(scenario={summary['scenario']}, seed={summary['seed']}, "
+                f"legs={len(summary['legs'])})"
+            )
+            return 0
         if args.smoke:
             try:
                 summary = run_smoke(
@@ -709,17 +777,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.workers > 1:
             return _serve_sharded(args)
 
+        # The artifact store backs drain checkpoints and --resume for
+        # rolling sessions; a fixed-horizon serve never touches it.
+        store = None
+        ckpt_spec = None
+        if args.rolling_window is not None:
+            _activate_store(args)
+            store = artifacts.get_store()
+            ckpt_spec = SessionCheckpointSpec(
+                scenario=args.scenario, window_steps=args.rolling_window
+            )
+
         try:
             scenario = scenarios.get(args.scenario)
             if args.rolling_window is not None:
+                banked = resume_results(store, ckpt_spec, resume=args.resume)
                 session = scenarios.open_rolling_session(
-                    scenario, window_steps=args.rolling_window
+                    scenario,
+                    window_steps=args.rolling_window,
+                    resume_results=banked,
                 )
+                if banked:
+                    print(
+                        f"repro serve: resumed from checkpoint "
+                        f"({len(banked)} banked window(s), "
+                        f"{session.steps_fed} steps)",
+                        file=sys.stderr,
+                    )
             else:
                 session = scenarios.open_session(scenario, n_steps=args.steps)
         except (ConfigurationError, KeyError) as exc:
             print(f"repro serve: {exc}", file=sys.stderr)
             return 2
+        roller = session
+        session = wrap_session(session, FaultPlan.from_env())
+        max_queue = (
+            DEFAULT_MAX_QUEUE
+            if args.max_queue is None
+            else (args.max_queue if args.max_queue > 0 else None)
+        )
         server = RoutingServer(
             session,
             ServerConfig(
@@ -728,6 +824,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 window_ms=args.batch_window_ms,
                 max_batch=args.max_batch,
                 scenario=args.scenario,
+                max_queue=max_queue,
+                drain_deadline_s=args.drain_deadline,
             ),
         )
 
@@ -743,10 +841,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"repro serve: scenario={args.scenario} router={scenario.router.kind} "
                 f"on http://{args.host}:{server.port} "
                 f"({shape}, window {args.batch_window_ms}ms, "
-                f"max batch {args.max_batch})",
+                f"max batch {args.max_batch}, queue bound {max_queue})",
                 file=sys.stderr,
             )
-            await server.serve_forever()
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except NotImplementedError:
+                    # Platforms without loop signal handlers fall back
+                    # to KeyboardInterrupt for SIGINT.
+                    pass
+            await stop.wait()
+            print("repro serve: draining...", file=sys.stderr)
+            drained = await server.stop(drain=True)
+            if store is not None and ckpt_spec is not None:
+                path = save_checkpoint(store, ckpt_spec, roller)
+                if path is not None:
+                    state = roller.checkpoint_state()
+                    print(
+                        f"repro serve: checkpointed {state['windows_completed']} "
+                        f"window(s) ({state['steps_banked']} steps) — restart with "
+                        "--resume to continue bit-identically",
+                        file=sys.stderr,
+                    )
+            print(
+                "repro serve: stopped"
+                + ("" if drained else " (drain deadline exceeded)"),
+                file=sys.stderr,
+            )
 
         try:
             asyncio.run(_serve())
@@ -760,6 +884,11 @@ def _serve_sharded(args: argparse.Namespace) -> int:
 
     from repro.serve.shard import ShardedServer
 
+    store_dir = None
+    if args.rolling_window is not None:
+        _activate_store(args)
+        root = artifacts.active_root()
+        store_dir = str(root) if root is not None else None
     try:
         sharded = ShardedServer(
             args.scenario,
@@ -771,6 +900,11 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             session_steps=args.steps,
             rolling_window=args.rolling_window,
             provider=args.provider,
+            max_queue=args.max_queue,
+            drain_deadline_s=args.drain_deadline,
+            checkpoint=store_dir is not None,
+            resume=args.resume and store_dir is not None,
+            store_dir=store_dir,
         )
         sharded.start()
         sharded.wait_ready()
@@ -782,13 +916,22 @@ def _serve_sharded(args: argparse.Namespace) -> int:
         f"on http://{args.host}:{sharded.port}",
         file=sys.stderr,
     )
+    import signal
+    import threading
+
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
     try:
-        while True:
-            time.sleep(1.0)
+        while not stop.wait(timeout=1.0):
+            time.sleep(0)
     except KeyboardInterrupt:
-        print("repro serve: stopped", file=sys.stderr)
+        pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
+        # stop() SIGTERMs each worker, which drains in-flight requests
+        # and (for rolling sessions with a store) checkpoints.
         sharded.stop()
+        print("repro serve: stopped", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,273 @@
+"""Deterministic fault injection for the serving path.
+
+Chaos testing is only useful when a failure can be *replayed*: a crash
+that fires on a wall-clock race reproduces once a week; a crash that
+fires "when this shard feeds step 7" reproduces every run, byte for
+byte. This module defines seeded :class:`FaultPlan`\\ s — declarative
+schedules of provider delays, provider errors, and worker crashes —
+and a session wrapper that injects them into any
+:class:`~repro.sim.session.RoutingSession`-shaped object by step
+index, never by timing:
+
+* every trigger is a pure function of ``(plan.seed, fault, step)``, so
+  the same plan fires the same faults at the same steps no matter how
+  the micro-batcher happens to slice the load;
+* an injected *error* fires exactly once per step and consumes no
+  horizon step (the batch it poisons is failed before the engine runs),
+  so the allocations that *are* served stay bit-identical to an
+  offline replay of the served rows;
+* a *crash* exits the process with ``os._exit`` — indistinguishable
+  from ``kill -9`` to the shard supervisor that must recover from it.
+
+Plans travel by value: :meth:`FaultPlan.to_json` /
+:meth:`FaultPlan.from_json` round-trip losslessly, and the
+``REPRO_FAULTS`` environment variable carries a plan into spawned
+shard workers (:meth:`FaultPlan.to_env` / :meth:`FaultPlan.from_env`).
+``repro serve --smoke --chaos`` runs the full scenario matrix in
+:mod:`repro.serve.smoke`; client-side fault kinds (``slow_client``,
+``abort_client``) are interpreted there rather than by the session
+wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "SESSION_FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "FaultySession",
+    "wrap_session",
+]
+
+#: Environment variable a JSON-encoded plan travels to workers in.
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Fault kinds injected into the session's feed path.
+SESSION_FAULT_KINDS = ("provider_delay", "provider_error", "crash_at_step")
+
+#: All fault kinds a plan may carry; the client-side kinds are
+#: interpreted by the chaos harness, not the session wrapper.
+FAULT_KINDS = SESSION_FAULT_KINDS + ("slow_client", "abort_client", "queue_saturation")
+
+
+class InjectedFaultError(ReproError):
+    """The error a ``provider_error`` fault raises from ``feed``."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind plus a deterministic step schedule.
+
+    Exactly one schedule field may be set: ``step`` (fire once, at that
+    cumulative session step), ``every`` (fire whenever a fed step index
+    is a multiple), or ``probability`` (a per-step coin seeded by
+    ``(plan.seed, kind, step)`` — deterministic however the load is
+    batched). Client-side kinds need no schedule.
+
+    ``shard`` restricts the fault to one shard of a sharded deployment
+    (``None``: every shard). ``delay_ms`` parameterises the delay
+    kinds.
+    """
+
+    kind: str
+    step: int | None = None
+    every: int | None = None
+    probability: float = 0.0
+    delay_ms: float = 0.0
+    shard: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r} (expected one of {FAULT_KINDS})"
+            )
+        schedules = sum((self.step is not None, self.every is not None, self.probability > 0))
+        if self.kind in SESSION_FAULT_KINDS and schedules != 1:
+            raise ConfigurationError(
+                f"fault {self.kind!r} needs exactly one of step=, every=, probability="
+            )
+        if self.step is not None and self.step < 0:
+            raise ConfigurationError("fault step must be non-negative")
+        if self.every is not None and self.every < 1:
+            raise ConfigurationError("fault every= must be at least 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("fault probability must be in [0, 1]")
+        if self.delay_ms < 0:
+            raise ConfigurationError("fault delay_ms must be non-negative")
+
+    def fires_at(self, step: int, seed: int) -> bool:
+        """Whether this fault fires on session step ``step``.
+
+        A pure function of ``(seed, self, step)`` — the same schedule
+        replays byte-identically under any micro-batch slicing.
+        """
+        if self.step is not None:
+            return step == self.step
+        if self.every is not None:
+            return step % self.every == 0
+        if self.probability > 0:
+            # A string seed hashes via SHA-512 inside random.Random —
+            # stable across processes and interpreter runs, unlike
+            # hash() under PYTHONHASHSEED.
+            coin = random.Random(f"{seed}:{self.kind}:{self.shard}:{step}")
+            return coin.random() < self.probability
+        return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of faults — the unit of chaos replay."""
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [
+                    {f.name: getattr(spec, f.name) for f in fields(spec)}
+                    for spec in self.faults
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultPlan":
+        try:
+            payload = json.loads(raw)
+            return cls(
+                seed=int(payload.get("seed", 0)),
+                faults=tuple(FaultSpec(**spec) for spec in payload.get("faults", ())),
+            )
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed fault plan: {exc}") from exc
+
+    def to_env(self, environ: dict | None = None) -> None:
+        """Publish the plan for child processes to pick up."""
+        (os.environ if environ is None else environ)[ENV_FAULTS] = self.to_json()
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "FaultPlan | None":
+        """The plan carried by ``REPRO_FAULTS``, or ``None``."""
+        raw = (os.environ if environ is None else environ).get(ENV_FAULTS)
+        return None if not raw else cls.from_json(raw)
+
+    @staticmethod
+    def clear_env(environ: dict | None = None) -> None:
+        """Disarm: children spawned after this see no plan."""
+        (os.environ if environ is None else environ).pop(ENV_FAULTS, None)
+
+    # -- selection -------------------------------------------------------------
+
+    def session_faults(self, shard: int = 0) -> tuple[FaultSpec, ...]:
+        """The faults the session wrapper must inject on ``shard``."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.kind in SESSION_FAULT_KINDS and (f.shard is None or f.shard == shard)
+        )
+
+    def client_faults(self) -> tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.kind not in SESSION_FAULT_KINDS)
+
+
+@dataclass
+class FaultySession:
+    """A delegating session proxy that injects plan faults into ``feed``.
+
+    Wraps any object speaking the session feeding interface
+    (:class:`~repro.sim.session.RoutingSession`,
+    :class:`~repro.sim.rolling.RollingSession`). Every attribute other
+    than ``feed``/``step`` passes straight through; ``wrapped`` exposes
+    the underlying session (the checkpoint path needs it).
+
+    Faults evaluate against the *cumulative* step index the wrapped
+    session is about to feed, so schedules are stable under batching.
+    An injected error fires once per step (the set of already-fired
+    steps is tracked), consumes no step, and fails the whole batch the
+    step rode in — exactly the blast radius a provider outage has.
+    """
+
+    wrapped: object
+    plan: FaultPlan
+    shard: int = 0
+    _faults: tuple[FaultSpec, ...] = field(init=False)
+    _errored_steps: set = field(init=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._faults = self.plan.session_faults(self.shard)
+
+    def __getattr__(self, name: str):
+        return getattr(self.wrapped, name)
+
+    def _steps_in(self, t0: int, k: int, kind: str) -> list[int]:
+        return [
+            t
+            for t in range(t0, t0 + k)
+            for f in self._faults
+            if f.kind == kind and f.fires_at(t, self.plan.seed)
+        ]
+
+    def _delay_for(self, t0: int, k: int) -> float:
+        total = 0.0
+        for fault in self._faults:
+            if fault.kind != "provider_delay":
+                continue
+            hits = sum(fault.fires_at(t, self.plan.seed) for t in range(t0, t0 + k))
+            total += hits * fault.delay_ms / 1000.0
+        return total
+
+    def step(self, demand):
+        return self.feed(np.asarray(demand, dtype=float)[None, :])[0]
+
+    def feed(self, demand):
+        rows = np.asarray(demand, dtype=float)
+        k = 1 if rows.ndim == 1 else rows.shape[0]
+        t0 = self.wrapped.steps_fed
+
+        crash = self._steps_in(t0, k, "crash_at_step")
+        if crash:
+            # Indistinguishable from kill -9: no cleanup, no flush.
+            os._exit(137)
+
+        errors = [
+            t for t in self._steps_in(t0, k, "provider_error") if t not in self._errored_steps
+        ]
+        if errors:
+            self._errored_steps.update(errors)
+            raise InjectedFaultError(
+                f"injected provider error at step {errors[0]} "
+                f"(plan seed {self.plan.seed}, shard {self.shard})"
+            )
+
+        delay = self._delay_for(t0, k)
+        if delay > 0:
+            time.sleep(delay)
+        return self.wrapped.feed(demand)
+
+
+def wrap_session(session, plan: FaultPlan | None, *, shard: int = 0):
+    """Wrap ``session`` when the plan injects anything on this shard."""
+    if plan is None or not plan.session_faults(shard):
+        return session
+    return FaultySession(session, plan, shard)

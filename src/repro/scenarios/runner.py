@@ -21,7 +21,7 @@ from contextlib import contextmanager
 from dataclasses import replace
 from datetime import timedelta
 from functools import lru_cache
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -425,6 +425,7 @@ def open_rolling_session(
     window_steps: int,
     max_windows: int | None = None,
     retain_windows: int | None = None,
+    resume_results: Sequence[SimulationResult] = (),
 ) -> RollingSession:
     """Open a :class:`~repro.sim.rolling.RollingSession` over a scenario.
 
@@ -442,6 +443,12 @@ def open_rolling_session(
     the provider's calendar covers. The total horizon is always known
     (``RollingSession.n_steps``), so the serving layer can reject
     overflow with a clean exhaustion error rather than mid-feed.
+
+    ``resume_results`` restarts the chain from a checkpoint: the banked
+    per-window results of a prior run over the *same* scenario and
+    window size, in window order. The provider resumes at window
+    ``len(resume_results)`` — the same calendar slice an uninterrupted
+    run would have reached — so re-fed demand routes bit-identically.
     """
     scenario = _resolve(scenario)
     if window_steps < 1:
@@ -473,6 +480,18 @@ def open_rolling_session(
     else:
         n_windows = n_available
 
+    if len(resume_results) >= n_windows:
+        raise ConfigurationError(
+            f"cannot resume: {len(resume_results)} banked window(s) leave nothing of "
+            f"the {n_windows}-window chain to serve"
+        )
+    for i, banked in enumerate(resume_results):
+        if banked.loads.shape[0] != window_steps:
+            raise ConfigurationError(
+                f"banked window {i} spans {banked.loads.shape[0]} step(s), but the "
+                f"chain's windows are {window_steps} steps — wrong checkpoint?"
+            )
+
     router = build_router(scenario)
 
     def window(index: int) -> RoutingSession | None:
@@ -493,6 +512,7 @@ def open_rolling_session(
         window,
         total_steps=n_windows * window_steps,
         retain_windows=retain_windows,
+        resume_results=resume_results,
     )
 
 

@@ -6,33 +6,60 @@ incremental :class:`~repro.sim.session.RoutingSession`:
 
 * :class:`~repro.serve.batcher.MicroBatcher` — coalesces concurrent
   requests into vectorised session feed calls inside a bounded
-  time/size window;
+  time/size window, refusing admission (``429``/``503``) once its
+  bounded queue fills or a drain begins;
 * :class:`~repro.serve.server.RoutingServer` — the long-lived asyncio
-  HTTP server (``/route``, ``/healthz``, ``/stats``);
+  HTTP server (``/route``, ``/healthz``, ``/stats``), with graceful
+  drain on stop;
 * :class:`~repro.serve.shard.ShardedServer` — ``--workers N`` worker
   processes sharding one port via ``SO_REUSEPORT``, publishing
-  counters to a shared :class:`~repro.serve.shard.ShardBoard`;
+  counters and heartbeats to a shared
+  :class:`~repro.serve.shard.ShardBoard`, supervised and respawned by
+  the parent when they die;
+* :mod:`~repro.serve.checkpoint` — park a rolling session's banked
+  windows in the artifact store on drain, resume them bit-identically
+  with ``repro serve --resume``;
 * :class:`~repro.serve.client.HttpClient` — the dependency-free
-  client the tests, smoke run, and serving benchmark share;
+  client the tests, smoke run, and serving benchmark share, with
+  opt-in ``Retry-After``-honouring retries;
 * :func:`~repro.serve.smoke.run_smoke` — the ``repro serve --smoke``
-  self-test CI boots on every push.
+  self-test CI boots on every push — and
+  :func:`~repro.serve.smoke.run_chaos`, the deterministic
+  fault-injection matrix behind ``--smoke --chaos``.
 
-See ``docs/serving.md`` for the API reference and tuning guide.
+See ``docs/serving.md`` for the API reference, tuning guide, and
+operations notes.
 """
 
-from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.batcher import (
+    BackpressureError,
+    BatcherStats,
+    MicroBatcher,
+    ServerDrainingError,
+)
+from repro.serve.checkpoint import (
+    SessionCheckpointSpec,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.serve.client import HttpClient
 from repro.serve.server import RoutingServer, ServerConfig
 from repro.serve.shard import ShardBoard, ShardedServer
-from repro.serve.smoke import run_smoke
+from repro.serve.smoke import run_chaos, run_smoke
 
 __all__ = [
+    "BackpressureError",
     "BatcherStats",
     "MicroBatcher",
+    "ServerDrainingError",
     "HttpClient",
     "RoutingServer",
     "ServerConfig",
     "ShardBoard",
     "ShardedServer",
+    "SessionCheckpointSpec",
+    "load_checkpoint",
+    "save_checkpoint",
     "run_smoke",
+    "run_chaos",
 ]

@@ -5,22 +5,64 @@ benchmark — all of which need many concurrent keep-alive connections
 without pulling in an HTTP dependency. One :class:`HttpClient` is one
 connection; requests on it are sequential (HTTP/1.1 without
 pipelining), concurrency comes from opening several clients.
+
+The client understands the server's backpressure protocol: with
+``max_retries`` set, a ``429``/``503`` response is retried after the
+server's ``Retry-After`` hint plus a jittered, capped exponential
+backoff, and a connection dropped mid-request (a shard dying under
+supervision) is transparently reconnected and retried. The jitter is
+drawn from a *seeded* generator so test runs replay deterministically;
+``retries_total`` counts every retry the client performed, which the
+serving benchmark records.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 
 __all__ = ["HttpClient"]
 
+#: Statuses that signal "try again later", per the backpressure design.
+_RETRYABLE_STATUSES = (429, 503)
+
 
 class HttpClient:
-    """One keep-alive connection to a :class:`~repro.serve.server.RoutingServer`."""
+    """One keep-alive connection to a :class:`~repro.serve.server.RoutingServer`.
 
-    def __init__(self, host: str, port: int) -> None:
+    Parameters
+    ----------
+    max_retries:
+        Retry budget per request for ``429``/``503`` responses and
+        dropped connections. ``0`` (default) preserves the raw
+        single-shot behaviour.
+    backoff_base_s / backoff_cap_s:
+        Exponential backoff per attempt (doubling from the base, capped),
+        added on top of any server-provided ``Retry-After``.
+    retry_seed:
+        Seed for the jitter applied to each backoff (a factor in
+        ``[0.5, 1.5)``), so retry schedules are deterministic in tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        retry_seed: int = 0,
+    ) -> None:
         self.host = host
         self.port = port
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._jitter = random.Random(retry_seed)
+        #: Retries performed across the client's lifetime (benchmarked).
+        self.retries_total = 0
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         # One in-flight request per connection: concurrent callers on
@@ -28,7 +70,13 @@ class HttpClient:
         self._lock = asyncio.Lock()
 
     async def __aenter__(self) -> HttpClient:
-        await self.connect()
+        try:
+            await self.connect()
+        except OSError:
+            if self.max_retries == 0:
+                raise
+            # Stay disconnected: request() establishes the connection
+            # under its retry budget.
         return self
 
     async def __aexit__(self, *exc: object) -> None:
@@ -46,16 +94,49 @@ class HttpClient:
                 pass
             self._reader = self._writer = None
 
+    def _backoff_s(self, attempt: int, retry_after: float | None) -> float:
+        backoff = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        jittered = backoff * (0.5 + self._jitter.random())
+        return (retry_after or 0.0) + jittered
+
     async def request(
         self, method: str, path: str, payload: dict | None = None
     ) -> tuple[int, dict]:
-        """One request/response round trip; returns ``(status, json_body)``."""
+        """One request/response round trip; returns ``(status, json_body)``.
+
+        With a retry budget, ``429``/``503`` and dropped connections
+        are retried with jittered exponential backoff (honouring the
+        server's ``Retry-After``); the budget exhausted, the last
+        response (or connection error) is surfaced as-is.
+        """
         async with self._lock:
-            return await self._request(method, path, payload)
+            attempt = 0
+            while True:
+                try:
+                    if self._reader is None:
+                        await self.connect()
+                    status, body, retry_after = await self._request(method, path, payload)
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    # The shard behind this connection died (or nothing
+                    # is listening yet mid-respawn). Back off and
+                    # reconnect — the kernel re-hashes us onto a live
+                    # shard; without a budget, the caller hears it raw.
+                    if attempt >= self.max_retries:
+                        raise
+                    self.retries_total += 1
+                    await self.close()
+                    await asyncio.sleep(self._backoff_s(attempt, None))
+                    attempt += 1
+                    continue
+                if status not in _RETRYABLE_STATUSES or attempt >= self.max_retries:
+                    return status, body
+                self.retries_total += 1
+                attempt += 1
+                await asyncio.sleep(self._backoff_s(attempt - 1, retry_after))
 
     async def _request(
         self, method: str, path: str, payload: dict | None = None
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict, float | None]:
         if self._reader is None or self._writer is None:
             raise RuntimeError("client is not connected")
         body = b"" if payload is None else json.dumps(payload).encode()
@@ -76,15 +157,27 @@ class HttpClient:
             raise ConnectionError(f"malformed status line {status_line!r}")
         status = int(parts[1])
         length = 0
+        retry_after: float | None = None
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 length = int(value.strip())
+            elif name == "retry-after":
+                try:
+                    retry_after = float(value.strip())
+                except ValueError:
+                    retry_after = None
         raw = await self._reader.readexactly(length) if length else b"{}"
-        return status, json.loads(raw)
+        payload_out = json.loads(raw)
+        # The body's fractional estimate beats the header's whole-second
+        # ceiling when both are present.
+        if isinstance(payload_out, dict) and "retry_after_s" in payload_out:
+            retry_after = float(payload_out["retry_after_s"])
+        return status, payload_out, retry_after
 
     async def route(self, demand, full: bool = False) -> dict:
         """POST one step of demand; returns the response body.

@@ -12,7 +12,9 @@ bodies — no framework, no new dependencies):
     request was routed at, the step's wall-clock, per-cluster loads
     and paid prices, and (with ``"full": true``) the whole
     state-by-cluster allocation matrix. ``400`` on malformed demand,
-    ``409`` once the session horizon is exhausted.
+    ``409`` once the session horizon is exhausted, ``429`` (with a
+    computed ``Retry-After``) when the bounded queue refuses admission,
+    ``503`` while the server drains toward shutdown.
 ``GET /healthz``
     Liveness + horizon progress (and the shard index when sharded).
 ``GET /stats``
@@ -41,11 +43,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import (
+    DEFAULT_MAX_QUEUE,
+    BackpressureError,
+    MicroBatcher,
+    ServerDrainingError,
+)
 from repro.sim.rolling import RollingSession
 from repro.sim.session import RoutingSession, SessionExhaustedError
 
@@ -68,16 +76,30 @@ class ServerConfig:
     reuse_port: bool = False
     shard_index: int = 0
     n_shards: int = 1
+    #: Admission bound on the batcher queue; ``None`` unbounds it.
+    max_queue: int | None = DEFAULT_MAX_QUEUE
+    #: Seconds a graceful :meth:`RoutingServer.stop` waits for
+    #: in-flight requests before failing whatever remains.
+    drain_deadline_s: float = 5.0
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str, *, close: bool = False) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        close: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         #: The connection cannot be kept alive after this error (the
         #: request body was never consumed, so framing is lost).
         self.close = close
+        #: Seconds for a ``Retry-After`` header (429/503 responses).
+        self.retry_after = retry_after
 
 
 class RoutingServer:
@@ -93,7 +115,10 @@ class RoutingServer:
         self.config = config or ServerConfig()
         self.session = session
         self.batcher = MicroBatcher(
-            session, window_ms=self.config.window_ms, max_batch=self.config.max_batch
+            session,
+            window_ms=self.config.window_ms,
+            max_batch=self.config.max_batch,
+            max_queue=self.config.max_queue,
         )
         #: Optional :class:`~repro.serve.shard.ShardBoard` this server
         #: publishes its counters to (sharded deployments only).
@@ -117,12 +142,27 @@ class RoutingServer:
         )
         self._publish()
 
-    async def stop(self) -> None:
+    async def stop(self, *, drain: bool = False) -> bool:
+        """Stop the server; returns ``True`` when nothing was dropped.
+
+        With ``drain=True`` (the graceful path, used on SIGTERM) the
+        listener closes first so no new connections land, the batcher
+        refuses new admissions with ``503``, and in-flight requests run
+        to completion under ``config.drain_deadline_s``; whatever the
+        deadline strands is failed with a clean shutdown error. With
+        ``drain=False`` every unresolved request is failed immediately.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.batcher.stop()
+        if drain:
+            drained = await self.batcher.drain(self.config.drain_deadline_s)
+        else:
+            await self.batcher.stop()
+            drained = True
+        self._publish()
+        return drained
 
     async def serve_forever(self) -> None:
         """Start (if needed) and block until cancelled."""
@@ -163,11 +203,18 @@ class RoutingServer:
                 except _HttpError as exc:
                     status, payload = exc.status, {"error": exc.message}
                     must_close = exc.close
+                    retry_after = exc.retry_after
+                    if retry_after is not None:
+                        payload["retry_after_s"] = retry_after
+                else:
+                    retry_after = None
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                     and not must_close
                 )
-                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                await self._respond(
+                    writer, status, payload, keep_alive=keep_alive, retry_after=retry_after
+                )
                 if not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError):
@@ -185,6 +232,7 @@ class RoutingServer:
         status: int,
         payload: dict,
         keep_alive: bool = False,
+        retry_after: float | None = None,
     ) -> None:
         reasons = {
             200: "OK",
@@ -193,14 +241,24 @@ class RoutingServer:
             405: "Method Not Allowed",
             409: "Conflict",
             413: "Payload Too Large",
+            429: "Too Many Requests",
             431: "Request Header Fields Too Large",
             500: "Internal Server Error",
+            503: "Service Unavailable",
         }
+        # Retry-After must be a whole number of seconds on the wire
+        # (RFC 9110); the fractional estimate rides in the JSON body.
+        extra = (
+            f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
+            if retry_after is not None
+            else ""
+        )
         body = json.dumps(payload).encode()
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         ).encode()
@@ -239,7 +297,7 @@ class RoutingServer:
 
     def _healthz(self) -> dict:
         payload = {
-            "status": "ok",
+            "status": "draining" if self.batcher.draining else "ok",
             "steps_fed": self.session.steps_fed,
             "steps_remaining": self.session.steps_remaining,
             "exhausted": self.session.exhausted,
@@ -256,13 +314,18 @@ class RoutingServer:
             "batches_total": stats.batches_total,
             "batch_size_max": stats.batch_size_max,
             "batch_size_mean": stats.batch_size_mean,
+            "batch_rows_total": stats.batch_rows_total,
             "rejected_total": stats.rejected_total,
+            "rejected_backpressure_total": stats.rejected_backpressure_total,
             "errors_total": stats.errors_total,
             "cancelled_total": stats.cancelled_total,
+            "queue_depth": self.batcher.queue_depth,
+            "draining": self.batcher.draining,
             "steps_fed": self.session.steps_fed,
             "steps_remaining": self.session.steps_remaining,
             "window_ms": self.config.window_ms,
             "max_batch": self.config.max_batch,
+            "max_queue": self.config.max_queue,
             "scenario": self.config.scenario,
             "n_states": len(self.session.state_codes),
             "clusters": list(self.session.cluster_labels),
@@ -272,6 +335,7 @@ class RoutingServer:
         if self.board is not None:
             self._publish()
             payload["shards"] = self.board.aggregate()
+            payload["per_shard"] = self.board.per_shard()
         return payload
 
     def _parse_demand(self, raw: object) -> np.ndarray:
@@ -305,8 +369,19 @@ class RoutingServer:
         row = self._parse_demand(payload["demand"])
         try:
             step, allocation = await self.batcher.route(row)
+        except ServerDrainingError as exc:
+            raise _HttpError(503, str(exc), retry_after=exc.retry_after_s) from exc
+        except BackpressureError as exc:
+            raise _HttpError(429, str(exc), retry_after=exc.retry_after_s) from exc
         except SessionExhaustedError as exc:
             raise _HttpError(409, str(exc)) from exc
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # An engine/provider failure (e.g. an injected fault) fails
+            # this request with a 500 — it must not kill the connection
+            # handler and strand every other request on the socket.
+            raise _HttpError(500, f"{type(exc).__name__}: {exc}") from exc
 
         loads = allocation.sum(axis=0)
         labels = self.session.cluster_labels

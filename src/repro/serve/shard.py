@@ -1,4 +1,4 @@
-"""Sharded serving: worker processes behind one listening port.
+"""Sharded serving: supervised worker processes behind one listening port.
 
 One asyncio server is single-core by construction. To scale the
 serving path across cores, :class:`ShardedServer` runs ``N`` worker
@@ -13,19 +13,27 @@ locking anywhere on the request path.
 What *is* shared is observability: a :class:`ShardBoard` — one
 ``multiprocessing.shared_memory`` block of per-shard int64 counter
 rows — that every shard publishes its batcher counters into after
-each request. Any shard's ``/stats`` response then carries a
-``"shards"`` aggregate summed across the whole group, so a load
-balancer (or the benchmark) can read group totals from whichever
-shard its connection landed on. The board is also the readiness
-signal: a worker flips its ``ready`` cell after its socket is bound,
-and the parent's :meth:`ShardedServer.wait_ready` polls for all of
-them.
+each request *and* on a periodic heartbeat. Any shard's ``/stats``
+response then carries a ``"shards"`` aggregate summed across the
+whole group plus per-shard liveness, so a load balancer (or the
+benchmark) can read group totals from whichever shard its connection
+landed on. The board is also the readiness signal: a worker flips its
+``ready`` cell after its socket is bound, and the parent's
+:meth:`ShardedServer.wait_ready` polls for all of them — failing fast
+with the dead shard's id if a worker dies during startup.
 
 The parent reserves the port with a bound-but-not-listening
 ``SO_REUSEPORT`` socket (resolving ``port=0`` before any worker
 spawns; a non-listening socket never receives connections), starts
-workers through the ``spawn`` context, and stops them with
-``SIGTERM`` → join → kill.
+workers through the ``spawn`` context, and then **supervises** them:
+a monitor thread detects dead workers (exitcode first, heartbeat
+staleness as the tell for a wedged-but-alive process) and respawns
+any worker that had previously become ready, under capped exponential
+backoff. Workers that die *before* ever becoming ready are left for
+``wait_ready`` to report — a misconfigured scenario must fail loudly,
+not respawn in a loop. Shutdown is graceful: SIGTERM lets each worker
+drain its in-flight requests (and checkpoint its rolling session when
+configured) before the parent escalates to kill.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ import multiprocessing
 import os
 import signal
 import socket
+import threading
 import time
 
 import numpy as np
@@ -44,6 +53,9 @@ from repro.errors import ConfigurationError
 __all__ = ["ShardBoard", "ShardedServer"]
 
 #: Per-shard counter row published to the shared board, in order.
+#: ``heartbeat_ns`` is the worker's last publish (wall clock, ns);
+#: ``restarts`` is written by the *parent* supervisor, never by the
+#: worker, so a respawn survives the fresh worker's first publish.
 BOARD_FIELDS = (
     "ready",
     "steps_fed",
@@ -52,17 +64,36 @@ BOARD_FIELDS = (
     "batch_rows_total",
     "batch_size_max",
     "rejected_total",
+    "rejected_backpressure_total",
     "errors_total",
     "cancelled_total",
+    "heartbeat_ns",
+    "restarts",
 )
+
+_HEARTBEAT_COL = BOARD_FIELDS.index("heartbeat_ns")
+_RESTARTS_COL = BOARD_FIELDS.index("restarts")
+#: Counter fields summed by :meth:`ShardBoard.aggregate` (liveness and
+#: heartbeat columns are reduced separately).
+_SUM_FIELDS = tuple(
+    f for f in BOARD_FIELDS[1:] if f not in ("heartbeat_ns", "restarts")
+)
+
+#: How often a worker re-publishes its row with a fresh heartbeat even
+#: when no requests arrive.
+HEARTBEAT_INTERVAL_S = 0.5
+#: A ready shard whose last publish is older than this is flagged
+#: stale: its process may be alive but its event loop is not turning.
+STALE_AFTER_S = 3.0
 
 
 class ShardBoard:
     """A shared-memory matrix of per-shard serving counters.
 
     ``(n_shards, len(BOARD_FIELDS))`` int64 cells. Each shard writes
-    only its own row (no locking needed: a row is owned by one
-    process, and readers tolerate tearing between rows — the counters
+    only its own row — except the ``restarts`` column, owned by the
+    supervising parent — so no locking is needed: every cell has one
+    writer, and readers tolerate tearing between rows (the counters
     are monotone).
     """
 
@@ -90,8 +121,8 @@ class ShardBoard:
         return self._shm.name
 
     def publish(self, shard: int, stats, steps_fed: int) -> None:
-        """Publish one shard's batcher counters (and mark it ready)."""
-        self._cells[shard] = (
+        """Publish one shard's counters, mark it ready, beat its heart."""
+        self._cells[shard, :_HEARTBEAT_COL] = (
             1,
             steps_fed,
             stats.requests_total,
@@ -99,31 +130,68 @@ class ShardBoard:
             stats.batch_rows_total,
             stats.batch_size_max,
             stats.rejected_total,
+            stats.rejected_backpressure_total,
             stats.errors_total,
             stats.cancelled_total,
         )
+        self._cells[shard, _HEARTBEAT_COL] = time.time_ns()
+
+    def record_restart(self, shard: int) -> None:
+        """Parent-side: count one supervisor respawn of ``shard``."""
+        self._cells[shard, _RESTARTS_COL] += 1
+
+    def clear_shard(self, shard: int) -> None:
+        """Parent-side: zero a dead shard's row (restart count survives)."""
+        self._cells[shard, :_RESTARTS_COL] = 0
 
     def ready_count(self) -> int:
         return int(self._cells[:, 0].sum())
 
-    def aggregate(self) -> dict:
-        """Group totals across every shard (sums; max of the maxima)."""
+    def _ages_s(self, cells: np.ndarray) -> np.ndarray:
+        now = time.time_ns()
+        return np.maximum(now - cells[:, _HEARTBEAT_COL], 0) / 1e9
+
+    def aggregate(self, *, stale_after_s: float = STALE_AFTER_S) -> dict:
+        """Group totals across every shard (sums; max of the maxima).
+
+        A shard counts as *stale* when it is marked ready but has not
+        published within ``stale_after_s`` — its counters are frozen,
+        and ``workers_stale``/``stale_shards`` call that out rather
+        than letting the aggregate silently stop moving.
+        """
         cells = self._cells.copy()
+        ages = self._ages_s(cells)
+        stale = [
+            s
+            for s in range(self.n_shards)
+            if cells[s, 0] and ages[s] > stale_after_s
+        ]
         out = {"workers": self.n_shards, "workers_ready": int(cells[:, 0].sum())}
-        for i, field in enumerate(BOARD_FIELDS[1:], start=1):
+        for field in _SUM_FIELDS:
+            i = BOARD_FIELDS.index(field)
             reduce = max if field == "batch_size_max" else sum
             out[field] = int(reduce(int(v) for v in cells[:, i]))
         out["batch_size_mean"] = (
             out["batch_rows_total"] / out["batches_total"] if out["batches_total"] else 0.0
         )
+        out["restarts_total"] = int(cells[:, _RESTARTS_COL].sum())
+        out["workers_stale"] = len(stale)
+        out["stale_shards"] = stale
         return out
 
-    def per_shard(self) -> list[dict]:
+    def per_shard(self, *, stale_after_s: float = STALE_AFTER_S) -> list[dict]:
+        """One row per shard, with liveness annotations."""
         cells = self._cells.copy()
-        return [
-            {field: int(cells[s, i]) for i, field in enumerate(BOARD_FIELDS)}
-            for s in range(self.n_shards)
-        ]
+        ages = self._ages_s(cells)
+        rows = []
+        for s in range(self.n_shards):
+            row = {field: int(cells[s, i]) for i, field in enumerate(BOARD_FIELDS)}
+            row["stale"] = bool(row["ready"] and ages[s] > stale_after_s)
+            row["heartbeat_age_ms"] = (
+                round(float(ages[s]) * 1000.0, 1) if row["ready"] else None
+            )
+            rows.append(row)
+        return rows
 
     def close(self, *, unlink: bool = False) -> None:
         del self._cells
@@ -172,6 +240,18 @@ class ShardedServer:
         :func:`~repro.scenarios.open_rolling_session` chain of
         billing windows of that many steps instead of a single
         fixed-horizon session.
+    max_queue / drain_deadline_s:
+        Per-shard admission bound and graceful-drain deadline,
+        forwarded into each worker's ``ServerConfig``.
+    supervise:
+        Respawn workers that die after becoming ready (capped
+        exponential backoff from ``backoff_base_s`` to
+        ``backoff_cap_s``). Workers that die during startup are never
+        respawned — :meth:`wait_ready` reports them instead.
+    checkpoint / resume / store_dir:
+        Rolling shards only: drain-and-checkpoint each shard's session
+        to the artifact store at ``store_dir`` on SIGTERM, and/or
+        resume from the store at startup.
     """
 
     def __init__(
@@ -188,12 +268,24 @@ class ShardedServer:
         rolling_window: int | None = None,
         max_windows: int | None = None,
         provider: str | None = None,
+        max_queue: int | None = None,
+        drain_deadline_s: float = 5.0,
+        supervise: bool = True,
+        backoff_base_s: float = 0.5,
+        backoff_cap_s: float = 10.0,
+        checkpoint: bool = False,
+        resume: bool = False,
+        store_dir: str | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
         if not reuse_port_supported():
             raise ConfigurationError(
                 "sharded serving needs SO_REUSEPORT, which this platform lacks"
+            )
+        if (checkpoint or resume) and rolling_window is None:
+            raise ConfigurationError(
+                "checkpoint/resume need a rolling session (set rolling_window)"
             )
         self.scenario_name = scenario_name
         self.workers = int(workers)
@@ -206,16 +298,46 @@ class ShardedServer:
         self.rolling_window = rolling_window
         self.max_windows = max_windows
         self.provider = provider
+        self.max_queue = max_queue
+        self.drain_deadline_s = drain_deadline_s
+        self.supervise = supervise
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.store_dir = store_dir
         self.port: int | None = None
         self.board: ShardBoard | None = None
         self._reserve: socket.socket | None = None
         self._procs: list[multiprocessing.Process] = []
+        self._options: dict = {}
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._monitor: threading.Thread | None = None
+        #: Shards that have been observed ready at least once — the
+        #: supervisor's respawn eligibility set.
+        self._ever_ready: set[int] = set()
+        #: Consecutive respawns per shard since it last looked healthy.
+        self._backoff_n: dict[int, int] = {}
+        self._restarts: dict[int, int] = {}
+
+    @property
+    def pids(self) -> list[int | None]:
+        """Current worker pids, by shard index."""
+        with self._lock:
+            return [proc.pid for proc in self._procs]
+
+    @property
+    def restarts(self) -> dict[int, int]:
+        """Supervisor respawn counts, by shard index."""
+        return dict(self._restarts)
 
     def start(self) -> None:
         self._reserve, self.port = _reserve_port(self.host, self._requested_port)
         self.board = ShardBoard(self.workers)
-        ctx = multiprocessing.get_context("spawn")
-        options = {
+        self._stop_event.clear()
+        self._options = {
             "host": self.host,
             "port": self.port,
             "window_ms": self.window_ms,
@@ -227,26 +349,102 @@ class ShardedServer:
             "rolling_window": self.rolling_window,
             "max_windows": self.max_windows,
             "provider": self.provider,
+            "max_queue": self.max_queue,
+            "drain_deadline_s": self.drain_deadline_s,
+            "checkpoint": self.checkpoint,
+            "resume": self.resume,
+            "store_dir": self.store_dir,
         }
         for shard in range(self.workers):
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(self.scenario_name, shard, options),
-                daemon=True,
+            self._procs.append(self._spawn(shard))
+        if self.supervise:
+            self._monitor = threading.Thread(
+                target=self._supervise, name="shard-supervisor", daemon=True
             )
-            proc.start()
-            self._procs.append(proc)
+            self._monitor.start()
+
+    def _spawn(self, shard: int) -> multiprocessing.Process:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.scenario_name, shard, self._options),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    # -- supervision -----------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Monitor loop: respawn ready-then-dead workers with backoff.
+
+        Runs in a parent thread until :meth:`stop`. A worker is only
+        eligible for respawn once it has been observed ready — a
+        worker that cannot even start must surface as a
+        ``wait_ready`` failure, not flap forever. Each respawn clears
+        the shard's board row (so staleness and readiness restart
+        from scratch) and bumps its ``restarts`` cell; backoff doubles
+        per consecutive respawn and resets once the replacement
+        becomes ready again.
+        """
+        while not self._stop_event.wait(0.1):
+            board = self.board
+            if board is None:
+                return
+            for shard in range(self.workers):
+                with self._lock:
+                    if shard >= len(self._procs):
+                        continue
+                    proc = self._procs[shard]
+                alive = proc.is_alive()
+                # The board's ready cell is the worker's own durable
+                # declaration — it survives the worker's death (until a
+                # respawn clears the row), so even a worker that crashes
+                # before the first supervision poll stays eligible.
+                ready = bool(board._cells[shard, 0])
+                if ready:
+                    self._ever_ready.add(shard)
+                if alive:
+                    if ready:
+                        self._backoff_n[shard] = 0
+                    continue
+                if shard not in self._ever_ready:
+                    continue
+                n = self._backoff_n.get(shard, 0)
+                delay = min(self.backoff_cap_s, self.backoff_base_s * (2**n))
+                if self._stop_event.wait(delay):
+                    return
+                with self._lock:
+                    if (
+                        self._stop_event.is_set()
+                        or shard >= len(self._procs)
+                        or self._procs[shard] is not proc
+                    ):
+                        continue
+                    proc.join(timeout=0)
+                    board.clear_shard(shard)
+                    board.record_restart(shard)
+                    self._backoff_n[shard] = n + 1
+                    self._restarts[shard] = self._restarts.get(shard, 0) + 1
+                    self._procs[shard] = self._spawn(shard)
 
     def wait_ready(self, timeout: float = 60.0) -> None:
-        """Block until every shard has bound its socket and published."""
+        """Block until every shard has bound its socket and published.
+
+        Fails fast — naming the dead shard — when a worker exits
+        before ever publishing readiness, instead of burning the whole
+        timeout on a startup that can never complete.
+        """
         assert self.board is not None
         deadline = time.monotonic() + timeout
         while self.board.ready_count() < self.workers:
-            for proc in self._procs:
-                if not proc.is_alive():
+            with self._lock:
+                procs = list(self._procs)
+            for shard, proc in enumerate(procs):
+                if not proc.is_alive() and not self.board._cells[shard, 0]:
+                    exitcode = proc.exitcode
                     self.stop()
                     raise RuntimeError(
-                        f"shard worker pid={proc.pid} exited with {proc.exitcode} "
+                        f"shard {shard} (pid={proc.pid}) exited with {exitcode} "
                         "before becoming ready"
                     )
             if time.monotonic() > deadline:
@@ -254,16 +452,35 @@ class ShardedServer:
                 raise TimeoutError(f"shards not ready within {timeout}s")
             time.sleep(0.05)
 
+    def wait_restarted(self, shard: int, *, timeout: float = 30.0) -> None:
+        """Block until ``shard``'s replacement worker is ready again."""
+        assert self.board is not None
+        deadline = time.monotonic() + timeout
+        while not self.board._cells[shard, 0]:
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"shard {shard} not respawned within {timeout}s")
+            time.sleep(0.05)
+
     def stop(self, timeout: float = 10.0) -> None:
-        for proc in self._procs:
+        self._stop_event.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
+            self._monitor = None
+        with self._lock:
+            procs = list(self._procs)
+        for proc in procs:
             if proc.is_alive() and proc.pid is not None:
                 os.kill(proc.pid, signal.SIGTERM)
-        for proc in self._procs:
-            proc.join(timeout=timeout)
+        # The join deadline must outlive a worker's graceful drain, or
+        # the parent kills shards mid-checkpoint.
+        join_s = max(timeout, self.drain_deadline_s + 5.0)
+        for proc in procs:
+            proc.join(timeout=join_s)
             if proc.is_alive():
                 proc.kill()
                 proc.join(timeout=timeout)
-        self._procs = []
+        with self._lock:
+            self._procs = []
         if self.board is not None:
             self.board.close(unlink=True)
             self.board = None
@@ -287,9 +504,27 @@ def _worker_main(scenario_name: str, shard: int, options: dict) -> None:
 
 
 async def _worker_serve(scenario_name: str, shard: int, options: dict) -> None:
-    from repro import scenarios
+    from repro import artifacts, scenarios
+    from repro.faults import FaultPlan, wrap_session
     from repro.scenarios.runner import provider_override
+    from repro.serve.checkpoint import (
+        SessionCheckpointSpec,
+        resume_results,
+        save_checkpoint,
+    )
     from repro.serve.server import RoutingServer, ServerConfig
+
+    store = None
+    ckpt_spec = None
+    if options.get("store_dir") and (options.get("checkpoint") or options.get("resume")):
+        artifacts.configure(options["store_dir"])
+        store = artifacts.get_store()
+        ckpt_spec = SessionCheckpointSpec(
+            scenario=scenario_name,
+            window_steps=int(options["rolling_window"]),
+            shard_index=shard,
+            n_shards=int(options["n_shards"]),
+        )
 
     spec = None
     if options.get("provider"):
@@ -299,13 +534,24 @@ async def _worker_serve(scenario_name: str, shard: int, options: dict) -> None:
     with provider_override(spec):
         scenario = scenarios.get(scenario_name)
         if options["rolling_window"] is not None:
+            banked = (
+                resume_results(store, ckpt_spec, resume=bool(options.get("resume")))
+                if ckpt_spec is not None
+                else ()
+            )
             session = scenarios.open_rolling_session(
                 scenario,
                 window_steps=options["rolling_window"],
                 max_windows=options["max_windows"],
+                resume_results=banked,
             )
         else:
             session = scenarios.open_session(scenario, n_steps=options["session_steps"])
+
+    # An armed fault plan (REPRO_FAULTS in the spawn snapshot) wraps the
+    # session; unaffected shards get the bare session back.
+    roller = session
+    session = wrap_session(session, FaultPlan.from_env(), shard=shard)
 
     board = ShardBoard(options["n_shards"], name=options["board_name"])
     config_kwargs = {
@@ -317,7 +563,14 @@ async def _worker_serve(scenario_name: str, shard: int, options: dict) -> None:
         "reuse_port": True,
         "shard_index": shard,
         "n_shards": options["n_shards"],
+        "drain_deadline_s": options.get("drain_deadline_s", 5.0),
     }
+    # None means "ServerConfig's default bound"; zero/negative means
+    # explicitly unbounded.
+    if options.get("max_queue") is not None:
+        config_kwargs["max_queue"] = (
+            options["max_queue"] if options["max_queue"] > 0 else None
+        )
     if options["max_body_bytes"] is not None:
         config_kwargs["max_body_bytes"] = options["max_body_bytes"]
     server = RoutingServer(session, ServerConfig(**config_kwargs), board=board)
@@ -327,8 +580,20 @@ async def _worker_serve(scenario_name: str, shard: int, options: dict) -> None:
     for sig in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(sig, stop.set)
     await server.start()
+
+    async def heartbeat() -> None:
+        while True:
+            await asyncio.sleep(HEARTBEAT_INTERVAL_S)
+            server._publish()
+
+    beat = loop.create_task(heartbeat())
     try:
         await stop.wait()
     finally:
-        await server.stop()
+        beat.cancel()
+        # Graceful exit: refuse new work with 503, finish what is in
+        # flight under the deadline, then checkpoint the banked chain.
+        await server.stop(drain=True)
+        if store is not None and ckpt_spec is not None and options.get("checkpoint"):
+            save_checkpoint(store, ckpt_spec, roller)
         board.close()

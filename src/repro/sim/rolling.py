@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from datetime import datetime
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -70,6 +70,17 @@ class RollingSession:
         :class:`SimulationResult`, far smaller, is always retained —
         see :meth:`results`). ``None`` keeps every window; a bounded
         value keeps a truly long-lived server's memory flat.
+    resume_results:
+        Banked per-window :class:`SimulationResult`\\ s from a prior
+        run of the *same* chain, in window order. The roller resumes
+        at the first un-banked window boundary: the provider is first
+        called with ``len(resume_results)``, global step indices
+        continue where the banked windows left off, and the resumed
+        windows' results are folded into :meth:`results` — so a
+        checkpoint-restart serves allocations bit-identical to a run
+        that was never interrupted (each window is deterministic given
+        its demand, and demand past the last banked boundary is
+        re-fed live).
     """
 
     def __init__(
@@ -78,6 +89,7 @@ class RollingSession:
         *,
         total_steps: int | None = None,
         retain_windows: int | None = None,
+        resume_results: Sequence[SimulationResult] = (),
     ) -> None:
         if total_steps is not None and total_steps < 1:
             raise ConfigurationError("total_steps must be positive when declared")
@@ -86,12 +98,21 @@ class RollingSession:
         self._provider = windows
         self._total_steps = total_steps
         self._retain = retain_windows
+        #: Windows (and steps) completed before this process started —
+        #: the checkpoint the chain resumes from.
+        self._window_offset = len(resume_results)
+        self._step_offset = sum(r.loads.shape[0] for r in resume_results)
+        if self._total_steps is not None and self._step_offset >= self._total_steps:
+            raise ConfigurationError(
+                f"cannot resume past the declared horizon: {self._step_offset} banked "
+                f"step(s) vs {self._total_steps} total"
+            )
         self._sessions: list[RoutingSession | None] = []
         self._origins: list[int] = []  # global start step of each fetched window
         self._lengths: list[int] = []
-        self._results: list[SimulationResult] = []
+        self._results: list[SimulationResult] = list(resume_results)
         self._active = 0  # index of the first unexhausted fetched window
-        self._fed = 0
+        self._fed = self._step_offset
         self._dry = False
         if self._fetch_next() is None:
             raise ConfigurationError("rolling session provider yielded no first window")
@@ -123,7 +144,7 @@ class RollingSession:
         """Pull one more window from the provider, validating the chain."""
         if self._dry:
             return None
-        index = len(self._sessions)
+        index = self._window_offset + len(self._sessions)
         session = self._provider(index)
         if session is None:
             self._dry = True
@@ -132,7 +153,7 @@ class RollingSession:
             raise ConfigurationError(
                 f"rolling window {index} arrived with {session.steps_fed} steps already fed"
             )
-        if index > 0:
+        if self._origins:
             if session.state_codes != self._state_codes:
                 raise ConfigurationError(f"rolling window {index} changed the state order")
             if session.cluster_labels != self._cluster_labels:
@@ -148,7 +169,7 @@ class RollingSession:
                     f"rolling window {index} is not contiguous: starts {session.clock(0)}, "
                     f"previous window ends {expected}"
                 )
-        origin = (self._origins[-1] + self._lengths[-1]) if self._origins else 0
+        origin = (self._origins[-1] + self._lengths[-1]) if self._origins else self._step_offset
         self._sessions.append(session)
         self._origins.append(origin)
         self._lengths.append(session.n_steps)
@@ -200,7 +221,7 @@ class RollingSession:
         if self._total_steps is not None:
             return self._total_steps - self._fed
         if self._dry:
-            return sum(self._lengths) - self._fed
+            return self._step_offset + sum(self._lengths) - self._fed
         return None
 
     @property
@@ -211,12 +232,25 @@ class RollingSession:
 
     @property
     def window_index(self) -> int:
-        """Index of the window the next step lands in."""
-        return self._active
+        """Index of the window the next step lands in (chain-absolute)."""
+        return self._window_offset + self._active
 
     @property
     def windows_completed(self) -> int:
+        """Completed windows, including any the chain resumed with."""
         return len(self._results)
+
+    def checkpoint_state(self) -> dict:
+        """Where a restart can resume from: the last banked boundary.
+
+        Steps fed past that boundary (the partially-filled active
+        window) are *not* recoverable — a resumed chain re-serves them
+        live, which the per-window determinism makes bit-identical.
+        """
+        return {
+            "windows_completed": len(self._results),
+            "steps_banked": self._step_offset + sum(self._lengths[: self._active]),
+        }
 
     @property
     def tracker(self) -> Bandwidth95Tracker | None:
@@ -237,11 +271,12 @@ class RollingSession:
     def _locate(self, step: int, *, end_inclusive: bool) -> tuple[RoutingSession, int]:
         """Map a global step to its (materialised) window and local index."""
         t = int(step)
-        total = sum(self._lengths)
+        total = self._step_offset + sum(self._lengths)
         end = total if end_inclusive else total - 1
-        if not 0 <= t <= end:
+        if not self._step_offset <= t <= end:
             raise ConfigurationError(
-                f"step {step} is outside the materialised rolling horizon [0, {end}]"
+                f"step {step} is outside the materialised rolling horizon "
+                f"[{self._step_offset}, {end}]"
             )
         index = min(bisect_right(self._origins, t) - 1, len(self._sessions) - 1)
         session = self._sessions[index]

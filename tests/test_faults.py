@@ -1,0 +1,437 @@
+"""Deterministic fault injection: plans, the session wrapper, chaos legs.
+
+The replay contract under test: every fault trigger is a pure function
+of ``(plan.seed, fault, step)``, so a plan fires the same faults at the
+same cumulative steps no matter how the micro-batcher slices the load —
+and the steps that *are* served stay bit-identical to an offline replay.
+The server-level tests pin the backpressure half of the chaos matrix:
+saturation yields 429s whose stats buckets reconcile, and an exceeded
+drain deadline fails stragglers cleanly instead of stranding them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ENV_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    FaultySession,
+    InjectedFaultError,
+    wrap_session,
+)
+from repro.serve import HttpClient, RoutingServer, ServerConfig
+
+SCENARIO = "serve-smoke"
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class _FakeSession:
+    """The minimal feeding interface, with call-shape bookkeeping."""
+
+    def __init__(self) -> None:
+        self.steps_fed = 0
+        self.batch_sizes: list[int] = []
+
+    def feed(self, demand):
+        rows = np.atleast_2d(np.asarray(demand, dtype=float))
+        self.batch_sizes.append(rows.shape[0])
+        self.steps_fed += rows.shape[0]
+        return rows * 2.0
+
+
+# -- specs and plans -----------------------------------------------------------
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ConfigurationError, match="unknown fault kind"):
+        FaultSpec(kind="meteor_strike", step=0)
+    # Session kinds need exactly one schedule.
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        FaultSpec(kind="provider_error")
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        FaultSpec(kind="provider_error", step=1, every=2)
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        FaultSpec(kind="crash_at_step", step=-1)
+    with pytest.raises(ConfigurationError, match="at least 1"):
+        FaultSpec(kind="provider_delay", every=0, delay_ms=1.0)
+    with pytest.raises(ConfigurationError, match="probability"):
+        FaultSpec(kind="provider_error", probability=1.5)
+    with pytest.raises(ConfigurationError, match="delay_ms"):
+        FaultSpec(kind="provider_delay", step=0, delay_ms=-1.0)
+    # Client-side kinds are schedule-free.
+    FaultSpec(kind="slow_client", delay_ms=10.0)
+    FaultSpec(kind="abort_client")
+
+
+def test_fires_at_is_a_pure_function_of_seed_and_step():
+    once = FaultSpec(kind="provider_error", step=7)
+    assert [once.fires_at(t, seed=1) for t in range(10)] == [t == 7 for t in range(10)]
+
+    periodic = FaultSpec(kind="provider_delay", every=3, delay_ms=1.0)
+    assert [t for t in range(10) if periodic.fires_at(t, seed=1)] == [0, 3, 6, 9]
+
+    coin = FaultSpec(kind="provider_error", probability=0.3)
+    draws = [coin.fires_at(t, seed=42) for t in range(400)]
+    # Deterministic replay: the same (seed, step) pairs fire identically.
+    assert draws == [coin.fires_at(t, seed=42) for t in range(400)]
+    # A different seed is a different schedule (with p=0.3 over 400
+    # steps, collision of the full vectors is impossible in practice).
+    assert draws != [coin.fires_at(t, seed=43) for t in range(400)]
+    assert 0.15 < sum(draws) / len(draws) < 0.45
+
+
+def test_plan_round_trips_through_json_and_env():
+    plan = FaultPlan(
+        seed=99,
+        faults=(
+            FaultSpec(kind="provider_delay", every=2, delay_ms=5.0, shard=1),
+            FaultSpec(kind="crash_at_step", step=11),
+            FaultSpec(kind="abort_client"),
+        ),
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+    environ: dict[str, str] = {}
+    plan.to_env(environ)
+    assert ENV_FAULTS in environ
+    assert FaultPlan.from_env(environ) == plan
+    FaultPlan.clear_env(environ)
+    assert FaultPlan.from_env(environ) is None
+
+    with pytest.raises(ConfigurationError, match="malformed fault plan"):
+        FaultPlan.from_json("{not json")
+    # A structurally valid plan carrying an invalid spec surfaces the
+    # spec's own validation error.
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        FaultPlan.from_json('{"faults": [{"kind": "provider_error"}]}')
+
+
+def test_plan_selects_faults_by_shard_and_side():
+    everywhere = FaultSpec(kind="provider_delay", every=1, delay_ms=1.0)
+    only_one = FaultSpec(kind="crash_at_step", step=3, shard=1)
+    client_side = FaultSpec(kind="slow_client", delay_ms=10.0)
+    plan = FaultPlan(seed=0, faults=(everywhere, only_one, client_side))
+
+    assert plan.session_faults(shard=0) == (everywhere,)
+    assert plan.session_faults(shard=1) == (everywhere, only_one)
+    assert plan.client_faults() == (client_side,)
+
+
+def test_wrap_session_is_identity_when_nothing_applies():
+    session = _FakeSession()
+    assert wrap_session(session, None) is session
+    client_only = FaultPlan(seed=0, faults=(FaultSpec(kind="abort_client"),))
+    assert wrap_session(session, client_only) is session
+    other_shard = FaultPlan(
+        seed=0, faults=(FaultSpec(kind="crash_at_step", step=0, shard=3),)
+    )
+    assert wrap_session(session, other_shard, shard=0) is session
+    assert isinstance(wrap_session(session, other_shard, shard=3), FaultySession)
+
+
+# -- the session wrapper -------------------------------------------------------
+
+
+def test_injected_error_fires_once_and_consumes_no_step():
+    session = _FakeSession()
+    plan = FaultPlan(seed=5, faults=(FaultSpec(kind="provider_error", step=2),))
+    faulty = wrap_session(session, plan)
+    rows = np.arange(12.0).reshape(4, 3)
+
+    faulty.feed(rows[:2])
+    assert session.steps_fed == 2
+    # The batch carrying step 2 is poisoned before the engine runs...
+    with pytest.raises(InjectedFaultError, match="step 2"):
+        faulty.feed(rows[2:])
+    assert session.steps_fed == 2  # ...and consumed nothing.
+    # One-shot: the retried batch routes clean, bit-identical rows.
+    out = faulty.feed(rows[2:])
+    assert session.steps_fed == 4
+    assert np.array_equal(out, rows[2:] * 2.0)
+
+
+def test_error_schedule_is_stable_under_batch_slicing():
+    import re
+
+    rows = np.arange(27.0).reshape(9, 3)
+
+    def error_steps(chunks):
+        session = _FakeSession()
+        plan = FaultPlan(seed=1, faults=(FaultSpec(kind="provider_error", every=4),))
+        faulty = wrap_session(session, plan)
+        hit = []
+        t = 0
+        for k in chunks:
+            try:
+                faulty.feed(rows[t : t + k])
+            except InjectedFaultError as exc:
+                hit.append(int(re.search(r"step (\d+)", str(exc)).group(1)))
+                faulty.feed(rows[t : t + k])  # one-shot: retry succeeds
+            t += k
+        assert session.steps_fed == 9
+        return hit
+
+    # Steps 0, 4, 8 fire no matter how the load is sliced into batches;
+    # a batch covering several fault steps is poisoned once (reported at
+    # the first), because one provider outage fails one feed call.
+    assert error_steps([9]) == [0]
+    assert error_steps([1] * 9) == [0, 4, 8]
+    assert error_steps([3, 3, 3]) == [0, 4, 8]
+    assert error_steps([5, 4]) == [0, 8]  # 0 and 4 ride the first batch
+
+
+def test_delay_fault_delegates_bit_identically():
+    plain, delayed = _FakeSession(), _FakeSession()
+    plan = FaultPlan(
+        seed=3, faults=(FaultSpec(kind="provider_delay", every=2, delay_ms=1.0),)
+    )
+    faulty = wrap_session(delayed, plan)
+    rows = np.arange(18.0).reshape(6, 3)
+    assert np.array_equal(faulty.feed(rows), plain.feed(rows))
+    assert faulty.step(rows[0]).shape == rows[0].shape  # scalar path delegates too
+    # Attribute access passes through to the wrapped session.
+    assert faulty.steps_fed == delayed.steps_fed == 7
+    assert faulty.wrapped is delayed
+
+
+def test_crash_at_step_exits_like_kill_nine():
+    code = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.faults import FaultPlan, FaultSpec, wrap_session
+
+        class S:
+            steps_fed = 0
+            def feed(self, demand):
+                return demand
+
+        plan = FaultPlan(seed=0, faults=(FaultSpec(kind="crash_at_step", step=1),))
+        s = wrap_session(S(), plan)
+        s.feed(np.zeros((1, 3)))  # step 0: survives
+        S.steps_fed = 1
+        s.feed(np.zeros((1, 3)))  # step 1: os._exit(137), no cleanup
+        print("survived")
+        """
+    )
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 137
+    assert "survived" not in proc.stdout
+
+
+# -- server-level chaos legs ---------------------------------------------------
+
+
+def _rows(n: int) -> np.ndarray:
+    scenario = scenarios.get(SCENARIO)
+    return scenarios.trace(scenario.trace, scenario.market).demand[:n]
+
+
+def test_saturated_server_returns_429s_with_reconciling_stats():
+    """Queue saturation: 429 + retry hint, and every request lands in
+    exactly one stats bucket (the acceptance reconciliation)."""
+    n = 16
+    rows = _rows(n)
+    plan = FaultPlan(
+        seed=7, faults=(FaultSpec(kind="provider_delay", every=1, delay_ms=20.0),)
+    )
+
+    async def drive():
+        session = wrap_session(scenarios.open_session(scenarios.get(SCENARIO), n_steps=n), plan)
+        server = RoutingServer(
+            session,
+            ServerConfig(
+                host="127.0.0.1", port=0, window_ms=0.0, max_batch=1,
+                max_queue=2, scenario=SCENARIO,
+            ),
+        )
+        await server.start()
+        try:
+            clients = [HttpClient("127.0.0.1", server.port) for _ in range(8)]
+            for c in clients:
+                await c.connect()
+            try:
+                outcomes = await asyncio.gather(
+                    *(
+                        clients[i % 8].request(
+                            "POST", "/route", {"demand": rows[i].tolist()}
+                        )
+                        for i in range(n)
+                    )
+                )
+                _, stats = await clients[0].request("GET", "/stats")
+            finally:
+                for c in clients:
+                    await c.close()
+        finally:
+            await server.stop()
+        return outcomes, stats
+
+    outcomes, stats = asyncio.run(drive())
+    statuses = sorted(status for status, _ in outcomes)
+    assert set(statuses) <= {200, 429}
+    assert 429 in statuses, "a 2-deep queue under a stalled engine must refuse"
+    for status, body in outcomes:
+        if status == 429:
+            assert body["retry_after_s"] > 0
+            assert "queue full" in body["error"]
+    assert stats["rejected_backpressure_total"] == statuses.count(429)
+    assert stats["requests_total"] == n
+    assert stats["requests_total"] == (
+        stats["batch_rows_total"]
+        + stats["rejected_total"]
+        + stats["rejected_backpressure_total"]
+        + stats["errors_total"]
+        + stats["cancelled_total"]
+    )
+
+
+def test_client_retry_budget_rides_out_saturation():
+    """A retrying client turns transient 429s into eventual 200s,
+    honouring the server's Retry-After hint."""
+    n = 10
+    rows = _rows(n)
+    plan = FaultPlan(
+        seed=7, faults=(FaultSpec(kind="provider_delay", every=1, delay_ms=10.0),)
+    )
+
+    async def drive():
+        session = wrap_session(scenarios.open_session(scenarios.get(SCENARIO), n_steps=n), plan)
+        server = RoutingServer(
+            session,
+            ServerConfig(
+                host="127.0.0.1", port=0, window_ms=0.0, max_batch=1,
+                max_queue=1, scenario=SCENARIO,
+            ),
+        )
+        await server.start()
+        try:
+            clients = [
+                HttpClient(
+                    "127.0.0.1", server.port,
+                    max_retries=10, backoff_base_s=0.01, retry_seed=i,
+                )
+                for i in range(n)
+            ]
+            for c in clients:
+                await c.connect()
+            try:
+                outcomes = await asyncio.gather(
+                    *(
+                        clients[i].request("POST", "/route", {"demand": rows[i].tolist()})
+                        for i in range(n)
+                    )
+                )
+            finally:
+                for c in clients:
+                    await c.close()
+            retries = sum(c.retries_total for c in clients)
+        finally:
+            await server.stop()
+        return outcomes, retries
+
+    outcomes, retries = asyncio.run(drive())
+    assert [status for status, _ in outcomes] == [200] * n
+    assert retries > 0, "a 1-deep queue under 10 concurrent clients must have retried"
+
+
+def _drive_drain(feed_seconds: float, drain_timeout: float):
+    """Four in-flight requests on a slow batch feed, then a drain."""
+    import time as _time
+
+    from repro.serve import MicroBatcher
+
+    rows = _rows(4)
+
+    async def drive():
+        session = scenarios.open_session(scenarios.get(SCENARIO), n_steps=4)
+        original = session.feed
+        session.feed = lambda demand: (_time.sleep(feed_seconds), original(demand))[1]
+        batcher = MicroBatcher(session, window_ms=5.0, max_batch=4)
+        await batcher.start()
+        tasks = [asyncio.ensure_future(batcher.route(row)) for row in rows]
+        await asyncio.sleep(0.05)  # the collector is now inside the slow feed
+        t0 = asyncio.get_running_loop().time()
+        drained = await asyncio.wait_for(batcher.drain(timeout=drain_timeout), timeout=5.0)
+        elapsed = asyncio.get_running_loop().time() - t0
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*tasks, return_exceptions=True), timeout=5.0
+        )
+        return drained, elapsed, outcomes, batcher.stats
+
+    return asyncio.run(drive())
+
+
+def test_drain_completes_in_flight_work_within_deadline():
+    drained, _, outcomes, stats = _drive_drain(feed_seconds=0.2, drain_timeout=5.0)
+    assert drained
+    # Every in-flight request ran to completion during the drain.
+    assert sorted(step for step, _ in outcomes) == [0, 1, 2, 3]
+    assert stats.batch_rows_total == 4
+    assert stats.resolved_total == stats.requests_total == 4
+
+
+def test_drain_deadline_exceeded_fails_stragglers_cleanly():
+    """An overrun drain strands nobody: every unfinished future resolves
+    with a clean shutdown error as soon as the deadline lapses."""
+    from repro.sim.session import SessionExhaustedError
+
+    drained, elapsed, outcomes, stats = _drive_drain(feed_seconds=0.6, drain_timeout=0.1)
+    assert not drained, "a 0.1s deadline cannot cover a 0.6s feed"
+    assert elapsed < 0.5  # the deadline bounded the wait, not the feed
+    # No stranded awaiters: every future resolved, with the shutdown error.
+    assert all(isinstance(o, SessionExhaustedError) for o in outcomes)
+    assert stats.resolved_total == stats.requests_total == 4
+
+
+def test_drained_server_refuses_new_requests_with_503():
+    rows = _rows(4)
+
+    async def drive():
+        session = scenarios.open_session(scenarios.get(SCENARIO), n_steps=4)
+        server = RoutingServer(
+            session,
+            ServerConfig(host="127.0.0.1", port=0, window_ms=0.0, scenario=SCENARIO),
+        )
+        await server.start()
+        port = server.port
+        async with HttpClient("127.0.0.1", port) as client:
+            await client.route(rows[0].tolist())
+            _, health_before = await client.request("GET", "/healthz")
+            # Drain the batcher but keep responding on open connections:
+            # the listener is closed, in-flight keep-alive sockets live on.
+            drained = await server.batcher.drain(timeout=1.0)
+            status, body = await client.request(
+                "POST", "/route", {"demand": rows[1].tolist()}
+            )
+            _, health_after = await client.request("GET", "/healthz")
+        await server.stop()
+        return health_before, drained, status, body, health_after
+
+    health_before, drained, status, body, health_after = asyncio.run(drive())
+    assert health_before["status"] == "ok"
+    assert drained, "an idle batcher drains instantly"
+    assert status == 503
+    assert "draining" in body["error"]
+    assert body["retry_after_s"] > 0
+    assert health_after["status"] == "draining"

@@ -16,7 +16,15 @@ import numpy as np
 import pytest
 
 from repro import scenarios
-from repro.serve import HttpClient, MicroBatcher, RoutingServer, ServerConfig, run_smoke
+from repro.serve import (
+    BackpressureError,
+    HttpClient,
+    MicroBatcher,
+    RoutingServer,
+    ServerConfig,
+    ServerDrainingError,
+    run_smoke,
+)
 from repro.sim.session import SessionExhaustedError
 
 SCENARIO = "serve-smoke"
@@ -253,6 +261,56 @@ def test_batcher_stats_reconcile_after_mixed_outcomes():
         + stats["errors_total"]
         + stats["cancelled_total"]
     )
+
+
+def test_full_queue_refuses_at_admission_with_retry_hint():
+    """The admission bound fires before anything enqueues, and the
+    refusal carries a service-rate retry estimate."""
+    rows = _rows(4)
+
+    async def drive():
+        session = scenarios.open_session(_scenario(), n_steps=4)
+        batcher = MicroBatcher(session, window_ms=50.0, max_batch=8, max_queue=2)
+        # No collector yet: the queue can only fill, so admission is
+        # deterministic — two fit, the third is refused.
+        tasks = [asyncio.ensure_future(batcher.route(row)) for row in rows[:3]]
+        await asyncio.sleep(0)  # let the route coroutines hit admission
+        assert batcher.queue_depth == 2
+        await batcher.start()
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        stats = batcher.stats
+        await batcher.stop()
+        return outcomes, stats
+
+    outcomes, stats = asyncio.run(drive())
+    assert outcomes[0][0] == 0 and outcomes[1][0] == 1  # admitted pair routed
+    refused = outcomes[2]
+    assert isinstance(refused, BackpressureError)
+    assert not isinstance(refused, ServerDrainingError)
+    assert refused.retry_after_s > 0
+    assert "queue full" in str(refused)
+    assert stats.rejected_backpressure_total == 1
+    assert stats.requests_total == stats.resolved_total == 3
+
+
+def test_route_after_stop_is_refused_not_hung():
+    """Regression: a route() call after stop() used to enqueue onto a
+    queue nobody drains and hang forever; it must refuse at admission."""
+    rows = _rows(2)
+
+    async def drive():
+        session = scenarios.open_session(_scenario(), n_steps=2)
+        batcher = MicroBatcher(session, window_ms=1.0, max_batch=4)
+        await batcher.start()
+        await batcher.route(rows[0])
+        await batcher.stop()
+        with pytest.raises(ServerDrainingError, match="draining"):
+            await asyncio.wait_for(batcher.route(rows[1]), timeout=2.0)
+        return batcher.stats
+
+    stats = asyncio.run(drive())
+    assert stats.rejected_backpressure_total == 1
+    assert stats.requests_total == stats.resolved_total == 2
 
 
 async def _raw_request(port: int, head: str) -> str:

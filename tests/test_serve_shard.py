@@ -8,6 +8,9 @@ Platforms without ``SO_REUSEPORT`` skip the process-level tests.
 from __future__ import annotations
 
 import asyncio
+import os
+import signal
+import time
 
 import numpy as np
 import pytest
@@ -52,8 +55,12 @@ def test_shard_board_publishes_and_aggregates():
             assert agg["rejected_total"] == 1 and agg["cancelled_total"] == 1
 
             rows = board.per_shard()
-            assert len(rows) == 2 and set(rows[0]) == set(BOARD_FIELDS)
+            assert len(rows) == 2
+            assert set(rows[0]) == set(BOARD_FIELDS) | {"stale", "heartbeat_age_ms"}
             assert rows[1]["requests_total"] == 6
+            # Just-published rows are fresh, not stale.
+            assert not rows[0]["stale"] and not rows[1]["stale"]
+            assert agg["workers_stale"] == 0 and agg["restarts_total"] == 0
         finally:
             attached.close()
     finally:
@@ -127,3 +134,103 @@ def test_sharded_server_aggregates_stats_and_serves_rolling_windows():
 def test_sharded_server_rejects_bad_worker_counts():
     with pytest.raises(Exception, match="workers"):
         ShardedServer(SCENARIO, workers=0)
+
+
+def test_shard_board_flags_stale_heartbeats():
+    """A ready shard that stops publishing is called out, not averaged in."""
+    board = ShardBoard(2)
+    try:
+        stats = BatcherStats(requests_total=3, batches_total=1, batch_rows_total=3)
+        board.publish(0, stats, steps_fed=3)
+        board.publish(1, stats, steps_fed=3)
+        # Rewind shard 1's heartbeat far past the staleness horizon.
+        beat = BOARD_FIELDS.index("heartbeat_ns")
+        board._cells[1, beat] = time.time_ns() - int(60e9)
+
+        rows = board.per_shard(stale_after_s=3.0)
+        assert not rows[0]["stale"] and rows[1]["stale"]
+        assert rows[0]["heartbeat_age_ms"] < 1000.0
+        assert rows[1]["heartbeat_age_ms"] > 59_000.0
+
+        agg = board.aggregate(stale_after_s=3.0)
+        assert agg["workers_ready"] == 2  # stale is not dead...
+        assert agg["workers_stale"] == 1 and agg["stale_shards"] == [1]
+
+        # An unready shard is never stale — there is no heartbeat to age.
+        board.clear_shard(1)
+        rows = board.per_shard(stale_after_s=3.0)
+        assert not rows[1]["stale"] and rows[1]["heartbeat_age_ms"] is None
+    finally:
+        board.close(unlink=True)
+
+
+@needs_reuse_port
+def test_wait_ready_fails_fast_naming_the_dead_shard():
+    """A worker that dies during startup surfaces immediately — with its
+    shard id and exit code — instead of burning the whole ready timeout."""
+    sharded = ShardedServer("no-such-scenario", workers=2)
+    sharded.start()
+    t0 = time.monotonic()
+    try:
+        with pytest.raises(RuntimeError, match=r"shard \d .* before becoming ready"):
+            sharded.wait_ready(timeout=120.0)
+    finally:
+        sharded.stop()
+    assert time.monotonic() - t0 < 60.0, "startup death must not wait out the timeout"
+
+
+@needs_reuse_port
+def test_supervisor_respawns_a_killed_shard_and_serving_recovers():
+    """kill -9 one shard under way: the supervisor respawns it and a
+    retrying client routes again across the rebuilt group."""
+    scenario = scenarios.get(SCENARIO)
+    rows = scenarios.trace(scenario.trace, scenario.market).demand[:16]
+
+    async def burst(port: int, demand_rows, *, seed: int) -> list[dict]:
+        clients = [
+            HttpClient(
+                "127.0.0.1", port,
+                max_retries=8, backoff_base_s=0.05, retry_seed=seed + i,
+            )
+            for i in range(4)
+        ]
+        for c in clients:
+            await c.connect()
+        try:
+            return await asyncio.gather(
+                *(
+                    clients[i % 4].route(row.tolist())
+                    for i, row in enumerate(demand_rows)
+                )
+            )
+        finally:
+            for c in clients:
+                await c.close()
+
+    with ShardedServer(
+        SCENARIO, workers=2, window_ms=2.0, backoff_base_s=0.05, backoff_cap_s=0.5
+    ) as sharded:
+        before = asyncio.run(burst(sharded.port, rows[:8], seed=1))
+        assert len(before) == 8
+
+        victim = sharded.pids[0]
+        assert victim is not None
+        os.kill(victim, signal.SIGKILL)
+
+        deadline = time.monotonic() + 30.0
+        while sharded.restarts.get(0, 0) < 1:
+            assert time.monotonic() < deadline, "supervisor never respawned shard 0"
+            time.sleep(0.05)
+        sharded.wait_restarted(0)
+        assert sharded.pids[0] != victim
+
+        # QPS recovers: the rebuilt group serves a fresh burst whole.
+        after = asyncio.run(burst(sharded.port, rows[8:], seed=9))
+        assert len(after) == 8
+
+        board = sharded.board
+        assert board is not None
+        agg = board.aggregate()
+        assert agg["workers_ready"] == 2
+        assert agg["restarts_total"] >= 1
+        assert sharded.restarts[0] >= 1

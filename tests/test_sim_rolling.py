@@ -285,6 +285,57 @@ def test_rolling_retain_windows_bounds_memory(small_dataset, problem):
     assert roller.clock(24) == trace.start + timedelta(seconds=24 * trace.step_seconds)
 
 
+def test_rolling_resume_from_banked_results_is_bit_identical(small_dataset, problem):
+    """Interrupt at any point, resume at the last banked boundary:
+    every window of the resumed chain equals the uninterrupted run's."""
+    lengths = [8, 8, 8]
+    trace = make_trace(TraceConfig(start=_START, n_steps=24, seed=21))
+    router = JointOptimizationRouter(problem, distance_penalty_per_1000km=12.0)
+    options = SimulationOptions()
+
+    def roller(**kwargs):
+        return _make_roller(
+            small_dataset, problem, router, options, trace, lengths, **kwargs
+        )
+
+    full = roller()
+    full.feed(trace.demand)
+
+    # Cuts at a boundary, mid-window, and pre-first-boundary (nothing banked).
+    for cut in (5, 8, 11, 16, 23):
+        part = roller()
+        part.feed(trace.demand[:cut])
+        banked = part.results()
+        boundary = 8 * len(banked)
+        assert part.checkpoint_state() == {
+            "windows_completed": len(banked),
+            "steps_banked": boundary,
+        }
+
+        resumed = roller(resume_results=banked)
+        assert resumed.steps_fed == boundary
+        assert resumed.windows_completed == len(banked)
+        # Steps past the boundary (lost with the interrupt) are re-fed
+        # live; determinism makes them — and every later window —
+        # bitwise equal to the uninterrupted run.
+        resumed.feed(trace.demand[boundary:])
+        assert resumed.exhausted
+        for rolled, control in zip(resumed.results(), full.results()):
+            _assert_identical(rolled, control)
+        if boundary:
+            # Banked windows are results, not materialised sessions:
+            # per-step introspection starts at the resume boundary.
+            assert np.array_equal(
+                resumed.paid_prices(boundary), full.paid_prices(boundary)
+            )
+            with pytest.raises(ConfigurationError, match="outside the materialised"):
+                resumed.paid_prices(boundary - 1)
+
+    # A checkpoint covering the whole horizon leaves nothing to serve.
+    with pytest.raises(ConfigurationError):
+        roller(resume_results=full.results())
+
+
 def test_scenario_rolling_session_matches_windowed_offline_replay():
     """``open_rolling_session`` chains scenario-grid windows past the trace."""
     from repro import scenarios
